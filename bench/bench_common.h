@@ -1,0 +1,60 @@
+// Shared plumbing for the figure/table reproduction harnesses.
+//
+// Every fig*/table* binary accepts:
+//   --csv          mirror the result table to stdout as CSV
+//   --quick        shrink workload sizes (~4x faster, noisier)
+//   --seed=N       override the workload seed
+// and prints one TextTable per reproduced figure/table panel, plus a
+// "paper shape" note stating what qualitative result the original reports
+// so the output is self-checking.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/common/table.h"
+
+namespace mendel::bench {
+
+struct BenchArgs {
+  bool csv = false;
+  bool quick = false;
+  std::uint64_t seed = 0x62656e6368ULL;
+};
+
+inline BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) {
+      args.csv = true;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      args.quick = true;
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      args.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--csv] [--quick] [--seed=N]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+inline void emit(const TextTable& table, const BenchArgs& args) {
+  table.print(std::cout);
+  if (args.csv) {
+    std::cout << "--- csv ---\n";
+    table.print_csv(std::cout);
+    std::cout << '\n';
+  }
+}
+
+inline void paper_shape(const std::string& note) {
+  std::cout << "paper shape: " << note << "\n\n";
+}
+
+}  // namespace mendel::bench

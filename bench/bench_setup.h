@@ -1,0 +1,59 @@
+// Workload and engine setup shared by the Figure 6 harnesses.
+#pragma once
+
+#include <cstdint>
+
+#include "src/blast/blast.h"
+#include "src/mendel/client.h"
+#include "src/workload/generator.h"
+
+namespace mendel::bench {
+
+// The scaled stand-in for the paper's nr database (see DESIGN.md §2):
+// protein families plus background, sized by `residue_target`.
+inline seq::SequenceStore make_database(std::size_t residue_target,
+                                        std::uint64_t seed) {
+  workload::DatabaseSpec spec;
+  // Lengths up to 3500 so the Fig 6a sweep (queries to 3000 residues) has
+  // eligible donors; mean length ~1900. Keep the family/background mix
+  // fixed and scale counts with the residue target.
+  const std::size_t sequences =
+      std::max<std::size_t>(20, residue_target / 1900);
+  spec.families = std::max<std::size_t>(4, sequences / 10);
+  spec.members_per_family = 6;
+  spec.background_sequences =
+      sequences > spec.families * 6 ? sequences - spec.families * 6 : 4;
+  spec.min_length = 300;
+  spec.max_length = 3500;
+  spec.seed = seed;
+  return workload::generate_database(spec);
+}
+
+// Cluster options used across the Figure 6 benches (10x5 = the paper's
+// 50-node testbed unless overridden).
+inline core::ClientOptions cluster_options(std::uint32_t groups = 10,
+                                           std::uint32_t per_group = 5) {
+  core::ClientOptions options;
+  options.topology.num_groups = groups;
+  options.topology.nodes_per_group = per_group;
+  options.indexing.window_length = 8;
+  options.indexing.sample_size = 4000;
+  options.prefix_tree.cutoff_depth = 6;
+  return options;
+}
+
+// Query parameters tuned for throughput benches: stricter filters than the
+// defaults so candidate volume tracks true matches rather than n * nodes.
+inline core::QueryParams bench_params() {
+  core::QueryParams params;
+  params.n = 8;
+  params.identity = 0.50;
+  params.c_score = 0.50;
+  params.branch_epsilon = 4.0;
+  // Drop isolated single-window seed runs (true matches tile adjacent
+  // stride-k windows into longer runs; noise does not).
+  params.min_anchor_span = 12;
+  return params;
+}
+
+}  // namespace mendel::bench

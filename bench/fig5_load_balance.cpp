@@ -1,0 +1,96 @@
+// Figure 5 reproduction: data distribution and load balancing.
+//
+// The paper indexes 100 GB of genomic data over a 50-node cluster (10
+// groups of 5) and compares per-node storage share under (a) a standard
+// flat SHA-1 hash and (b) Mendel's two-tier vp-prefix LSH + SHA-1 scheme.
+// Reported result: the two-tier scheme is slightly less even than pure
+// SHA-1, but "the difference between single nodes never exceeds 1% of the
+// total data volume stored", and the group structure (clusters of 5 nodes
+// with similar load) is visible.
+//
+// We index a scaled synthetic protein database over the same 10x5 topology
+// and print each node's share under three placements:
+//   flat      — one SHA-1 ring over all 50 nodes (Fig 5a),
+//   two-tier  — vp-prefix group hash + per-group SHA-1 ring (Fig 5b),
+//   sim-only  — vp-prefix hash straight to nodes, no flat tier (the
+//               rejected design of §V-A2; ablation showing why the flat
+//               second tier exists).
+#include "bench/bench_common.h"
+#include "src/cluster/telemetry.h"
+#include "src/mendel/indexer.h"
+#include "src/workload/generator.h"
+
+int main(int argc, char** argv) {
+  using namespace mendel;
+  const auto args = bench::parse_args(argc, argv);
+
+  workload::DatabaseSpec spec;
+  spec.families = args.quick ? 30 : 80;
+  spec.members_per_family = 8;
+  spec.background_sequences = args.quick ? 60 : 160;
+  spec.min_length = 300;
+  spec.max_length = 1200;
+  spec.seed = args.seed;
+  const auto store = workload::generate_database(spec);
+  std::printf("database: %zu sequences, %zu residues\n\n", store.size(),
+              store.total_residues());
+
+  cluster::TopologyConfig topo_config;
+  topo_config.num_groups = 10;
+  topo_config.nodes_per_group = 5;
+  cluster::Topology topology(topo_config);
+  const auto& distance = score::default_distance(store.alphabet());
+
+  core::IndexingOptions indexing;
+  indexing.window_length = 8;
+  indexing.sample_size = 4000;
+  core::Indexer indexer(&topology, &distance, indexing);
+  vpt::PrefixTreeOptions tree_options;
+  tree_options.cutoff_depth = 6;  // up to 32 prefixes over 10 groups
+  const auto prefix_tree = indexer.build_prefix_tree(store, tree_options);
+  topology.bind_prefixes(prefix_tree.leaf_prefixes());
+
+  const auto flat = indexer.flat_placement_counts(store);
+  const auto two_tier = indexer.placement_counts(store, prefix_tree);
+  const auto sim_only =
+      indexer.similarity_only_placement_counts(store, prefix_tree);
+
+  TextTable table("Figure 5: per-node share of stored blocks (50 nodes)");
+  table.set_header({"node", "group", "flat SHA-1 (5a)", "two-tier LSH (5b)",
+                    "similarity-only (rejected)"});
+  std::uint64_t total = 0;
+  for (auto c : flat) total += c;
+  for (std::size_t node = 0; node < flat.size(); ++node) {
+    auto share = [&](const std::vector<std::uint64_t>& counts) {
+      return TextTable::percent(
+          static_cast<double>(counts[node]) / static_cast<double>(total), 2);
+    };
+    table.add_row({TextTable::num(node), TextTable::num(node / 5),
+                   share(flat), share(two_tier), share(sim_only)});
+  }
+  bench::emit(table, args);
+
+  const auto flat_report = cluster::analyze_load(flat);
+  const auto two_report = cluster::analyze_load(two_tier);
+  const auto sim_report = cluster::analyze_load(sim_only);
+  TextTable summary("Figure 5 summary: balance metrics");
+  summary.set_header(
+      {"placement", "min share", "max share", "max spread", "CoV"});
+  auto row = [&](const char* name, const cluster::LoadBalanceReport& r) {
+    summary.add_row({name, TextTable::percent(r.min_share, 2),
+                     TextTable::percent(r.max_share, 2),
+                     TextTable::percent(r.max_spread, 2),
+                     TextTable::num(r.cov, 3)});
+  };
+  row("flat SHA-1 (5a)", flat_report);
+  row("two-tier LSH (5b)", two_report);
+  row("similarity-only (rejected)", sim_report);
+  bench::emit(summary, args);
+
+  bench::paper_shape(
+      "two-tier LSH slightly less even than flat SHA-1 but max spread "
+      "stays around or below ~1% of total volume; a similarity-only hash "
+      "(no flat tier) produces severe hotspots, which is why the paper's "
+      "second tier is a flat hash");
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Figure 6d reproduction: sensitivity vs similarity level.
+//
+// Paper protocol (§VI-E): generate a 1000-residue target; per similarity
+// level, derive a group of sequences by randomly mutating residues of the
+// target; run an *all versus all* query within each group and record the
+// percentage of matches found. Reported result: Mendel's NNS-based seeding
+// keeps finding matches at low similarity after word-seeded BLAST starts
+// missing them (it "can identify larger seeds that may be missed in other
+// systems").
+//
+// The all-vs-all detail matters: two cohort members mutated independently
+// to similarity s share only ~s^2 identity with each other, so each level
+// mixes member→target pairs (identity s) with member→member pairs
+// (identity ~s^2) — the latter push both engines into the twilight zone as
+// s drops.
+//
+// Setup here: target + per-level cohorts planted in a database with
+// unrelated background; every cohort member queries the database; recall =
+// recovered (query, same-level relative) pairs / all such pairs. Mendel
+// runs sensitivity-leaning parameters (wide branching, permissive filters,
+// low gapped trigger, no seed-span gate); BLAST runs its NCBI-like
+// defaults (two-hit, trigger 35). Both face the same E <= 10 cutoff.
+#include <set>
+
+#include "bench/bench_common.h"
+#include "bench/bench_setup.h"
+
+int main(int argc, char** argv) {
+  using namespace mendel;
+  const auto args = bench::parse_args(argc, argv);
+  Rng rng(args.seed);
+
+  const auto target = workload::random_sequence(
+      seq::Alphabet::kProtein, 1000, "target", rng);
+  const std::vector<double> levels = {0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.25};
+  const std::size_t cohort = args.quick ? 4 : 8;
+
+  seq::SequenceStore store(seq::Alphabet::kProtein);
+  const auto target_id = store.add(target);
+  std::vector<std::vector<seq::SequenceId>> members(levels.size());
+  for (std::size_t l = 0; l < levels.size(); ++l) {
+    for (std::size_t c = 0; c < cohort; ++c) {
+      members[l].push_back(store.add(workload::mutate_to_similarity(
+          target, levels[l],
+          "cohort sim=" + std::to_string(levels[l]) + " #" +
+              std::to_string(c),
+          rng)));
+    }
+  }
+  const std::size_t background = args.quick ? 30 : 80;
+  for (std::size_t b = 0; b < background; ++b) {
+    store.add(workload::random_sequence(seq::Alphabet::kProtein, 1000,
+                                        "bg" + std::to_string(b), rng));
+  }
+  std::printf("database: %zu sequences, %zu residues\n", store.size(),
+              store.total_residues());
+
+  core::Client client(bench::cluster_options(6, 5));
+  client.index(store);
+  blast::BlastEngine blast_engine(&store, &score::blosum62());
+  blast_engine.build();
+
+  // Sensitivity-leaning Mendel parameters (paper's point: NNS seeding
+  // stays sensitive; cost is a separate axis measured in Fig 6a/6b).
+  core::QueryParams params;
+  params.k = 4;   // denser subquery tiling than the throughput default
+  params.n = 24;
+  params.identity = 0.20;
+  params.c_score = 0.25;
+  params.branch_epsilon = 12.0;
+  params.gapped_trigger = 0.5;  // S tuned for twilight-zone anchors
+  params.min_anchor_span = 0;   // keep every NNS candidate
+  params.evalue = 10.0;
+  params.max_hits = 100;
+  params.max_gapped_per_bin = 4;
+
+  TextTable table(
+      "Figure 6d: % of all-vs-all matches found vs similarity level");
+  table.set_header({"similarity", "pairwise id (member-member)",
+                    "Mendel recall", "BLAST recall", "pairs"});
+
+  for (std::size_t l = 0; l < levels.size(); ++l) {
+    // Every cohort member queries; relatives = the target + the other
+    // same-level members.
+    std::size_t pairs = 0, mendel_found = 0, blast_found = 0;
+    for (std::size_t c = 0; c < cohort; ++c) {
+      const auto& probe = store.at(members[l][c]);
+      std::set<seq::SequenceId> relatives(members[l].begin(),
+                                          members[l].end());
+      relatives.erase(members[l][c]);  // not the self-hit
+      relatives.insert(target_id);
+      pairs += relatives.size();
+
+      const auto outcome = client.query(probe, params);
+      for (const auto& hit : outcome.hits) {
+        if (hit.subject_id != probe.id() &&
+            relatives.count(hit.subject_id) > 0) {
+          ++mendel_found;
+          relatives.erase(hit.subject_id);  // count each pair once
+        }
+      }
+      std::set<seq::SequenceId> blast_relatives(members[l].begin(),
+                                                members[l].end());
+      blast_relatives.erase(members[l][c]);
+      blast_relatives.insert(target_id);
+      for (const auto& hit : blast_engine.search(probe)) {
+        if (hit.subject_id != probe.id() &&
+            blast_relatives.count(hit.subject_id) > 0) {
+          ++blast_found;
+          blast_relatives.erase(hit.subject_id);
+        }
+      }
+    }
+    const double member_pairwise = levels[l] * levels[l];
+    table.add_row(
+        {TextTable::percent(levels[l], 0),
+         TextTable::percent(member_pairwise, 0),
+         TextTable::percent(static_cast<double>(mendel_found) /
+                            static_cast<double>(pairs)),
+         TextTable::percent(static_cast<double>(blast_found) /
+                            static_cast<double>(pairs)),
+         TextTable::num(pairs)});
+  }
+  bench::emit(table, args);
+  bench::paper_shape(
+      "both systems find essentially all matches at high similarity; as "
+      "similarity drops (member-member pairs fall toward s^2 identity), "
+      "Mendel's NNS seeding keeps finding matches after BLAST's "
+      "word-seeded search starts missing them (Fig 6d)");
+  return 0;
+}

@@ -1,0 +1,189 @@
+// Microbenchmarks for the vp-tree layer (google-benchmark).
+//
+// Covers the paper's §III-D design choices:
+//   * bucket size vs build and search cost,
+//   * batched rebalancing insertion vs naive split-in-place insertion
+//     (the pathology the paper warns about),
+//   * n-NN search cost vs tree size (the O(log n) claim),
+//   * vp-prefix hash throughput (the tier-1 routing cost).
+#include <benchmark/benchmark.h>
+
+#include "src/mendel/block.h"
+#include "src/scoring/distance.h"
+#include "src/vptree/dynamic_vptree.h"
+#include "src/vptree/prefix_tree.h"
+#include "src/vptree/vptree.h"
+#include "src/workload/generator.h"
+
+namespace {
+
+using namespace mendel;
+
+struct WindowMetric {
+  const score::DistanceMatrix* distance;
+  double operator()(const vpt::Window& a, const vpt::Window& b) const {
+    return score::window_distance(*distance, a, b);
+  }
+};
+
+std::vector<vpt::Window> make_windows(std::size_t count, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<vpt::Window> windows;
+  windows.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto s =
+        workload::random_sequence(seq::Alphabet::kProtein, 8, "w", rng);
+    windows.emplace_back(s.codes().begin(), s.codes().end());
+  }
+  return windows;
+}
+
+const score::DistanceMatrix& dist() {
+  return score::default_distance(seq::Alphabet::kProtein);
+}
+
+void BM_VpTreeBuild(benchmark::State& state) {
+  const auto windows = make_windows(static_cast<std::size_t>(state.range(0)),
+                                    42);
+  for (auto _ : state) {
+    vpt::VpTree<vpt::Window, WindowMetric> tree(
+        WindowMetric{&dist()},
+        {.bucket_capacity = static_cast<std::size_t>(state.range(1))});
+    tree.build(windows);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_VpTreeBuild)
+    ->Args({2000, 8})
+    ->Args({2000, 32})
+    ->Args({2000, 128})
+    ->Args({20000, 32});
+
+void BM_VpTreeKnnSearch(benchmark::State& state) {
+  const auto windows = make_windows(static_cast<std::size_t>(state.range(0)),
+                                    43);
+  vpt::VpTree<vpt::Window, WindowMetric> tree(WindowMetric{&dist()},
+                                              {.bucket_capacity = 32});
+  tree.build(windows);
+  const auto probes = make_windows(64, 44);
+  std::size_t p = 0;
+  for (auto _ : state) {
+    const auto neighbors = tree.nearest(probes[p++ % probes.size()], 16);
+    benchmark::DoNotOptimize(neighbors.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VpTreeKnnSearch)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_DynamicInsertBalanced(benchmark::State& state) {
+  const auto windows = make_windows(static_cast<std::size_t>(state.range(0)),
+                                    45);
+  for (auto _ : state) {
+    vpt::DynamicVpTree<vpt::Window, WindowMetric> tree(
+        WindowMetric{&dist()}, {.bucket_capacity = 32});
+    for (const auto& w : windows) tree.insert(w);
+    benchmark::DoNotOptimize(tree.depth());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DynamicInsertBalanced)->Arg(2000)->Arg(8000);
+
+void BM_DynamicInsertNaive(benchmark::State& state) {
+  const auto windows = make_windows(static_cast<std::size_t>(state.range(0)),
+                                    45);
+  for (auto _ : state) {
+    vpt::DynamicVpTree<vpt::Window, WindowMetric> tree(
+        WindowMetric{&dist()},
+        {.bucket_capacity = 32, .rebalance = false});
+    for (const auto& w : windows) tree.insert(w);
+    benchmark::DoNotOptimize(tree.depth());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DynamicInsertNaive)->Arg(2000)->Arg(8000);
+
+void BM_DynamicInsertBatch(benchmark::State& state) {
+  const auto windows = make_windows(static_cast<std::size_t>(state.range(0)),
+                                    46);
+  for (auto _ : state) {
+    vpt::DynamicVpTree<vpt::Window, WindowMetric> tree(
+        WindowMetric{&dist()}, {.bucket_capacity = 32});
+    // The paper's middle ground: large batches instead of per element.
+    const std::size_t batch = 512;
+    for (std::size_t i = 0; i < windows.size(); i += batch) {
+      const auto end = std::min(windows.size(), i + batch);
+      tree.insert_batch({windows.begin() + static_cast<std::ptrdiff_t>(i),
+                         windows.begin() + static_cast<std::ptrdiff_t>(end)});
+    }
+    benchmark::DoNotOptimize(tree.depth());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DynamicInsertBatch)->Arg(2000)->Arg(8000);
+
+// Search cost after naive insertion of *similar* (sorted-ish) data — the
+// degenerate case §III-D describes. Compare against the balanced variant.
+void BM_SearchAfterAdversarialInserts(benchmark::State& state) {
+  const bool rebalance = state.range(0) != 0;
+  Rng rng(47);
+  const auto base =
+      workload::random_sequence(seq::Alphabet::kProtein, 8, "b", rng);
+  vpt::DynamicVpTree<vpt::Window, WindowMetric> tree(
+      WindowMetric{&dist()}, {.bucket_capacity = 32, .rebalance = rebalance});
+  // Insert 4000 windows in waves of increasing divergence from one base —
+  // strongly correlated insertion order.
+  for (int wave = 0; wave < 40; ++wave) {
+    for (int i = 0; i < 100; ++i) {
+      const auto w = workload::mutate_to_similarity(
+          base, 1.0 - wave * 0.02, "m", rng);
+      tree.insert(vpt::Window(w.codes().begin(), w.codes().end()));
+    }
+  }
+  const auto probes = make_windows(64, 48);
+  std::size_t p = 0;
+  for (auto _ : state) {
+    const auto neighbors = tree.nearest(probes[p++ % probes.size()], 16);
+    benchmark::DoNotOptimize(neighbors.size());
+  }
+  state.SetLabel(rebalance ? "rebalanced" : "naive");
+}
+BENCHMARK(BM_SearchAfterAdversarialInserts)->Arg(0)->Arg(1);
+
+void BM_PrefixTreeHash(benchmark::State& state) {
+  vpt::VpPrefixTree tree(&dist(), {.cutoff_depth =
+                                       static_cast<std::size_t>(
+                                           state.range(0))});
+  tree.build(make_windows(4000, 49));
+  const auto probes = make_windows(256, 50);
+  std::size_t p = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.hash(probes[p++ % probes.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PrefixTreeHash)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_PrefixTreeHashMulti(benchmark::State& state) {
+  vpt::VpPrefixTree tree(&dist(), {.cutoff_depth = 6});
+  tree.build(make_windows(4000, 51));
+  const auto probes = make_windows(256, 52);
+  const double epsilon = static_cast<double>(state.range(0));
+  std::size_t p = 0;
+  std::size_t total_groups = 0, calls = 0;
+  for (auto _ : state) {
+    const auto groups =
+        tree.hash_multi(probes[p++ % probes.size()], epsilon);
+    total_groups += groups.size();
+    ++calls;
+    benchmark::DoNotOptimize(groups.size());
+  }
+  state.SetLabel("mean fan-out " +
+                 std::to_string(static_cast<double>(total_groups) /
+                                static_cast<double>(calls ? calls : 1)));
+}
+BENCHMARK(BM_PrefixTreeHashMulti)->Arg(0)->Arg(8)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

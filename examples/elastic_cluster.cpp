@@ -1,0 +1,138 @@
+// Elastic deployment features: index persistence, cluster sizing, and
+// fault tolerance with replication.
+//
+// The paper's future-work list (§VII-B) asks for (a) saving pre-indexed
+// data so large reference sets need not be re-indexed per run, and (b)
+// fault tolerance. Mendel implements both; this example exercises them:
+//
+//   1. index a database on a 4x3 cluster and snapshot it to disk,
+//   2. restore the snapshot into a fresh client and verify queries work
+//      without re-indexing,
+//   3. run the same database on clusters of several sizes and report
+//      the simulated turnaround (the Figure 6c effect, in miniature),
+//   4. enable replication, kill a node, and show queries still succeed,
+//   5. grow a live cluster one node at a time and watch the rebalance
+//      protocol shift load onto the newcomers.
+//
+// Run: ./build/examples/elastic_cluster
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/stopwatch.h"
+#include "src/mendel/client.h"
+#include "src/workload/generator.h"
+
+namespace {
+
+mendel::workload::DatabaseSpec database_spec() {
+  mendel::workload::DatabaseSpec spec;
+  spec.families = 10;
+  spec.members_per_family = 5;
+  spec.background_sequences = 20;
+  spec.min_length = 250;
+  spec.max_length = 600;
+  spec.seed = 31337;
+  return spec;
+}
+
+mendel::seq::Sequence make_probe(const mendel::seq::SequenceStore& store) {
+  const auto& donor = store.at(7);
+  const auto region = donor.window(25, 150);
+  return mendel::seq::Sequence(store.alphabet(), "probe",
+                               {region.begin(), region.end()});
+}
+
+}  // namespace
+
+int main() {
+  using namespace mendel;
+  const auto store = workload::generate_database(database_spec());
+  const auto probe = make_probe(store);
+  const std::string snapshot = "/tmp/mendel_elastic_snapshot.bin";
+
+  // --- 1. index + snapshot --------------------------------------------------
+  core::ClientOptions options;
+  options.topology.num_groups = 4;
+  options.topology.nodes_per_group = 3;
+  {
+    core::Client client(options);
+    Stopwatch watch;
+    const auto report = client.index(store);
+    std::printf("indexed %llu blocks in %.1f ms wall; saving snapshot...\n",
+                static_cast<unsigned long long>(report.blocks),
+                watch.millis());
+    client.save_index(snapshot);
+  }
+
+  // --- 2. restore without re-indexing ---------------------------------------
+  {
+    core::Client restored(options);
+    Stopwatch watch;
+    restored.load_index(snapshot);
+    std::printf("snapshot restored in %.1f ms wall\n", watch.millis());
+    const auto outcome = restored.query(probe);
+    std::printf("restored cluster answers: %zu hits, top=%s\n\n",
+                outcome.hits.size(),
+                outcome.hits.empty()
+                    ? "(none)"
+                    : outcome.hits.front().subject_name.c_str());
+  }
+
+  // --- 3. scale-out sweep ------------------------------------------------------
+  std::printf("scale-out (same database, growing cluster):\n");
+  for (std::uint32_t groups : {2u, 4u, 8u}) {
+    core::ClientOptions sized = options;
+    sized.topology.num_groups = groups;
+    sized.topology.nodes_per_group = 3;
+    core::Client client(sized);
+    client.index(store);
+    // Average a few probes for a stable virtual-time estimate.
+    double total = 0;
+    for (int i = 0; i < 5; ++i) total += client.query(probe).turnaround;
+    std::printf("  %2u nodes: %.3f ms mean simulated turnaround\n",
+                client.topology().total_nodes(), total / 5 * 1e3);
+  }
+
+  // --- 4. fault tolerance -----------------------------------------------------
+  std::printf("\nfault tolerance (replication factor 2):\n");
+  core::ClientOptions replicated = options;
+  replicated.topology.replication = 2;
+  replicated.topology.sequence_replication = 2;
+  core::Client client(replicated);
+  client.index(store);
+  const auto healthy = client.query(probe);
+  std::printf("  healthy cluster : %zu hits\n", healthy.hits.size());
+  client.fail_node(2);
+  const auto degraded = client.query(probe);
+  std::printf("  node 2 failed   : %zu hits (served from replicas)\n",
+              degraded.hits.size());
+  client.heal_node(2);
+  const auto healed = client.query(probe);
+  std::printf("  node 2 healed   : %zu hits\n", healed.hits.size());
+
+  // --- 5. live scale-out with rebalancing ------------------------------------
+  std::printf("\nlive scale-out (add_node + rebalance):\n");
+  core::Client growing(options);
+  growing.index(store);
+  auto counts = growing.block_counts();
+  std::uint64_t total = 0;
+  for (auto c : counts) total += c;
+  std::printf("  initial   : %zu nodes, %llu blocks, max node %llu\n",
+              counts.size(), static_cast<unsigned long long>(total),
+              static_cast<unsigned long long>(
+                  *std::max_element(counts.begin(), counts.end())));
+  for (std::uint32_t g = 0; g < 3; ++g) {
+    const auto id = growing.add_node(g);
+    counts = growing.block_counts();
+    std::printf("  +node %2u in group %u: newcomer holds %llu blocks\n", id,
+                g, static_cast<unsigned long long>(counts[id]));
+  }
+  const auto grown = growing.query(probe);
+  std::printf("  grown cluster answers: %zu hits (same top hit: %s)\n",
+              grown.hits.size(),
+              grown.hits.empty() ? "(none)"
+                                 : grown.hits.front().subject_name.c_str());
+
+  std::remove(snapshot.c_str());
+  return 0;
+}

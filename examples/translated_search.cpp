@@ -1,0 +1,127 @@
+// Translated search (blastx-style): nucleotide reads against a protein
+// reference database.
+//
+// Sequencers produce DNA; reference knowledge often lives in protein space
+// (the paper's evaluation uses NCBI's protein nr). The classic bridge is
+// six-frame translation: translate each read in all six reading frames and
+// search every frame against the protein index, reporting the best-scoring
+// frame. This example builds a protein Mendel cluster, fabricates DNA reads
+// whose +2 frame encodes regions of database proteins (with sequencing
+// noise), and maps them back.
+//
+// Run: ./build/examples/translated_search
+#include <cstdio>
+
+#include "src/mendel/client.h"
+#include "src/sequence/translate.h"
+#include "src/workload/generator.h"
+
+namespace {
+
+// Reverse-translates a protein region into DNA using arbitrary codons
+// (first codon found for each amino acid) — good enough to fabricate reads
+// whose translation reproduces the region exactly.
+std::vector<mendel::seq::Code> reverse_translate(
+    mendel::seq::CodeSpan protein) {
+  using namespace mendel::seq;
+  // codon index -> amino acid; build the inverse lazily.
+  static const auto inverse = [] {
+    std::array<int, 24> first_codon{};
+    first_codon.fill(-1);
+    const auto& code = standard_genetic_code();
+    for (int codon = 0; codon < 64; ++codon) {
+      if (first_codon[code[static_cast<std::size_t>(codon)]] < 0) {
+        first_codon[code[static_cast<std::size_t>(codon)]] = codon;
+      }
+    }
+    return first_codon;
+  }();
+  std::vector<Code> dna;
+  dna.reserve(protein.size() * 3);
+  for (Code residue : protein) {
+    int codon = inverse[residue];
+    if (codon < 0) codon = inverse[encode(Alphabet::kProtein, 'A')];
+    dna.push_back(static_cast<Code>(codon / 16));
+    dna.push_back(static_cast<Code>((codon / 4) % 4));
+    dna.push_back(static_cast<Code>(codon % 4));
+  }
+  return dna;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mendel;
+
+  // Protein reference collection.
+  workload::DatabaseSpec spec;
+  spec.families = 8;
+  spec.members_per_family = 4;
+  spec.background_sequences = 16;
+  spec.min_length = 250;
+  spec.max_length = 600;
+  spec.seed = 7777;
+  const auto store = workload::generate_database(spec);
+
+  core::ClientOptions options;
+  options.topology.num_groups = 4;
+  options.topology.nodes_per_group = 3;
+  core::Client client(options);
+  client.index(store);
+  std::printf("protein reference indexed: %zu sequences, %zu residues\n\n",
+              store.size(), store.total_residues());
+
+  // Fabricate DNA reads: protein region -> codons -> +2 frame shift ->
+  // light sequencing noise at the DNA level.
+  Rng rng(31415);
+  std::size_t mapped = 0, correct_frame = 0;
+  const int reads = 12;
+  for (int r = 0; r < reads; ++r) {
+    const auto origin =
+        static_cast<seq::SequenceId>(rng.below(store.size()));
+    const auto& protein = store.at(origin);
+    if (protein.size() < 80) continue;
+    const auto offset = rng.below(protein.size() - 60);
+    const auto region = protein.window(offset, 60);
+
+    auto dna_codes = reverse_translate(region);
+    // Shift into frame +2 with a random leading base and add noise.
+    dna_codes.insert(dna_codes.begin(),
+                     static_cast<seq::Code>(rng.below(4)));
+    seq::Sequence read(seq::Alphabet::kDna, "read", std::move(dna_codes));
+    read = workload::mutate(read, {0.02, 0.0, 0.0}, "read", rng);
+
+    // Six-frame translate and query each frame; keep the best hit.
+    double best_evalue = 1e9;
+    int best_frame = 0;
+    seq::SequenceId best_subject = seq::kInvalidSequenceId;
+    std::string best_name;
+    for (const auto& frame : seq::six_frame_translations(read.codes())) {
+      if (frame.protein.size() < 12) continue;
+      seq::Sequence probe(seq::Alphabet::kProtein, "frame",
+                          std::vector<seq::Code>(frame.protein));
+      core::QueryParams params;
+      params.evalue = 1e-3;
+      const auto outcome = client.query(probe, params);
+      if (!outcome.hits.empty() &&
+          outcome.hits.front().evalue < best_evalue) {
+        best_evalue = outcome.hits.front().evalue;
+        best_frame = frame.frame;
+        best_subject = outcome.hits.front().subject_id;
+        best_name = outcome.hits.front().subject_name;
+      }
+    }
+    if (best_subject == seq::kInvalidSequenceId) {
+      std::printf("read %2d: unmapped\n", r);
+      continue;
+    }
+    ++mapped;
+    correct_frame += best_frame == 2 ? 1 : 0;
+    std::printf("read %2d: frame %+d  %-22s E=%.2e %s\n", r, best_frame,
+                best_name.c_str(), best_evalue,
+                best_subject == origin ? "(true origin)" : "");
+  }
+  std::printf("\n%zu/%d reads mapped, %zu in the true +2 frame\n", mapped,
+              reads, correct_frame);
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Banded local alignment with affine gaps.
+//
+// The gapped-extension stage of both the BLAST baseline and Mendel's query
+// pipeline (paper §V-B: "The gapped extension considers all anchors from the
+// same sequence within l diagonals in either direction"). The DP is
+// restricted to diagonals within `band_radius` of `center_diag`; paths
+// cannot leave the band, which bounds work at O(query_len * band_width)
+// instead of O(m*n).
+//
+// With a band that covers the whole rectangle this is exactly
+// smith_waterman() — the property test in tests/align_test.cpp pins that.
+#pragma once
+
+#include "src/align/alignment.h"
+#include "src/scoring/matrix.h"
+
+namespace mendel::align {
+
+struct BandedParams {
+  // Diagonal (s_pos - q_pos) at the band's center.
+  std::ptrdiff_t center_diag = 0;
+  // Paper Table I parameter l: how many diagonals either side of the center
+  // the alignment may wander.
+  std::size_t band_radius = 16;
+};
+
+GappedAlignment banded_local_align(seq::CodeSpan query, seq::CodeSpan subject,
+                                   const score::ScoringMatrix& scores,
+                                   score::GapPenalties gaps,
+                                   const BandedParams& params);
+
+}  // namespace mendel::align

@@ -1,0 +1,150 @@
+#include "src/align/render.h"
+
+#include <cctype>
+#include <iomanip>
+#include <sstream>
+#include <vector>
+
+#include "src/common/error.h"
+
+namespace mendel::align {
+
+namespace {
+
+// Fixed one-decimal rendering for scores/identities.
+std::string fixed1(double v) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(1) << v;
+  return out.str();
+}
+
+struct Column {
+  char query = '-';
+  char match = ' ';
+  char subject = '-';
+  bool consumes_q = false;
+  bool consumes_s = false;
+};
+
+std::vector<Column> walk_cigar(const AlignmentHit& hit, seq::CodeSpan query,
+                               seq::CodeSpan subject_segment,
+                               seq::Alphabet alphabet,
+                               const score::ScoringMatrix& scores) {
+  std::vector<Column> columns;
+  std::size_t q = hit.alignment.hsp.q_begin;
+  std::size_t s = 0;  // offset into subject_segment
+  const std::string& cigar = hit.alignment.cigar;
+  std::size_t i = 0;
+  while (i < cigar.size()) {
+    std::size_t count = 0;
+    while (i < cigar.size() &&
+           std::isdigit(static_cast<unsigned char>(cigar[i])) != 0) {
+      count = count * 10 + static_cast<std::size_t>(cigar[i] - '0');
+      ++i;
+    }
+    require(i < cigar.size(), "render_alignment: malformed CIGAR");
+    const char op = cigar[i++];
+    for (std::size_t c = 0; c < count; ++c) {
+      Column column;
+      if (op == 'M') {
+        require(q < query.size() && s < subject_segment.size(),
+                "render_alignment: CIGAR exceeds provided residues");
+        const seq::Code qc = query[q], sc = subject_segment[s];
+        column.query = seq::decode(alphabet, qc);
+        column.subject = seq::decode(alphabet, sc);
+        if (qc == sc) {
+          column.match = column.query;
+        } else if (scores.score(qc, sc) > 0) {
+          column.match = '+';
+        }
+        column.consumes_q = column.consumes_s = true;
+      } else if (op == 'D') {  // gap in subject
+        require(q < query.size(), "render_alignment: CIGAR exceeds query");
+        column.query = seq::decode(alphabet, query[q]);
+        column.subject = '-';
+        column.consumes_q = true;
+      } else if (op == 'I') {  // gap in query
+        require(s < subject_segment.size(),
+                "render_alignment: CIGAR exceeds subject segment");
+        column.query = '-';
+        column.subject = seq::decode(alphabet, subject_segment[s]);
+        column.consumes_s = true;
+      } else {
+        throw InvalidArgument(std::string("render_alignment: unknown CIGAR "
+                                          "op '") +
+                              op + "'");
+      }
+      if (column.consumes_q) ++q;
+      if (column.consumes_s) ++s;
+      columns.push_back(column);
+    }
+  }
+  return columns;
+}
+
+}  // namespace
+
+std::string render_alignment(const AlignmentHit& hit, seq::CodeSpan query,
+                             seq::CodeSpan subject_segment,
+                             seq::Alphabet alphabet,
+                             const score::ScoringMatrix& scores,
+                             const RenderOptions& options) {
+  require(options.width > 0, "render_alignment: zero width");
+  require(subject_segment.size() == hit.alignment.hsp.s_len(),
+          "render_alignment: subject segment must cover [s_begin, s_end)");
+  const auto columns =
+      walk_cigar(hit, query, subject_segment, alphabet, scores);
+
+  std::ostringstream out;
+  if (options.show_header) {
+    out << "> " << hit.subject_name << "\n"
+        << "  score " << hit.alignment.hsp.score << ", bits "
+        << fixed1(hit.bit_score) << ", E " << hit.evalue << ", identity "
+        << hit.alignment.identities << "/" << hit.alignment.columns << ", "
+        << "gaps " << hit.alignment.gap_columns << "\n\n";
+  }
+
+  std::size_t q_pos = hit.alignment.hsp.q_begin;
+  std::size_t s_pos = hit.alignment.hsp.s_begin;
+  for (std::size_t start = 0; start < columns.size();
+       start += options.width) {
+    const std::size_t end =
+        std::min(columns.size(), start + options.width);
+    std::string q_line, m_line, s_line;
+    std::size_t q_consumed = 0, s_consumed = 0;
+    for (std::size_t c = start; c < end; ++c) {
+      q_line += columns[c].query;
+      m_line += columns[c].match;
+      s_line += columns[c].subject;
+      q_consumed += columns[c].consumes_q ? 1 : 0;
+      s_consumed += columns[c].consumes_s ? 1 : 0;
+    }
+    // 1-based inclusive coordinates, NCBI style.
+    out << "Query  " << q_pos + 1 << "\t" << q_line << "\t"
+        << q_pos + q_consumed << "\n";
+    out << "       "
+        << "\t" << m_line << "\n";
+    out << "Sbjct  " << s_pos + 1 << "\t" << s_line << "\t"
+        << s_pos + s_consumed << "\n\n";
+    q_pos += q_consumed;
+    s_pos += s_consumed;
+  }
+  return out.str();
+}
+
+std::string render_tabular(const std::string& query_name,
+                           const AlignmentHit& hit) {
+  const auto& a = hit.alignment;
+  const std::size_t mismatches =
+      a.columns - a.identities - a.gap_columns;
+  std::ostringstream out;
+  out << query_name << '\t' << hit.subject_name << '\t'
+      << fixed1(a.percent_identity() * 100.0) << '\t' << a.columns << '\t'
+      << mismatches << '\t' << a.gap_columns << '\t' << a.hsp.q_begin + 1
+      << '\t' << a.hsp.q_end << '\t' << a.hsp.s_begin + 1 << '\t'
+      << a.hsp.s_end << '\t' << hit.evalue << '\t'
+      << fixed1(hit.bit_score);
+  return out.str();
+}
+
+}  // namespace mendel::align

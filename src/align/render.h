@@ -1,0 +1,44 @@
+// Human-readable pairwise alignment rendering (BLAST-report style).
+//
+// Produces the classic three-line blocks:
+//
+//   Query    1   MKVLAWHH...  60
+//                MKV+AW H
+//   Sbjct   12   MKVIAWQH...  71
+//
+// from an AlignmentHit whose CIGAR and coordinates came out of the banded
+// or full aligner, plus the query residues and the aligned subject
+// segment. The middle line marks identities with the residue letter,
+// positive substitutions with '+', and everything else with a space — the
+// NCBI convention.
+#pragma once
+
+#include <string>
+
+#include "src/align/alignment.h"
+#include "src/scoring/matrix.h"
+
+namespace mendel::align {
+
+struct RenderOptions {
+  std::size_t width = 60;   // residues per block line
+  bool show_header = true;  // subject name / score / E-value banner
+};
+
+// `subject_segment` must cover exactly [hsp.s_begin, hsp.s_end) of the
+// subject (AlignmentHit::subject_segment when the query ran with
+// include_subject_segment). Throws InvalidArgument when the CIGAR walks
+// outside the provided residues.
+std::string render_alignment(const AlignmentHit& hit, seq::CodeSpan query,
+                             seq::CodeSpan subject_segment,
+                             seq::Alphabet alphabet,
+                             const score::ScoringMatrix& scores,
+                             const RenderOptions& options = {});
+
+// One-line tabular rendering (BLAST outfmt-6 style):
+// query_name subject_name identity% columns mismatches gaps qstart qend
+// sstart send evalue bitscore   (tab separated, 1-based inclusive coords).
+std::string render_tabular(const std::string& query_name,
+                           const AlignmentHit& hit);
+
+}  // namespace mendel::align

@@ -1,0 +1,206 @@
+#include "src/align/smith_waterman.h"
+
+#include <algorithm>
+#include <cctype>
+#include <limits>
+#include <vector>
+
+namespace mendel::align {
+
+namespace {
+
+// Traceback directions, 2 bits per DP matrix packed in one byte per cell.
+enum : std::uint8_t {
+  kStop = 0,
+  kFromM = 1,
+  kFromIx = 2,  // gap in subject (moving along query)
+  kFromIy = 3,  // gap in query (moving along subject)
+};
+
+constexpr int kNegInf = std::numeric_limits<int>::min() / 4;
+
+struct Cell {
+  int m = 0;
+  int ix = kNegInf;
+  int iy = kNegInf;
+};
+
+// Appends run-length-encoded op to a CIGAR string being built backwards;
+// caller reverses runs at the end.
+void append_run(std::string& cigar, char op, std::size_t count) {
+  cigar += std::to_string(count);
+  cigar += op;
+}
+
+}  // namespace
+
+GappedAlignment smith_waterman(seq::CodeSpan query, seq::CodeSpan subject,
+                               const score::ScoringMatrix& scores,
+                               score::GapPenalties gaps) {
+  GappedAlignment result;
+  const std::size_t m = query.size();
+  const std::size_t n = subject.size();
+  if (m == 0 || n == 0) return result;
+
+  const int open = gaps.open + gaps.extend;  // cost of the first gap column
+  const int extend = gaps.extend;
+
+  std::vector<Cell> prev(n + 1), curr(n + 1);
+  // tb[q][s] packs (M-source << 0) | (Ix-source << 2) | (Iy-source << 4);
+  // sources use the enum above. M-source kStop means the alignment starts
+  // here (the local-alignment zero).
+  std::vector<std::uint8_t> tb((m + 1) * (n + 1), 0);
+
+  int best = 0;
+  std::size_t best_q = 0, best_s = 0;
+
+  for (std::size_t q = 1; q <= m; ++q) {
+    curr[0] = Cell{};
+    for (std::size_t s = 1; s <= n; ++s) {
+      const int sub = scores.score(query[q - 1], subject[s - 1]);
+      std::uint8_t packed = 0;
+
+      // Ix: gap in subject — came from row above (q-1, s).
+      const int ix_open = prev[s].m - open;
+      const int ix_ext = prev[s].ix - extend;
+      int ix;
+      if (ix_ext >= ix_open) {
+        ix = ix_ext;
+        packed |= kFromIx << 2;
+      } else {
+        ix = ix_open;
+        packed |= kFromM << 2;
+      }
+
+      // Iy: gap in query — came from column left (q, s-1).
+      const int iy_open = curr[s - 1].m - open;
+      const int iy_ext = curr[s - 1].iy - extend;
+      int iy;
+      if (iy_ext >= iy_open) {
+        iy = iy_ext;
+        packed |= kFromIy << 4;
+      } else {
+        iy = iy_open;
+        packed |= kFromM << 4;
+      }
+
+      // M: diagonal move from any of the three states, or fresh start.
+      // diag.m is always >= 0 (local alignment clamp), so the fresh-start
+      // option max(0, sub) is subsumed by best_prev + sub with kStop marking
+      // where the alignment begins.
+      const Cell& diag = prev[s - 1];
+      int best_prev = diag.m;
+      std::uint8_t m_src = kFromM;
+      if (diag.ix > best_prev) {
+        best_prev = diag.ix;
+        m_src = kFromIx;
+      }
+      if (diag.iy > best_prev) {
+        best_prev = diag.iy;
+        m_src = kFromIy;
+      }
+      int mm = best_prev + sub;
+      if (mm <= 0) {
+        mm = 0;
+        m_src = kStop;  // dead cell
+      } else if (m_src == kFromM && diag.m == 0) {
+        m_src = kStop;  // local alignment starts at this residue pair
+      }
+      packed |= m_src;
+
+      curr[s] = Cell{mm, ix, iy};
+      tb[q * (n + 1) + s] = packed;
+
+      if (mm > best) {
+        best = mm;
+        best_q = q;
+        best_s = s;
+      }
+    }
+    std::swap(prev, curr);
+  }
+
+  if (best == 0) return result;
+
+  // Traceback from the best M cell.
+  std::size_t q = best_q, s = best_s;
+  std::uint8_t state = kFromM;
+  std::string rev_cigar;
+  char run_op = 0;
+  std::size_t run_len = 0;
+  auto push_op = [&](char op) {
+    if (op == run_op) {
+      ++run_len;
+      return;
+    }
+    if (run_len > 0) append_run(rev_cigar, run_op, run_len);
+    run_op = op;
+    run_len = 1;
+  };
+
+  std::size_t identities = 0, columns = 0, gap_columns = 0;
+  while (q > 0 && s > 0) {
+    const std::uint8_t packed = tb[q * (n + 1) + s];
+    if (state == kFromM) {
+      const std::uint8_t src = packed & 0x3;
+      ++columns;
+      if (query[q - 1] == subject[s - 1]) ++identities;
+      push_op('M');
+      --q;
+      --s;
+      if (src == kStop) break;
+      state = src;
+    } else if (state == kFromIx) {
+      const std::uint8_t src = (packed >> 2) & 0x3;
+      ++columns;
+      ++gap_columns;
+      push_op('D');  // gap in subject: query residue consumed
+      --q;
+      state = src == kFromIx ? kFromIx : kFromM;
+    } else {  // kFromIy
+      const std::uint8_t src = (packed >> 4) & 0x3;
+      ++columns;
+      ++gap_columns;
+      push_op('I');  // gap in query: subject residue consumed
+      --s;
+      state = src == kFromIy ? kFromIy : kFromM;
+    }
+  }
+  if (run_len > 0) append_run(rev_cigar, run_op, run_len);
+
+  // rev_cigar holds runs emitted end-to-start; rebuild forward order.
+  std::string cigar;
+  {
+    // Parse runs from rev_cigar (count then op, already per-run) and
+    // reverse the run sequence.
+    std::vector<std::pair<std::size_t, char>> runs;
+    std::size_t i = 0;
+    while (i < rev_cigar.size()) {
+      std::size_t count = 0;
+      while (i < rev_cigar.size() &&
+             std::isdigit(static_cast<unsigned char>(rev_cigar[i])) != 0) {
+        count = count * 10 + static_cast<std::size_t>(rev_cigar[i] - '0');
+        ++i;
+      }
+      runs.emplace_back(count, rev_cigar[i]);
+      ++i;
+    }
+    for (auto it = runs.rbegin(); it != runs.rend(); ++it) {
+      cigar += std::to_string(it->first);
+      cigar += it->second;
+    }
+  }
+
+  result.hsp.q_begin = q;
+  result.hsp.q_end = best_q;
+  result.hsp.s_begin = s;
+  result.hsp.s_end = best_s;
+  result.hsp.score = best;
+  result.columns = columns;
+  result.identities = identities;
+  result.gap_columns = gap_columns;
+  result.cigar = std::move(cigar);
+  return result;
+}
+
+}  // namespace mendel::align

@@ -1,0 +1,21 @@
+// Full Smith–Waterman local alignment with affine gaps and traceback.
+//
+// O(m*n) time and memory — this is the exact reference aligner. The Mendel
+// pipeline and the BLAST baseline use the banded variant (banded.h) on their
+// hot paths; this one serves as (a) the correctness oracle in tests
+// (banded(band = max) must equal SW) and (b) the final rescoring pass for
+// reported alignments when callers ask for exact results.
+#pragma once
+
+#include "src/align/alignment.h"
+#include "src/scoring/matrix.h"
+
+namespace mendel::align {
+
+// Best-scoring local alignment of `query` vs `subject`. Empty inputs yield
+// a zero-score, zero-length alignment.
+GappedAlignment smith_waterman(seq::CodeSpan query, seq::CodeSpan subject,
+                               const score::ScoringMatrix& scores,
+                               score::GapPenalties gaps);
+
+}  // namespace mendel::align

@@ -1,0 +1,75 @@
+#include "src/align/ungapped.h"
+
+#include <algorithm>
+
+#include "src/common/error.h"
+
+namespace mendel::align {
+
+int window_score(seq::CodeSpan a, seq::CodeSpan b,
+                 const score::ScoringMatrix& scores) {
+  require(a.size() == b.size(), "window_score: length mismatch");
+  int total = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) total += scores.score(a[i], b[i]);
+  return total;
+}
+
+Hsp extend_ungapped(seq::CodeSpan query, seq::CodeSpan subject,
+                    std::size_t q_seed, std::size_t s_seed,
+                    std::size_t seed_len, const score::ScoringMatrix& scores,
+                    const UngappedParams& params) {
+  require(q_seed + seed_len <= query.size(),
+          "extend_ungapped: seed exceeds query");
+  require(s_seed + seed_len <= subject.size(),
+          "extend_ungapped: seed exceeds subject");
+  require(seed_len > 0, "extend_ungapped: empty seed");
+
+  const int seed_score = window_score(query.subspan(q_seed, seed_len),
+                                      subject.subspan(s_seed, seed_len),
+                                      scores);
+
+  // Right extension: walk i = 0, 1, ... past the seed end, keeping the
+  // best prefix. Stop when the running score drops x_drop below the best.
+  int best_right = 0;
+  std::size_t right_len = 0;
+  {
+    int running = 0;
+    const std::size_t limit = std::min(query.size() - (q_seed + seed_len),
+                                       subject.size() - (s_seed + seed_len));
+    for (std::size_t i = 0; i < limit; ++i) {
+      running += scores.score(query[q_seed + seed_len + i],
+                              subject[s_seed + seed_len + i]);
+      if (running > best_right) {
+        best_right = running;
+        right_len = i + 1;
+      }
+      if (running < best_right - params.x_drop) break;
+    }
+  }
+
+  // Left extension, mirrored.
+  int best_left = 0;
+  std::size_t left_len = 0;
+  {
+    int running = 0;
+    const std::size_t limit = std::min(q_seed, s_seed);
+    for (std::size_t i = 1; i <= limit; ++i) {
+      running += scores.score(query[q_seed - i], subject[s_seed - i]);
+      if (running > best_left) {
+        best_left = running;
+        left_len = i;
+      }
+      if (running < best_left - params.x_drop) break;
+    }
+  }
+
+  Hsp hsp;
+  hsp.q_begin = q_seed - left_len;
+  hsp.q_end = q_seed + seed_len + right_len;
+  hsp.s_begin = s_seed - left_len;
+  hsp.s_end = s_seed + seed_len + right_len;
+  hsp.score = seed_score + best_left + best_right;
+  return hsp;
+}
+
+}  // namespace mendel::align

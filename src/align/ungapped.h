@@ -1,0 +1,31 @@
+// X-drop ungapped extension (the seed-and-extend inner loop of BLAST and of
+// Mendel's anchor expansion).
+//
+// From a seed match of `seed_len` residues at (q_seed, s_seed) the extension
+// walks outward in both directions accumulating substitution scores and
+// stops in a direction once the running score falls more than `x_drop`
+// below the best seen ("until the accumulated score begins to decrease",
+// paper §II-B; the x_drop slack is the standard BLAST refinement).
+#pragma once
+
+#include "src/align/alignment.h"
+#include "src/scoring/matrix.h"
+
+namespace mendel::align {
+
+struct UngappedParams {
+  int x_drop = 20;
+};
+
+// Returns the maximal-scoring ungapped HSP containing the seed. The seed
+// itself must lie within both spans; throws InvalidArgument otherwise.
+Hsp extend_ungapped(seq::CodeSpan query, seq::CodeSpan subject,
+                    std::size_t q_seed, std::size_t s_seed,
+                    std::size_t seed_len, const score::ScoringMatrix& scores,
+                    const UngappedParams& params = {});
+
+// Score of an ungapped pairing of two equal-length windows.
+int window_score(seq::CodeSpan a, seq::CodeSpan b,
+                 const score::ScoringMatrix& scores);
+
+}  // namespace mendel::align

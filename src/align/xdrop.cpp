@@ -1,0 +1,167 @@
+#include "src/align/xdrop.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "src/common/error.h"
+
+namespace mendel::align {
+
+namespace {
+
+constexpr int kNegInf = std::numeric_limits<int>::min() / 4;
+
+struct Extension {
+  int score = 0;       // best alignment score of the extension
+  std::size_t q = 0;   // query residues consumed at the best end
+  std::size_t s = 0;   // subject residues consumed at the best end
+};
+
+// One-sided X-drop extension: global start at the spans' origin, free end.
+// Returns the best score over all cells ending in an aligned pair, with the
+// per-anti-diagonal X-drop pruning adapting the explored window.
+Extension one_sided(seq::CodeSpan query, seq::CodeSpan subject,
+                    const score::ScoringMatrix& scores,
+                    score::GapPenalties gaps, int x_drop) {
+  Extension best;
+  if (query.empty() || subject.empty()) return best;
+
+  const int open = gaps.open + gaps.extend;
+  const int extend = gaps.extend;
+
+  // Row-indexed DP with an active column window [lo, hi]; columns outside
+  // the window are pruned (score < best - X). Rows consume query residues.
+  struct Cell {
+    int m = kNegInf;
+    int ix = kNegInf;  // gap in subject (consumed query residue last)
+    int iy = kNegInf;  // gap in query (consumed subject residue last)
+    int value() const { return std::max({m, ix, iy}); }
+  };
+
+  std::size_t lo = 0;
+  std::size_t hi = std::min<std::size_t>(subject.size(), 1);
+  // prev[j - prev_lo] is row i-1. Row 0: M(0,0)=0, leading gaps open Iy.
+  std::size_t prev_lo = 0;
+  std::vector<Cell> prev;
+  prev.reserve(64);
+  {
+    Cell origin;
+    origin.m = 0;
+    prev.push_back(origin);
+    // Row 0 leading gaps (gap in query): prune by X as we go.
+    for (std::size_t j = 1; j <= subject.size(); ++j) {
+      Cell cell;
+      cell.iy = -open - static_cast<int>(j - 1) * extend;
+      if (cell.iy < -x_drop) break;
+      prev.push_back(cell);
+    }
+  }
+  std::size_t prev_hi = prev.size();  // exclusive, columns [0, prev_hi)
+
+  for (std::size_t i = 1; i <= query.size(); ++i) {
+    // This row's candidate window: one wider than the previous row's on
+    // both sides (a row can extend past the previous row's survivors by at
+    // most one aligned/gapped step on each edge).
+    lo = prev_lo;
+    hi = std::min(subject.size() + 1, prev_hi + 1);
+    if (lo >= hi) break;
+
+    std::vector<Cell> curr(hi - lo);
+    bool any_alive = false;
+    std::size_t first_alive = hi, last_alive = lo;
+
+    for (std::size_t j = lo; j < hi; ++j) {
+      Cell cell;
+      const auto at_prev = [&](std::size_t col) -> const Cell* {
+        if (col < prev_lo || col >= prev_hi) return nullptr;
+        return &prev[col - prev_lo];
+      };
+      // Ix: from (i-1, j).
+      if (const Cell* up = at_prev(j)) {
+        const int from_m = up->m == kNegInf ? kNegInf : up->m - open;
+        const int from_ix = up->ix == kNegInf ? kNegInf : up->ix - extend;
+        cell.ix = std::max(from_m, from_ix);
+      }
+      // Iy: from (i, j-1).
+      if (j > lo) {
+        const Cell& left = curr[j - lo - 1];
+        const int from_m = left.m == kNegInf ? kNegInf : left.m - open;
+        const int from_iy = left.iy == kNegInf ? kNegInf : left.iy - extend;
+        cell.iy = std::max(from_m, from_iy);
+      }
+      // M: from (i-1, j-1) plus the substitution (j = 0 column has no
+      // aligned pair).
+      if (j > 0) {
+        if (const Cell* diag = at_prev(j - 1)) {
+          const int prev_best = diag->value();
+          if (prev_best != kNegInf) {
+            cell.m = prev_best + scores.score(query[i - 1], subject[j - 1]);
+          }
+        }
+      }
+
+      if (cell.m > best.score) {
+        best.score = cell.m;
+        best.q = i;
+        best.s = j;
+      }
+      // X-drop prune against the global best.
+      if (cell.value() < best.score - x_drop) {
+        cell = Cell{};  // dead
+      } else if (cell.value() != kNegInf) {
+        any_alive = true;
+        first_alive = std::min(first_alive, j);
+        last_alive = std::max(last_alive, j);
+      }
+      curr[j - lo] = cell;
+    }
+    if (!any_alive) break;
+
+    // Shrink the window to the surviving cells.
+    prev_lo = first_alive;
+    prev_hi = last_alive + 1;
+    prev.assign(curr.begin() + static_cast<std::ptrdiff_t>(first_alive - lo),
+                curr.begin() + static_cast<std::ptrdiff_t>(last_alive + 1 -
+                                                           lo));
+  }
+  return best;
+}
+
+}  // namespace
+
+Hsp xdrop_gapped_extend(seq::CodeSpan query, seq::CodeSpan subject,
+                        std::size_t q0, std::size_t s0,
+                        const score::ScoringMatrix& scores,
+                        score::GapPenalties gaps, const XDropParams& params) {
+  require(q0 < query.size() && s0 < subject.size(),
+          "xdrop_gapped_extend: anchor out of range");
+  require(params.x_drop > 0, "xdrop_gapped_extend: x_drop must be > 0");
+
+  const int anchor_score = scores.score(query[q0], subject[s0]);
+
+  // Forward: residues strictly after the anchor.
+  const Extension forward =
+      one_sided(query.subspan(q0 + 1), subject.subspan(s0 + 1), scores,
+                gaps, params.x_drop);
+
+  // Backward: residues strictly before the anchor, reversed.
+  std::vector<seq::Code> q_rev(query.begin(),
+                               query.begin() + static_cast<std::ptrdiff_t>(q0));
+  std::vector<seq::Code> s_rev(
+      subject.begin(), subject.begin() + static_cast<std::ptrdiff_t>(s0));
+  std::reverse(q_rev.begin(), q_rev.end());
+  std::reverse(s_rev.begin(), s_rev.end());
+  const Extension backward =
+      one_sided(q_rev, s_rev, scores, gaps, params.x_drop);
+
+  Hsp hsp;
+  hsp.q_begin = q0 - backward.q;
+  hsp.q_end = q0 + 1 + forward.q;
+  hsp.s_begin = s0 - backward.s;
+  hsp.s_end = s0 + 1 + forward.s;
+  hsp.score = anchor_score + forward.score + backward.score;
+  return hsp;
+}
+
+}  // namespace mendel::align

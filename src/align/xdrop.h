@@ -1,0 +1,38 @@
+// X-drop gapped extension (Zhang et al. / Gapped BLAST style).
+//
+// Unlike the fixed-band aligner (banded.h), the X-drop DP lets the explored
+// region grow and shrink adaptively: per anti-diagonal, cells whose score
+// falls more than X below the best score seen so far are pruned, so the
+// band follows the alignment instead of being fixed around a seed diagonal.
+// This is what NCBI BLAST's gapped stage actually does; the fixed band is
+// the paper's simpler parameterization (Table I parameter l).
+//
+// The extension is *seeded*: it grows from an anchor pair (q0, s0) in both
+// directions and reports the best local alignment through that pair. Score
+// is exact for alignments that never leave the explored region (guaranteed
+// when their score never dips more than X below the running best — the
+// same guarantee BLAST gives). bench/micro_pipeline compares its cost and
+// tests/xdrop_test.cpp pins it against full Smith–Waterman.
+#pragma once
+
+#include "src/align/alignment.h"
+#include "src/scoring/matrix.h"
+
+namespace mendel::align {
+
+struct XDropParams {
+  // Prune cells scoring more than this below the best-so-far.
+  int x_drop = 40;
+};
+
+// Best gapped alignment through the anchor pair (query[q0], subject[s0]).
+// The anchor residues themselves are always part of the alignment. Returns
+// score and spans; no traceback/CIGAR (the callers that need column detail
+// re-run the banded aligner on the found spans).
+Hsp xdrop_gapped_extend(seq::CodeSpan query, seq::CodeSpan subject,
+                        std::size_t q0, std::size_t s0,
+                        const score::ScoringMatrix& scores,
+                        score::GapPenalties gaps,
+                        const XDropParams& params = {});
+
+}  // namespace mendel::align

@@ -1,0 +1,185 @@
+#include "src/blast/blast.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/align/banded.h"
+#include "src/align/ungapped.h"
+#include "src/common/error.h"
+
+namespace mendel::blast {
+
+namespace {
+
+// Packs (sequence, diagonal) into one map key. Diagonals are offset so
+// negative values pack cleanly.
+std::uint64_t diag_key(seq::SequenceId sequence, std::ptrdiff_t diagonal) {
+  const auto biased =
+      static_cast<std::uint64_t>(diagonal + (1LL << 31));
+  return (static_cast<std::uint64_t>(sequence) << 32) | (biased & 0xffffffffu);
+}
+
+}  // namespace
+
+BlastEngine::BlastEngine(const seq::SequenceStore* store,
+                         const score::ScoringMatrix* scores,
+                         BlastOptions options)
+    : store_(store),
+      scores_(scores),
+      options_(options),
+      index_(store->alphabet(), options.word_size) {
+  require(store_ != nullptr && scores_ != nullptr,
+          "BlastEngine: null store or matrix");
+  require(scores_->alphabet() == store_->alphabet(),
+          "BlastEngine: matrix alphabet mismatch");
+  karlin_ = score::gapped_params(*scores_);
+}
+
+void BlastEngine::build() {
+  require(!built_, "BlastEngine::build called twice");
+  for (const auto& sequence : *store_) index_.add_sequence(sequence);
+  built_ = true;
+}
+
+std::vector<align::AlignmentHit> BlastEngine::search(
+    const seq::Sequence& query, BlastSearchStats* stats) const {
+  require(built_, "BlastEngine::search before build()");
+  require(query.alphabet() == store_->alphabet(),
+          "BlastEngine::search: query alphabet mismatch");
+
+  BlastSearchStats local_stats;
+  BlastSearchStats& s = stats != nullptr ? *stats : local_stats;
+  const std::size_t w = options_.word_size;
+  const bool protein = store_->alphabet() == seq::Alphabet::kProtein;
+
+  // Per-(subject, diagonal) bookkeeping: the query offset up to which an
+  // ungapped extension already covered this diagonal, and the last seed
+  // position for the two-hit rule.
+  std::unordered_map<std::uint64_t, std::size_t> covered_until;
+  std::unordered_map<std::uint64_t, std::size_t> last_hit;
+  // Candidate HSPs per subject.
+  std::unordered_map<seq::SequenceId, std::vector<align::Hsp>> candidates;
+
+  if (query.size() < w) return {};
+  for (std::size_t qoff = 0; qoff + w <= query.size(); ++qoff) {
+    ++s.query_words;
+    const auto word = query.window(qoff, w);
+
+    // Keys to probe: exact word for DNA, scoring neighborhood for protein.
+    std::vector<std::uint32_t> keys;
+    if (protein) {
+      keys = index_.neighborhood(word, *scores_,
+                                 options_.neighborhood_threshold);
+    } else {
+      std::uint32_t key;
+      if (index_.pack(word, key)) keys.push_back(key);
+    }
+    s.neighborhood_words += keys.size();
+
+    for (std::uint32_t key : keys) {
+      const auto* hits = index_.lookup_key(key);
+      if (hits == nullptr) continue;
+      for (const WordHit& hit : *hits) {
+        ++s.seed_hits;
+        const auto diagonal = static_cast<std::ptrdiff_t>(hit.offset) -
+                              static_cast<std::ptrdiff_t>(qoff);
+        const std::uint64_t dk = diag_key(hit.sequence, diagonal);
+
+        // Skip seeds inside an already-extended region of this diagonal.
+        auto cov = covered_until.find(dk);
+        if (cov != covered_until.end() && qoff < cov->second) continue;
+
+        if (options_.two_hit) {
+          // Gapped-BLAST two-hit rule: trigger when this hit lies
+          // [w, window] residues right of the stored hit on this diagonal.
+          // Overlapping hits (< w) must NOT replace the stored one, or a
+          // run of consecutive hits would never reach separation w.
+          auto [stored, fresh] = last_hit.try_emplace(dk, qoff);
+          if (fresh) continue;
+          const std::size_t distance = qoff - stored->second;
+          if (distance < w) continue;  // keep the older anchor hit
+          if (distance > options_.two_hit_window) {
+            stored->second = qoff;  // chain went stale; restart
+            continue;
+          }
+          stored->second = qoff;  // second hit confirmed
+        }
+
+        const auto& subject = store_->at(hit.sequence);
+        ++s.ungapped_extensions;
+        const align::Hsp hsp = align::extend_ungapped(
+            query.codes(), subject.codes(), qoff, hit.offset, w, *scores_,
+            {options_.x_drop_ungapped});
+        covered_until[dk] = hsp.q_end;
+        if (hsp.score >= options_.gapped_trigger) {
+          candidates[hit.sequence].push_back(hsp);
+        }
+      }
+    }
+  }
+
+  // Gapped pass per subject: take candidate HSPs best-first, skip ones
+  // already inside an accepted alignment's region.
+  std::vector<align::AlignmentHit> results;
+  for (auto& [sid, hsps] : candidates) {
+    std::sort(hsps.begin(), hsps.end(),
+              [](const align::Hsp& a, const align::Hsp& b) {
+                if (a.score != b.score) return a.score > b.score;
+                if (a.q_begin != b.q_begin) return a.q_begin < b.q_begin;
+                return a.s_begin < b.s_begin;
+              });
+    const auto& subject = store_->at(sid);
+    std::vector<align::Hsp> accepted;
+    for (const align::Hsp& hsp : hsps) {
+      bool inside = false;
+      for (const align::Hsp& a : accepted) {
+        if (hsp.q_begin >= a.q_begin && hsp.q_end <= a.q_end &&
+            hsp.s_begin >= a.s_begin && hsp.s_end <= a.s_end) {
+          inside = true;
+          break;
+        }
+      }
+      if (inside) continue;
+
+      ++s.gapped_extensions;
+      align::GappedAlignment gapped = align::banded_local_align(
+          query.codes(), subject.codes(), *scores_, scores_->default_gaps(),
+          {hsp.diagonal(), options_.band_radius});
+      if (gapped.hsp.score < hsp.score) {
+        // The band missed the ungapped HSP (rare; extreme diagonals).
+        gapped.hsp = hsp;
+        gapped.columns = hsp.q_len();
+        gapped.identities = 0;
+        gapped.gap_columns = 0;
+        gapped.cigar = std::to_string(hsp.q_len()) + "M";
+      }
+      const double e = score::evalue(karlin_, gapped.hsp.score, query.size(),
+                                     store_->total_residues());
+      if (e > options_.evalue_cutoff) continue;
+
+      align::AlignmentHit result;
+      result.subject_id = sid;
+      result.subject_name = subject.name();
+      result.alignment = gapped;
+      result.bit_score = score::bit_score(karlin_, gapped.hsp.score);
+      result.evalue = e;
+      const auto segment =
+          subject.window(gapped.hsp.s_begin, gapped.hsp.s_len());
+      result.subject_segment.assign(segment.begin(), segment.end());
+      accepted.push_back(gapped.hsp);
+      results.push_back(std::move(result));
+    }
+  }
+
+  std::sort(results.begin(), results.end(),
+            [](const align::AlignmentHit& a, const align::AlignmentHit& b) {
+              if (a.evalue != b.evalue) return a.evalue < b.evalue;
+              return a.subject_id < b.subject_id;
+            });
+  if (results.size() > options_.max_hits) {
+    results.resize(options_.max_hits);
+  }
+  return results;
+}
+
+}  // namespace mendel::blast

@@ -1,0 +1,106 @@
+#include "src/blast/psi.h"
+
+#include <algorithm>
+
+#include "src/align/banded.h"
+#include "src/common/error.h"
+
+namespace mendel::blast {
+
+PsiBlastEngine::PsiBlastEngine(const seq::SequenceStore* store,
+                               const score::ScoringMatrix* scores,
+                               BlastOptions blast_options,
+                               PsiBlastOptions psi_options)
+    : store_(store),
+      scores_(scores),
+      psi_options_(psi_options),
+      blast_options_(blast_options),
+      blast_(store, scores, blast_options),
+      karlin_(score::gapped_params(*scores)) {
+  require(psi_options_.iterations >= 1,
+          "PsiBlastEngine: iterations must be >= 1");
+  require(scores_->alphabet() == seq::Alphabet::kProtein,
+          "PsiBlastEngine: profiles are protein-only");
+}
+
+std::vector<align::AlignmentHit> PsiBlastEngine::search(
+    const seq::Sequence& query, PsiSearchStats* stats) const {
+  PsiSearchStats local;
+  PsiSearchStats& s = stats != nullptr ? *stats : local;
+
+  // Round 1: plain word-seeded BLAST.
+  std::vector<align::AlignmentHit> hits = blast_.search(query);
+  s.rounds = 1;
+
+  std::set<seq::SequenceId> included;
+  Pssm::ColumnCounts counts(query.size());
+  // The query always participates in its own profile.
+  for (std::size_t c = 0; c < query.size(); ++c) {
+    if (query[c] < 20) counts[c][query[c]] += 1.0;
+  }
+  auto include = [&](const align::AlignmentHit& hit) {
+    if (hit.evalue > psi_options_.inclusion_evalue) return false;
+    if (!included.insert(hit.subject_id).second) return false;
+    accumulate_counts(hit, counts);
+    return true;
+  };
+  bool grew = false;
+  for (const auto& hit : hits) grew = include(hit) || grew;
+
+  while (s.rounds < psi_options_.iterations && grew) {
+    const Pssm pssm = Pssm::from_counts(query.codes(), *scores_, counts,
+                                        psi_options_.pseudocount_weight);
+    // Exhaustive profile scan of the database.
+    std::vector<align::AlignmentHit> round_hits;
+    for (const auto& subject : *store_) {
+      ++s.profile_scans;
+      const align::Hsp hsp = profile_local_align(
+          pssm, subject.codes(), scores_->default_gaps());
+      if (hsp.score <= 0) continue;
+      const double e = score::evalue(karlin_, hsp.score, query.size(),
+                                     store_->total_residues());
+      if (e > blast_options_.evalue_cutoff) continue;
+
+      // Rescore with the base matrix around the profile alignment to
+      // recover columns/identity/CIGAR and the subject segment (needed for
+      // reporting and for the next round's counts).
+      align::GappedAlignment detailed = align::banded_local_align(
+          query.codes(), subject.codes(), *scores_,
+          scores_->default_gaps(),
+          {hsp.diagonal(), blast_options_.band_radius});
+
+      align::AlignmentHit hit;
+      hit.subject_id = subject.id();
+      hit.subject_name = subject.name();
+      hit.alignment = detailed;
+      hit.alignment.hsp.score = hsp.score;  // profile score ranks the hit
+      hit.bit_score = score::bit_score(karlin_, hsp.score);
+      hit.evalue = e;
+      if (detailed.hsp.s_end > detailed.hsp.s_begin) {
+        const auto segment = subject.window(
+            detailed.hsp.s_begin, detailed.hsp.s_len());
+        hit.subject_segment.assign(segment.begin(), segment.end());
+      }
+      round_hits.push_back(std::move(hit));
+    }
+    std::sort(round_hits.begin(), round_hits.end(),
+              [](const align::AlignmentHit& a, const align::AlignmentHit& b) {
+                if (a.evalue != b.evalue) return a.evalue < b.evalue;
+                return a.subject_id < b.subject_id;
+              });
+    if (round_hits.size() > blast_options_.max_hits) {
+      round_hits.resize(blast_options_.max_hits);
+    }
+    hits = std::move(round_hits);
+    ++s.rounds;
+
+    grew = false;
+    for (const auto& hit : hits) {
+      if (!hit.alignment.cigar.empty()) grew = include(hit) || grew;
+    }
+  }
+  s.included_subjects = included.size();
+  return hits;
+}
+
+}  // namespace mendel::blast

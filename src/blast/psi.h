@@ -1,0 +1,55 @@
+// Iterative profile search driver (PSI-BLAST style; see pssm.h).
+//
+// Round 1 runs the regular word-seeded BLAST pass. Alignments better than
+// the inclusion E-value contribute per-column residue counts; the
+// resulting PSSM scans the database exhaustively in later rounds (profile
+// Smith–Waterman — our databases are simulator-scale, so the exhaustive
+// scan is affordable and exact). Iteration stops early when a round
+// includes no new subjects.
+#pragma once
+
+#include <set>
+
+#include "src/blast/blast.h"
+#include "src/blast/pssm.h"
+
+namespace mendel::blast {
+
+struct PsiBlastOptions {
+  std::size_t iterations = 3;
+  // Alignments at or below this E-value shape the next round's profile.
+  double inclusion_evalue = 1e-3;
+  double pseudocount_weight = 10.0;
+};
+
+struct PsiSearchStats {
+  std::size_t rounds = 0;
+  std::size_t included_subjects = 0;
+  std::size_t profile_scans = 0;
+};
+
+class PsiBlastEngine {
+ public:
+  PsiBlastEngine(const seq::SequenceStore* store,
+                 const score::ScoringMatrix* scores,
+                 BlastOptions blast_options = {},
+                 PsiBlastOptions psi_options = {});
+
+  void build() { blast_.build(); }
+  bool built() const { return blast_.built(); }
+
+  // Final round's hits, sorted by E-value. With iterations = 1 this is
+  // exactly the plain BLAST result.
+  std::vector<align::AlignmentHit> search(const seq::Sequence& query,
+                                          PsiSearchStats* stats = nullptr) const;
+
+ private:
+  const seq::SequenceStore* store_;
+  const score::ScoringMatrix* scores_;
+  PsiBlastOptions psi_options_;
+  BlastOptions blast_options_;
+  BlastEngine blast_;
+  score::KarlinParams karlin_;
+};
+
+}  // namespace mendel::blast

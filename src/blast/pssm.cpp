@@ -1,0 +1,206 @@
+#include "src/blast/pssm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.h"
+#include "src/sequence/alphabet.h"
+
+namespace mendel::blast {
+
+Pssm Pssm::from_query(seq::CodeSpan query,
+                      const score::ScoringMatrix& scores) {
+  require(scores.alphabet() == seq::Alphabet::kProtein,
+          "Pssm: profiles are protein-only");
+  Pssm pssm;
+  pssm.columns_.resize(query.size());
+  for (std::size_t c = 0; c < query.size(); ++c) {
+    for (std::size_t a = 0; a < score::ScoringMatrix::kMaxCodes; ++a) {
+      pssm.columns_[c][a] =
+          scores.score(query[c], static_cast<seq::Code>(a));
+    }
+  }
+  return pssm;
+}
+
+Pssm Pssm::from_counts(seq::CodeSpan query,
+                       const score::ScoringMatrix& scores,
+                       const ColumnCounts& counts,
+                       double pseudocount_weight) {
+  require(counts.size() == query.size(),
+          "Pssm::from_counts: counts/query length mismatch");
+  require(pseudocount_weight > 0,
+          "Pssm::from_counts: pseudocount weight must be > 0");
+
+  Pssm pssm = from_query(query, scores);
+  const auto& background = seq::protein_background_frequencies();
+  const auto karlin =
+      score::solve_ungapped(scores, background);
+
+  for (std::size_t c = 0; c < query.size(); ++c) {
+    double observed = 0;
+    for (double w : counts[c]) observed += w;
+    if (observed <= 0) continue;  // no data: keep the matrix row
+
+    for (std::size_t a = 0; a < 20; ++a) {
+      const double f =
+          (counts[c][a] + pseudocount_weight * background[a]) /
+          (observed + pseudocount_weight);
+      const double log_odds = std::log(f / background[a]) / karlin.lambda;
+      pssm.columns_[c][a] = static_cast<int>(std::lround(log_odds));
+    }
+    // Ambiguity codes: conservative average of the core scores.
+    for (std::size_t a = 20; a < score::ScoringMatrix::kMaxCodes; ++a) {
+      pssm.columns_[c][a] = -1;
+    }
+  }
+  return pssm;
+}
+
+void accumulate_counts(const align::AlignmentHit& hit,
+                       Pssm::ColumnCounts& counts) {
+  require(!hit.subject_segment.empty(),
+          "accumulate_counts: hit lacks subject_segment (run the query "
+          "with include_subject_segment)");
+  std::size_t q = hit.alignment.hsp.q_begin;
+  std::size_t s = 0;
+  const std::string& cigar = hit.alignment.cigar;
+  std::size_t i = 0;
+  while (i < cigar.size()) {
+    std::size_t count = 0;
+    while (i < cigar.size() &&
+           std::isdigit(static_cast<unsigned char>(cigar[i])) != 0) {
+      count = count * 10 + static_cast<std::size_t>(cigar[i] - '0');
+      ++i;
+    }
+    require(i < cigar.size(), "accumulate_counts: malformed CIGAR");
+    const char op = cigar[i++];
+    for (std::size_t k = 0; k < count; ++k) {
+      if (op == 'M') {
+        require(q < counts.size() && s < hit.subject_segment.size(),
+                "accumulate_counts: CIGAR out of range");
+        const seq::Code residue = hit.subject_segment[s];
+        if (residue < 20) counts[q][residue] += 1.0;
+        ++q;
+        ++s;
+      } else if (op == 'D') {
+        ++q;
+      } else if (op == 'I') {
+        ++s;
+      } else {
+        throw InvalidArgument("accumulate_counts: unknown CIGAR op");
+      }
+    }
+  }
+}
+
+align::Hsp profile_local_align(const Pssm& pssm, seq::CodeSpan subject,
+                               score::GapPenalties gaps) {
+  align::Hsp best;
+  const std::size_t m = pssm.length();
+  const std::size_t n = subject.size();
+  if (m == 0 || n == 0) return best;
+
+  const int open = gaps.open + gaps.extend;
+  const int extend = gaps.extend;
+  constexpr int kNegInf = std::numeric_limits<int>::min() / 4;
+
+  struct Cell {
+    int m = 0;
+    int ix = kNegInf;
+    int iy = kNegInf;
+  };
+  std::vector<Cell> prev(n + 1), curr(n + 1);
+  // Local alignment without traceback: track the best end cell; the start
+  // is recovered by a second pass on the reversed problem — unnecessary
+  // for PSI inclusion decisions, so spans report the end position with a
+  // zero-length start marker when unknown. To keep Hsp meaningful we run
+  // the standard score recurrence and recover q/s begin by monotone
+  // backwalk bookkeeping: store per-cell alignment start, rolled along.
+  struct Start {
+    std::uint32_t q = 0, s = 0;
+  };
+  std::vector<Start> prev_start_m(n + 1), curr_start_m(n + 1);
+  std::vector<Start> prev_start_ix(n + 1), curr_start_ix(n + 1);
+  std::vector<Start> prev_start_iy(n + 1), curr_start_iy(n + 1);
+
+  int best_score = 0;
+  Start best_start;
+  std::size_t best_q = 0, best_s = 0;
+
+  for (std::size_t q = 1; q <= m; ++q) {
+    curr[0] = Cell{};
+    curr_start_m[0] = {static_cast<std::uint32_t>(q), 0};
+    for (std::size_t s = 1; s <= n; ++s) {
+      const int sub = pssm.score(q - 1, subject[s - 1]);
+
+      // Ix from above.
+      int ix;
+      Start ix_start;
+      if (prev[s].ix - extend >= prev[s].m - open) {
+        ix = prev[s].ix == kNegInf ? kNegInf : prev[s].ix - extend;
+        ix_start = prev_start_ix[s];
+      } else {
+        ix = prev[s].m - open;
+        ix_start = prev_start_m[s];
+      }
+      // Iy from left.
+      int iy;
+      Start iy_start;
+      if (curr[s - 1].iy - extend >= curr[s - 1].m - open) {
+        iy = curr[s - 1].iy == kNegInf ? kNegInf : curr[s - 1].iy - extend;
+        iy_start = curr_start_iy[s - 1];
+      } else {
+        iy = curr[s - 1].m - open;
+        iy_start = curr_start_m[s - 1];
+      }
+      // M from diagonal (any state) or fresh start.
+      int best_prev = prev[s - 1].m;
+      Start m_start = prev_start_m[s - 1];
+      if (prev[s - 1].ix > best_prev) {
+        best_prev = prev[s - 1].ix;
+        m_start = prev_start_ix[s - 1];
+      }
+      if (prev[s - 1].iy > best_prev) {
+        best_prev = prev[s - 1].iy;
+        m_start = prev_start_iy[s - 1];
+      }
+      int mm = best_prev + sub;
+      if (best_prev == 0 && prev[s - 1].m == 0) {
+        // Possible fresh start at this pair.
+        m_start = {static_cast<std::uint32_t>(q - 1),
+                   static_cast<std::uint32_t>(s - 1)};
+      }
+      if (mm <= 0) {
+        mm = 0;
+        m_start = {static_cast<std::uint32_t>(q),
+                   static_cast<std::uint32_t>(s)};
+      }
+
+      curr[s] = Cell{mm, ix, iy};
+      curr_start_m[s] = m_start;
+      curr_start_ix[s] = ix_start;
+      curr_start_iy[s] = iy_start;
+
+      if (mm > best_score) {
+        best_score = mm;
+        best_start = m_start;
+        best_q = q;
+        best_s = s;
+      }
+    }
+    std::swap(prev, curr);
+    std::swap(prev_start_m, curr_start_m);
+    std::swap(prev_start_ix, curr_start_ix);
+    std::swap(prev_start_iy, curr_start_iy);
+  }
+
+  best.q_begin = best_start.q;
+  best.q_end = best_q;
+  best.s_begin = best_start.s;
+  best.s_end = best_s;
+  best.score = best_score;
+  return best;
+}
+
+}  // namespace mendel::blast

@@ -1,0 +1,69 @@
+// Position-specific scoring matrices and iterative profile search
+// (PSI-BLAST, Altschul et al. 1997 — the second half of the paper's
+// reference [11]).
+//
+// A PSSM assigns each query column its own residue scores. Round 1 of a
+// PSI search is a regular BLAST pass; alignments better than the inclusion
+// E-value contribute residue counts per query column; the counts (mixed
+// with background pseudocounts) become log-odds scores; further rounds
+// search with the profile, pulling in homologs too remote for the generic
+// matrix. Profiles routinely extend recall deep into the twilight zone —
+// the same motivation as Mendel's NNS seeding, approached from scoring
+// rather than indexing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/align/alignment.h"
+#include "src/scoring/karlin.h"
+#include "src/scoring/matrix.h"
+
+namespace mendel::blast {
+
+class Pssm {
+ public:
+  // Profile equivalent to plain matrix scoring: column scores are the
+  // matrix row of the query residue.
+  static Pssm from_query(seq::CodeSpan query,
+                         const score::ScoringMatrix& scores);
+
+  // Per-column observed residue counts (query column -> residue ->
+  // weight). The caller accumulates these from included alignments via
+  // accumulate_counts().
+  using ColumnCounts = std::vector<std::array<double, 20>>;
+
+  // Log-odds profile: S(c, a) = round(ln(f_ca / p_a) / lambda) where f is
+  // the pseudocount-smoothed column composition, p the background, and
+  // lambda the ungapped scale of `scores` at that background. Columns with
+  // no observations fall back to from_query scores.
+  static Pssm from_counts(seq::CodeSpan query,
+                          const score::ScoringMatrix& scores,
+                          const ColumnCounts& counts,
+                          double pseudocount_weight = 10.0);
+
+  std::size_t length() const { return columns_.size(); }
+  int score(std::size_t column, seq::Code subject) const {
+    return columns_[column][subject];
+  }
+
+ private:
+  // 24 codes per column (ambiguity codes get the conservative defaults of
+  // the source matrix).
+  std::vector<std::array<int, score::ScoringMatrix::kMaxCodes>> columns_;
+};
+
+// Adds one included alignment's residue observations into `counts`
+// (which must have query-length entries). Walks the hit's CIGAR against
+// its subject_segment; M columns contribute weight 1 to
+// counts[qpos][subject residue]. Requires hit.subject_segment.
+void accumulate_counts(const align::AlignmentHit& hit,
+                       Pssm::ColumnCounts& counts);
+
+// Best local alignment of a profile against a subject (affine gaps,
+// score-and-spans only — callers needing columns re-run the banded
+// aligner). The profile plays the query role.
+align::Hsp profile_local_align(const Pssm& pssm, seq::CodeSpan subject,
+                               score::GapPenalties gaps);
+
+}  // namespace mendel::blast

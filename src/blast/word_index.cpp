@@ -1,0 +1,101 @@
+#include "src/blast/word_index.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/error.h"
+
+namespace mendel::blast {
+
+WordIndex::WordIndex(seq::Alphabet alphabet, std::size_t word_size)
+    : alphabet_(alphabet),
+      word_size_(word_size),
+      core_(seq::core_cardinality(alphabet)) {
+  require(word_size_ >= 2, "WordIndex: word size must be >= 2");
+  // Key must fit 32 bits: 20^7 < 2^32, 4^15 < 2^32.
+  double keyspace = 1.0;
+  for (std::size_t i = 0; i < word_size_; ++i) {
+    keyspace *= static_cast<double>(core_);
+  }
+  require(keyspace < 4.0e9, "WordIndex: word size too large for 32-bit keys");
+}
+
+bool WordIndex::pack(seq::CodeSpan word, std::uint32_t& key) const {
+  require(word.size() == word_size_, "WordIndex::pack: wrong word length");
+  std::uint32_t packed = 0;
+  for (seq::Code c : word) {
+    if (c >= core_) return false;  // ambiguity code
+    packed = packed * static_cast<std::uint32_t>(core_) + c;
+  }
+  key = packed;
+  return true;
+}
+
+void WordIndex::add_sequence(const seq::Sequence& sequence) {
+  require(sequence.alphabet() == alphabet_,
+          "WordIndex: alphabet mismatch");
+  if (sequence.size() < word_size_) return;
+  for (std::size_t offset = 0; offset + word_size_ <= sequence.size();
+       ++offset) {
+    std::uint32_t key;
+    if (!pack(sequence.window(offset, word_size_), key)) continue;
+    buckets_[key].push_back(
+        WordHit{sequence.id(), static_cast<std::uint32_t>(offset)});
+    ++indexed_words_;
+  }
+}
+
+const std::vector<WordHit>* WordIndex::lookup(seq::CodeSpan word) const {
+  std::uint32_t key;
+  if (!pack(word, key)) return nullptr;
+  return lookup_key(key);
+}
+
+const std::vector<WordHit>* WordIndex::lookup_key(std::uint32_t key) const {
+  auto it = buckets_.find(key);
+  return it == buckets_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::uint32_t> WordIndex::neighborhood(
+    seq::CodeSpan word, const score::ScoringMatrix& scores,
+    int threshold) const {
+  require(word.size() == word_size_,
+          "WordIndex::neighborhood: wrong word length");
+  // best_tail[i] = max achievable score for positions i..end; used to prune
+  // the enumeration ("no completion of this stem can reach T").
+  std::vector<int> best_tail(word_size_ + 1, 0);
+  for (std::size_t i = word_size_; i-- > 0;) {
+    int best = std::numeric_limits<int>::min();
+    for (std::size_t c = 0; c < core_; ++c) {
+      best = std::max(best,
+                      scores.score(word[i], static_cast<seq::Code>(c)));
+    }
+    best_tail[i] = best_tail[i + 1] + best;
+  }
+  std::vector<std::uint32_t> out;
+  enumerate(word, scores, threshold, 0, 0, 0, best_tail, out);
+  return out;
+}
+
+void WordIndex::enumerate(seq::CodeSpan word,
+                          const score::ScoringMatrix& scores, int threshold,
+                          std::size_t position, int score_so_far,
+                          std::uint32_t key_so_far,
+                          const std::vector<int>& best_tail,
+                          std::vector<std::uint32_t>& out) const {
+  if (position == word_size_) {
+    if (score_so_far >= threshold) out.push_back(key_so_far);
+    return;
+  }
+  for (std::size_t c = 0; c < core_; ++c) {
+    const int s =
+        score_so_far + scores.score(word[position], static_cast<seq::Code>(c));
+    if (s + best_tail[position + 1] < threshold) continue;
+    enumerate(word, scores, threshold, position + 1, s,
+              key_so_far * static_cast<std::uint32_t>(core_) +
+                  static_cast<std::uint32_t>(c),
+              best_tail, out);
+  }
+}
+
+}  // namespace mendel::blast

@@ -1,0 +1,65 @@
+// Word (k-mer) index over a sequence database — the seeding stage of the
+// BLAST baseline.
+//
+// Every length-w window of every database sequence is recorded under its
+// packed integer key. Protein search additionally expands each query word
+// into its *neighborhood*: all words scoring >= T against it under the
+// substitution matrix (BLAST's T parameter), which is what gives BLAST its
+// sensitivity beyond exact seeds.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/scoring/matrix.h"
+#include "src/sequence/sequence.h"
+
+namespace mendel::blast {
+
+struct WordHit {
+  seq::SequenceId sequence = 0;
+  std::uint32_t offset = 0;
+};
+
+class WordIndex {
+ public:
+  WordIndex(seq::Alphabet alphabet, std::size_t word_size);
+
+  // Indexes every unambiguous word of `sequence` (windows containing
+  // ambiguity codes are skipped, as in NCBI BLAST's default masking).
+  void add_sequence(const seq::Sequence& sequence);
+
+  std::size_t word_size() const { return word_size_; }
+  std::size_t indexed_words() const { return indexed_words_; }
+
+  // Exact lookups.
+  const std::vector<WordHit>* lookup(seq::CodeSpan word) const;
+
+  // All words within score >= threshold of `word` under `scores`
+  // (including the word itself when it qualifies). Used per query
+  // position; enumeration prunes on the best achievable remaining score.
+  std::vector<std::uint32_t> neighborhood(seq::CodeSpan word,
+                                          const score::ScoringMatrix& scores,
+                                          int threshold) const;
+
+  const std::vector<WordHit>* lookup_key(std::uint32_t key) const;
+
+  // Packs an unambiguous word into its integer key; returns false if the
+  // word contains ambiguity codes.
+  bool pack(seq::CodeSpan word, std::uint32_t& key) const;
+
+ private:
+  void enumerate(seq::CodeSpan word, const score::ScoringMatrix& scores,
+                 int threshold, std::size_t position, int score_so_far,
+                 std::uint32_t key_so_far, const std::vector<int>& best_tail,
+                 std::vector<std::uint32_t>& out) const;
+
+  seq::Alphabet alphabet_;
+  std::size_t word_size_;
+  std::size_t core_;  // unambiguous alphabet size (4 or 20)
+  std::size_t indexed_words_ = 0;
+  std::unordered_map<std::uint32_t, std::vector<WordHit>> buckets_;
+};
+
+}  // namespace mendel::blast

@@ -1,0 +1,25 @@
+// The `mendel` command-line tool, as a testable library.
+//
+// Subcommands:
+//   mendel generate --out db.fasta [workload flags]       synthetic FASTA
+//   mendel index    --db db.fasta --out index.mnd [flags] build + save index
+//   mendel query    --index index.mnd --queries q.fasta   similarity search
+//   mendel balance  --db db.fasta [topology flags]        Fig-5-style report
+//   mendel info     --index index.mnd                     snapshot summary
+//   mendel help [command]
+//
+// `run_cli` takes argv-style tokens (program name excluded) and writes to
+// the provided streams, so the full tool is unit-testable without spawning
+// processes. Returns a process exit code (0 ok, 2 usage error).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mendel::cli {
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err);
+
+}  // namespace mendel::cli

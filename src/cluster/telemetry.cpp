@@ -1,0 +1,33 @@
+#include "src/cluster/telemetry.h"
+
+#include <algorithm>
+
+#include "src/common/stats.h"
+
+namespace mendel::cluster {
+
+LoadBalanceReport analyze_load(
+    std::span<const std::uint64_t> per_node_counts) {
+  LoadBalanceReport report;
+  if (per_node_counts.empty()) return report;
+  std::uint64_t total = 0;
+  for (auto c : per_node_counts) total += c;
+  report.shares.reserve(per_node_counts.size());
+  RunningStats stats;
+  for (auto c : per_node_counts) {
+    const double share =
+        total == 0 ? 0.0
+                   : static_cast<double>(c) / static_cast<double>(total);
+    report.shares.push_back(share);
+    stats.add(static_cast<double>(c));
+  }
+  report.min_share =
+      *std::min_element(report.shares.begin(), report.shares.end());
+  report.max_share =
+      *std::max_element(report.shares.begin(), report.shares.end());
+  report.max_spread = report.max_share - report.min_share;
+  report.cov = stats.mean() == 0.0 ? 0.0 : stats.stddev() / stats.mean();
+  return report;
+}
+
+}  // namespace mendel::cluster

@@ -1,0 +1,26 @@
+// Load-balance telemetry (drives Figure 5 and the cluster health checks).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mendel::cluster {
+
+// Summary of how evenly data is spread over nodes.
+struct LoadBalanceReport {
+  // Per-node share of the total data volume, in [0,1], index = NodeId.
+  std::vector<double> shares;
+  double min_share = 0.0;
+  double max_share = 0.0;
+  // Paper's headline metric: largest share difference between any two
+  // nodes ("the difference between single nodes never exceeds 1% of the
+  // total data volume stored").
+  double max_spread = 0.0;
+  // Coefficient of variation of per-node counts (0 = perfectly even).
+  double cov = 0.0;
+};
+
+LoadBalanceReport analyze_load(std::span<const std::uint64_t> per_node_counts);
+
+}  // namespace mendel::cluster

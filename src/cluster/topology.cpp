@@ -1,0 +1,128 @@
+#include "src/cluster/topology.h"
+
+#include <algorithm>
+
+#include "src/common/error.h"
+
+namespace mendel::cluster {
+
+Topology::Topology(TopologyConfig config)
+    : config_(config), global_ring_(config.ring_virtual_nodes) {
+  require(config_.num_groups > 0, "Topology: num_groups must be > 0");
+  require(config_.nodes_per_group > 0,
+          "Topology: nodes_per_group must be > 0");
+  require(config_.replication >= 1 &&
+              config_.replication <= config_.nodes_per_group,
+          "Topology: replication must be in [1, nodes_per_group]");
+  require(config_.sequence_replication >= 1 &&
+              config_.sequence_replication <=
+                  config_.num_groups * config_.nodes_per_group,
+          "Topology: sequence_replication must be in [1, total_nodes]");
+
+  rings_.reserve(config_.num_groups);
+  members_.resize(config_.num_groups);
+  // Dense group-major initial layout: id = group * nodes_per_group + index.
+  for (std::uint32_t g = 0; g < config_.num_groups; ++g) {
+    hashing::HashRing ring(config_.ring_virtual_nodes);
+    for (std::uint32_t i = 0; i < config_.nodes_per_group; ++i) {
+      const auto id =
+          static_cast<net::NodeId>(addresses_.size());
+      ring.add_member(i, "group" + std::to_string(g) + "/node" +
+                             std::to_string(i));
+      members_[g].push_back(id);
+      addresses_.push_back(NodeAddress{g, i});
+      global_ring_.add_member(id, "node" + std::to_string(id));
+    }
+    rings_.push_back(std::move(ring));
+  }
+}
+
+std::uint32_t Topology::group_size(std::uint32_t group) const {
+  require(group < config_.num_groups, "Topology: group out of range");
+  return static_cast<std::uint32_t>(members_[group].size());
+}
+
+net::NodeId Topology::node_id(std::uint32_t group, std::uint32_t index) const {
+  require(group < config_.num_groups, "Topology: group out of range");
+  require(index < members_[group].size(), "Topology: index out of range");
+  return members_[group][index];
+}
+
+NodeAddress Topology::address(net::NodeId id) const {
+  require(id < addresses_.size(), "Topology: node id out of range");
+  return addresses_[id];
+}
+
+std::vector<net::NodeId> Topology::group_nodes(std::uint32_t group) const {
+  require(group < config_.num_groups, "Topology: group out of range");
+  return members_[group];
+}
+
+std::vector<net::NodeId> Topology::all_nodes() const {
+  std::vector<net::NodeId> nodes;
+  nodes.reserve(addresses_.size());
+  for (net::NodeId id = 0; id < addresses_.size(); ++id) {
+    nodes.push_back(id);
+  }
+  return nodes;
+}
+
+net::NodeId Topology::add_node(std::uint32_t group) {
+  require(group < config_.num_groups, "Topology: group out of range");
+  const auto id = static_cast<net::NodeId>(addresses_.size());
+  const auto index = static_cast<std::uint32_t>(members_[group].size());
+  rings_[group].add_member(index, "group" + std::to_string(group) +
+                                      "/node" + std::to_string(index));
+  members_[group].push_back(id);
+  addresses_.push_back(NodeAddress{group, index});
+  global_ring_.add_member(id, "node" + std::to_string(id));
+  return id;
+}
+
+void Topology::bind_prefixes(
+    const std::vector<std::uint64_t>& leaf_prefixes) {
+  require(!leaf_prefixes.empty(), "Topology: no prefixes to bind");
+  std::vector<std::uint64_t> sorted = leaf_prefixes;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  prefix_to_group_.clear();
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    prefix_to_group_[sorted[i]] =
+        static_cast<std::uint32_t>(i % config_.num_groups);
+  }
+}
+
+std::uint32_t Topology::group_for_prefix(std::uint64_t prefix) const {
+  require(!prefix_to_group_.empty(),
+          "Topology: bind_prefixes() has not been called");
+  auto it = prefix_to_group_.find(prefix);
+  if (it != prefix_to_group_.end()) return it->second;
+  // A prefix the binding never saw (possible when a query traverses a
+  // branch the build sample never produced): fall back to a stable modular
+  // assignment so routing still succeeds.
+  return static_cast<std::uint32_t>(prefix % config_.num_groups);
+}
+
+std::vector<net::NodeId> Topology::nodes_for_key(std::uint32_t group,
+                                                 std::uint64_t key) const {
+  require(group < config_.num_groups, "Topology: group out of range");
+  const auto owners = rings_[group].owners(key, config_.replication);
+  std::vector<net::NodeId> nodes;
+  nodes.reserve(owners.size());
+  for (std::uint32_t member : owners) {
+    nodes.push_back(members_[group][member]);
+  }
+  return nodes;
+}
+
+net::NodeId Topology::primary_node_for_key(std::uint32_t group,
+                                           std::uint64_t key) const {
+  require(group < config_.num_groups, "Topology: group out of range");
+  return members_[group][rings_[group].owner(key)];
+}
+
+std::vector<net::NodeId> Topology::sequence_homes(std::uint64_t key) const {
+  return global_ring_.owners(key, config_.sequence_replication);
+}
+
+}  // namespace mendel::cluster

@@ -1,0 +1,97 @@
+// Two-tier cluster topology (paper §IV-C).
+//
+// Storage nodes are partitioned into groups. Tier 1 routes an
+// inverted-index block to a *group* via the vp-prefix tree LSH (similar
+// blocks collide into the same group); tier 2 places it on an individual
+// node via a flat SHA-1 consistent-hash ring private to the group. The
+// overlay is zero-hop: every participant can compute both tiers locally, so
+// requests go straight to their destination with no intermediate routing.
+//
+// Membership is table-based so nodes can be added incrementally (the DHT
+// elasticity the paper motivates): add_node() grows a group and its ring,
+// after which ~1/n of the group's keys map to the newcomer (consistent
+// hashing), and the rebalance protocol in src/mendel migrates exactly those
+// blocks. Initial node ids are dense (group-major); nodes added later take
+// the next free ids.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/hash/ring.h"
+#include "src/net/message.h"
+
+namespace mendel::cluster {
+
+struct TopologyConfig {
+  std::uint32_t num_groups = 10;
+  std::uint32_t nodes_per_group = 5;
+  // Virtual nodes per member on each group's ring.
+  std::size_t ring_virtual_nodes = 64;
+  // Copies of each block within its group (1 = no replication). The
+  // paper lists fault tolerance as future work; Mendel implements it as an
+  // optional replication factor.
+  std::uint32_t replication = 1;
+  // Copies of each reference sequence in the cluster-wide repository.
+  std::uint32_t sequence_replication = 1;
+};
+
+struct NodeAddress {
+  std::uint32_t group = 0;
+  std::uint32_t index = 0;  // ordinal within the group
+};
+
+class Topology {
+ public:
+  explicit Topology(TopologyConfig config);
+
+  const TopologyConfig& config() const { return config_; }
+  std::uint32_t num_groups() const { return config_.num_groups; }
+  // Size of the given group (groups grow independently via add_node).
+  std::uint32_t group_size(std::uint32_t group) const;
+  // Initial per-group size from the config (load_index compatibility).
+  std::uint32_t nodes_per_group() const { return config_.nodes_per_group; }
+  std::uint32_t total_nodes() const {
+    return static_cast<std::uint32_t>(addresses_.size());
+  }
+
+  net::NodeId node_id(std::uint32_t group, std::uint32_t index) const;
+  NodeAddress address(net::NodeId id) const;
+  std::vector<net::NodeId> group_nodes(std::uint32_t group) const;
+  std::vector<net::NodeId> all_nodes() const;
+
+  // Grows `group` by one node; returns the new node's id (always
+  // total_nodes() before the call). The group ring and the global
+  // sequence-repository ring gain the member, so ~1/n of keys remap to it.
+  net::NodeId add_node(std::uint32_t group);
+
+  // Tier 1: binds the vp-prefix tree's emitted prefixes onto groups.
+  // Prefixes are assigned round-robin in sorted order, so every group
+  // receives (nearly) the same number of prefixes. Must be called before
+  // group_for_prefix().
+  void bind_prefixes(const std::vector<std::uint64_t>& leaf_prefixes);
+  std::uint32_t group_for_prefix(std::uint64_t prefix) const;
+
+  // Tier 2: the node(s) within `group` owning flat-hash `key`. Returns
+  // `replication` distinct nodes, primary first.
+  std::vector<net::NodeId> nodes_for_key(std::uint32_t group,
+                                         std::uint64_t key) const;
+  net::NodeId primary_node_for_key(std::uint32_t group,
+                                   std::uint64_t key) const;
+
+  // Home node(s) of a reference sequence in the cluster-wide repository
+  // (sequence_replication replicas, primary first). Keys are hashes of the
+  // sequence id; all nodes participate.
+  std::vector<net::NodeId> sequence_homes(std::uint64_t key) const;
+
+ private:
+  TopologyConfig config_;
+  std::vector<hashing::HashRing> rings_;           // one per group
+  hashing::HashRing global_ring_;                  // sequence repository
+  std::vector<std::vector<net::NodeId>> members_;  // per group
+  std::vector<NodeAddress> addresses_;             // per node id
+  std::map<std::uint64_t, std::uint32_t> prefix_to_group_;
+};
+
+}  // namespace mendel::cluster

@@ -1,0 +1,5 @@
+// codec.h is header-only; this translation unit exists so the library has a
+// stable archive member and to host any future out-of-line codec helpers.
+#include "src/common/codec.h"
+
+namespace mendel {}  // namespace mendel

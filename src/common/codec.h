@@ -1,0 +1,145 @@
+// Binary serialization for network messages and index persistence.
+//
+// A deliberately simple, explicit little-endian codec: fixed-width integers,
+// varint-free, length-prefixed containers. Every message type in src/net and
+// every persisted index structure implements encode(Writer&) /
+// decode(Reader&) pairs against this interface. The format is stable across
+// platforms because widths and byte order are pinned.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "src/common/error.h"
+
+namespace mendel {
+
+class CodecWriter {
+ public:
+  CodecWriter() = default;
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { append_le(v); }
+  void u32(std::uint32_t v) { append_le(v); }
+  void u64(std::uint64_t v) { append_le(v); }
+  void i32(std::int32_t v) { append_le(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { append_le(static_cast<std::uint64_t>(v)); }
+
+  void f64(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  void bytes(std::span<const std::uint8_t> data) {
+    u32(static_cast<std::uint32_t>(data.size()));
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  // Length-prefixed vector of encodable elements.
+  template <typename T, typename Fn>
+  void vec(const std::vector<T>& items, Fn&& encode_one) {
+    u32(static_cast<std::uint32_t>(items.size()));
+    for (const auto& item : items) encode_one(*this, item);
+  }
+
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  template <typename T>
+  void append_le(T v) {
+    static_assert(std::is_unsigned_v<T>);
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+class CodecReader {
+ public:
+  explicit CodecReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() { return take(1)[0]; }
+  std::uint16_t u16() { return read_le<std::uint16_t>(); }
+  std::uint32_t u32() { return read_le<std::uint32_t>(); }
+  std::uint64_t u64() { return read_le<std::uint64_t>(); }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  bool boolean() { return u8() != 0; }
+
+  std::vector<std::uint8_t> bytes() {
+    const auto n = u32();
+    auto s = take(n);
+    return {s.begin(), s.end()};
+  }
+
+  std::string str() {
+    const auto n = u32();
+    auto s = take(n);
+    return {reinterpret_cast<const char*>(s.data()), s.size()};
+  }
+
+  template <typename T, typename Fn>
+  std::vector<T> vec(Fn&& decode_one) {
+    const auto n = u32();
+    std::vector<T> items;
+    items.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) items.push_back(decode_one(*this));
+    return items;
+  }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return remaining() == 0; }
+
+ private:
+  std::span<const std::uint8_t> take(std::size_t n) {
+    if (pos_ + n > data_.size()) {
+      throw ParseError("CodecReader: truncated buffer (need " +
+                       std::to_string(n) + " bytes, have " +
+                       std::to_string(remaining()) + ")");
+    }
+    auto s = data_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  template <typename T>
+  T read_le() {
+    auto s = take(sizeof(T));
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(static_cast<T>(s[i]) << (8 * i));
+    }
+    return v;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace mendel

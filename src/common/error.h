@@ -1,0 +1,52 @@
+// Error types shared across all Mendel libraries.
+//
+// Mendel uses exceptions for programmer errors and unrecoverable conditions
+// (malformed input files, protocol violations) and return values / optionals
+// for expected "not found" style outcomes. All exceptions derive from
+// mendel::Error so callers can catch the library's failures uniformly.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mendel {
+
+// Root of the Mendel exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Malformed external input: FASTA syntax errors, bad characters, corrupt
+// serialized indexes.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+// A caller violated an API precondition (bad parameter ranges, mismatched
+// lengths). Distinct from ParseError so tests can assert on the category.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+// I/O failure while reading or writing files (index persistence, FASTA).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+// A distributed-protocol invariant was violated (unknown destination,
+// message decoded with the wrong type, routing to a nonexistent group).
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what) : Error(what) {}
+};
+
+// Precondition check helper: throws InvalidArgument when `cond` is false.
+inline void require(bool cond, const std::string& what) {
+  if (!cond) throw InvalidArgument(what);
+}
+
+}  // namespace mendel

@@ -1,0 +1,48 @@
+// Minimal leveled logger.
+//
+// The cluster runtime and benchmark harnesses log through this so verbosity
+// is controlled in one place (MENDEL_LOG_LEVEL env var or set_level()).
+// Logging is intentionally synchronous and lock-guarded: Mendel's hot paths
+// never log, so simplicity beats an async ring buffer here.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mendel {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+// Writes one formatted line to stderr if `level` passes the threshold.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace mendel
+
+#define MENDEL_LOG_DEBUG ::mendel::detail::LogMessage(::mendel::LogLevel::kDebug)
+#define MENDEL_LOG_INFO ::mendel::detail::LogMessage(::mendel::LogLevel::kInfo)
+#define MENDEL_LOG_WARN ::mendel::detail::LogMessage(::mendel::LogLevel::kWarn)
+#define MENDEL_LOG_ERROR ::mendel::detail::LogMessage(::mendel::LogLevel::kError)

@@ -1,0 +1,121 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// All stochastic components of Mendel (workload generators, vantage point
+// sampling, mutation models) draw from these generators so that every
+// experiment in bench/ is reproducible from a single seed. We implement
+// SplitMix64 (for seeding) and xoshiro256** (for bulk generation) rather
+// than relying on std::mt19937 so that the bit streams are stable across
+// standard libraries and platforms.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+
+namespace mendel {
+
+// SplitMix64: tiny generator used to expand a single 64-bit seed into the
+// state vector of a larger generator. Sebastiano Vigna's public-domain
+// reference algorithm.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256**: fast, high-quality 64-bit generator. Satisfies the
+// UniformRandomBitGenerator concept so it can drive std::distributions,
+// though Mendel's own helpers below avoid them for cross-platform stability.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x4d454e44454cULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). Uses Lemire's multiply-shift rejection
+  // method; unbiased for all bounds.
+  std::uint64_t below(std::uint64_t bound) {
+    if (bound <= 1) return 0;
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  // Uniform integer in the closed interval [lo, hi].
+  std::int64_t between(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli trial with success probability p.
+  bool chance(double p) { return uniform() < p; }
+
+  // Sample an index from an unnormalized weight vector. O(n); callers that
+  // sample repeatedly from the same weights should use AliasSampler.
+  std::size_t weighted(std::span<const double> weights);
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+inline std::size_t Rng::weighted(std::span<const double> weights) {
+  double total = 0;
+  for (double w : weights) total += w;
+  double r = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0) return i;
+  }
+  return weights.empty() ? 0 : weights.size() - 1;
+}
+
+}  // namespace mendel

@@ -1,0 +1,86 @@
+#include "src/common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+#include "src/common/error.h"
+
+namespace mendel {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  require(header_.empty() || row.size() == header_.size(),
+          "TextTable row width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::num(double v, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << v;
+  return out.str();
+}
+
+std::string TextTable::num(std::size_t v) { return std::to_string(v); }
+
+std::string TextTable::percent(double fraction, int precision) {
+  return num(fraction * 100.0, precision) + "%";
+}
+
+void TextTable::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto widen = [&widths](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 3;
+  total = std::max<std::size_t>(total, title_.size());
+
+  out << title_ << '\n' << std::string(total, '=') << '\n';
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      out << std::left << std::setw(static_cast<int>(widths[i]) + 3) << row[i];
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    out << std::string(total, '-') << '\n';
+  }
+  for (const auto& row : rows_) emit(row);
+  out << '\n';
+}
+
+void TextTable::print_csv(std::ostream& out) const {
+  auto quote = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string quoted = "\"";
+    for (char c : cell) {
+      if (c == '"') quoted += '"';
+      quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+  };
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out << ',';
+      out << quote(row[i]);
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace mendel

@@ -1,0 +1,44 @@
+// Aligned text-table / CSV rendering for the benchmark harnesses.
+//
+// Every fig*/table* bench binary prints its results through this class so
+// all experiment output shares one format: a titled, column-aligned table on
+// stdout, optionally mirrored to CSV (--csv flag handled by the harness).
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mendel {
+
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  // Column headers; call once before add_row.
+  void set_header(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  // Convenience: formats arithmetic cells with fixed precision.
+  static std::string num(double v, int precision = 3);
+  static std::string num(std::size_t v);
+  static std::string percent(double fraction, int precision = 1);
+
+  // Renders the aligned table (with title and rule lines) to `out`.
+  void print(std::ostream& out) const;
+
+  // Renders RFC-4180-ish CSV (no quoting of embedded commas needed for our
+  // numeric tables, but quotes are added defensively when required).
+  void print_csv(std::ostream& out) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mendel

@@ -1,0 +1,63 @@
+#include "src/hash/ring.h"
+
+#include "src/common/error.h"
+#include "src/hash/sha1.h"
+
+namespace mendel::hashing {
+
+HashRing::HashRing(std::size_t virtual_nodes) : virtual_nodes_(virtual_nodes) {
+  require(virtual_nodes_ > 0, "HashRing requires at least 1 virtual node");
+}
+
+void HashRing::add_member(std::uint32_t member, const std::string& label) {
+  require(positions_.find(member) == positions_.end(),
+          "HashRing member already present");
+  std::vector<std::uint64_t> placed;
+  placed.reserve(virtual_nodes_);
+  for (std::size_t v = 0; v < virtual_nodes_; ++v) {
+    std::uint64_t position =
+        sha1_prefix64(label + "#" + std::to_string(v));
+    // Collisions across members are vanishingly rare but would silently
+    // unbalance the ring; probe linearly until free.
+    while (ring_.find(position) != ring_.end()) ++position;
+    ring_.emplace(position, member);
+    placed.push_back(position);
+  }
+  positions_.emplace(member, std::move(placed));
+  ++members_;
+}
+
+void HashRing::remove_member(std::uint32_t member) {
+  auto it = positions_.find(member);
+  require(it != positions_.end(), "HashRing member not present");
+  for (std::uint64_t position : it->second) ring_.erase(position);
+  positions_.erase(it);
+  --members_;
+}
+
+std::uint32_t HashRing::owner(std::uint64_t key) const {
+  require(!ring_.empty(), "HashRing::owner on empty ring");
+  auto it = ring_.lower_bound(key);
+  if (it == ring_.end()) it = ring_.begin();  // wrap around
+  return it->second;
+}
+
+std::vector<std::uint32_t> HashRing::owners(std::uint64_t key,
+                                            std::size_t replicas) const {
+  require(!ring_.empty(), "HashRing::owners on empty ring");
+  std::vector<std::uint32_t> out;
+  auto it = ring_.lower_bound(key);
+  for (std::size_t steps = 0;
+       steps < ring_.size() && out.size() < replicas && out.size() < members_;
+       ++steps) {
+    if (it == ring_.end()) it = ring_.begin();
+    const std::uint32_t member = it->second;
+    bool seen = false;
+    for (std::uint32_t m : out) seen = seen || m == member;
+    if (!seen) out.push_back(member);
+    ++it;
+  }
+  return out;
+}
+
+}  // namespace mendel::hashing

@@ -1,0 +1,47 @@
+// Consistent hash ring over the 64-bit SHA-1 keyspace.
+//
+// Tier-2 placement: within a storage group, blocks are dispersed across the
+// group's nodes by flat hashing (paper §V-A2). A consistent ring with
+// virtual nodes gives the near-perfect balance the paper reports for SHA-1
+// *and* supports the elastic add/remove-node scenario the paper targets
+// (only ~1/n of keys move when a node joins).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mendel::hashing {
+
+class HashRing {
+ public:
+  // `virtual_nodes` replicas are placed on the ring per member; more
+  // replicas -> smoother balance at the cost of lookup table size.
+  explicit HashRing(std::size_t virtual_nodes = 64);
+
+  // Members are dense indices (a group's local node ordinals). `label`
+  // seeds the member's ring positions; use a globally unique name so two
+  // groups don't share layouts.
+  void add_member(std::uint32_t member, const std::string& label);
+  void remove_member(std::uint32_t member);
+
+  bool empty() const { return ring_.empty(); }
+  std::size_t member_count() const { return members_; }
+
+  // Owner of a key: first ring position clockwise from `key`.
+  std::uint32_t owner(std::uint64_t key) const;
+
+  // The `replicas` distinct members clockwise from `key` (primary first).
+  // Fewer are returned if the ring has fewer members.
+  std::vector<std::uint32_t> owners(std::uint64_t key,
+                                    std::size_t replicas) const;
+
+ private:
+  std::size_t virtual_nodes_;
+  std::size_t members_ = 0;
+  std::map<std::uint64_t, std::uint32_t> ring_;
+  std::map<std::uint32_t, std::vector<std::uint64_t>> positions_;
+};
+
+}  // namespace mendel::hashing

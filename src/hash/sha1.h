@@ -1,0 +1,56 @@
+// SHA-1 (RFC 3174), implemented from scratch.
+//
+// The paper's second placement tier "uses a tried-and-true flat hashing
+// scheme, SHA-1, to disperse the blocks within a group" (§V-A2). SHA-1 is
+// long broken for cryptographic signatures, but as a *dispersal* hash its
+// uniformity is exactly what the load-balance results in Figure 5 rely on,
+// so Mendel keeps the paper's choice.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace mendel::hashing {
+
+using Sha1Digest = std::array<std::uint8_t, 20>;
+
+// One-shot digest over a byte buffer.
+Sha1Digest sha1(std::span<const std::uint8_t> data);
+Sha1Digest sha1(std::string_view data);
+
+// Incremental interface (used when hashing block payload + metadata without
+// concatenating buffers).
+class Sha1 {
+ public:
+  Sha1();
+
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view data);
+
+  // Finalizes and returns the digest; the object must not be updated
+  // afterwards (reset() to reuse).
+  Sha1Digest finish();
+
+  void reset();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bits_ = 0;
+};
+
+// First 8 digest bytes as a big-endian uint64 — the keyspace position used
+// by the hash ring.
+std::uint64_t sha1_prefix64(std::span<const std::uint8_t> data);
+std::uint64_t sha1_prefix64(std::string_view data);
+
+// Lowercase hex rendering (tests compare against RFC vectors).
+std::string to_hex(const Sha1Digest& digest);
+
+}  // namespace mendel::hashing

@@ -1,0 +1,48 @@
+#include "src/mendel/anchors.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mendel::core {
+
+std::vector<Anchor> merge_anchors(std::vector<Anchor> anchors) {
+  if (anchors.size() <= 1) return anchors;
+  std::sort(anchors.begin(), anchors.end(),
+            [](const Anchor& a, const Anchor& b) {
+              if (a.sequence != b.sequence) return a.sequence < b.sequence;
+              if (a.diagonal() != b.diagonal())
+                return a.diagonal() < b.diagonal();
+              return a.q_begin < b.q_begin;
+            });
+  std::vector<Anchor> merged;
+  merged.reserve(anchors.size());
+  for (const Anchor& anchor : anchors) {
+    const bool mergeable =
+        !merged.empty() && merged.back().sequence == anchor.sequence &&
+        merged.back().diagonal() == anchor.diagonal() &&
+        anchor.q_begin <= merged.back().q_end;
+    if (mergeable) {
+      Anchor& target = merged.back();
+      const std::uint32_t overlap =
+          std::min(target.q_end, anchor.q_end) -
+          std::min(std::max(target.q_begin, anchor.q_begin),
+                   std::min(target.q_end, anchor.q_end));
+      const double rate =
+          std::max(target.normalized_score(), anchor.normalized_score());
+      const double union_score =
+          static_cast<double>(target.score) +
+          static_cast<double>(anchor.score) -
+          static_cast<double>(overlap) * rate;
+      target.q_end = std::max(target.q_end, anchor.q_end);
+      target.s_end = std::max(target.s_end, anchor.s_end);
+      target.score = std::max(
+          {target.score, anchor.score,
+           static_cast<std::int32_t>(std::floor(union_score))});
+    } else {
+      merged.push_back(anchor);
+    }
+  }
+  return merged;
+}
+
+}  // namespace mendel::core

@@ -1,0 +1,28 @@
+// Anchor aggregation (paper §V-B): "any overlapping anchors on the same
+// diagonal are combined". Applied twice — at each group entry point over
+// its nodes' results, and at the system entry point over all groups'
+// results.
+#pragma once
+
+#include <vector>
+
+#include "src/mendel/protocol.h"
+
+namespace mendel::core {
+
+// Combines anchors that share a (sequence, diagonal) and whose query spans
+// overlap or touch. The merged anchor covers the union span; its score is
+// a conservative estimate of the union's ungapped score:
+//
+//   score(a U b) = score(a) + score(b) - overlap * max(norm(a), norm(b))
+//
+// (each constituent contributes its full score, minus the doubly counted
+// overlap charged at the *denser* anchor's per-column rate), clamped below
+// by the best constituent. This keeps the *normalized* score of a long
+// merged run meaningful — with a plain max, a chain of overlapping strong
+// anchors would dilute to norm ~score_one/len_union and be dropped by the
+// gapped trigger S. The union is rescored exactly by the gapped pass.
+// Output is sorted by (sequence, diagonal, q_begin).
+std::vector<Anchor> merge_anchors(std::vector<Anchor> anchors);
+
+}  // namespace mendel::core

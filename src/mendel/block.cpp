@@ -1,0 +1,25 @@
+#include "src/mendel/block.h"
+
+#include "src/common/error.h"
+
+namespace mendel::core {
+
+std::vector<Block> make_blocks(const seq::Sequence& sequence,
+                               std::size_t window_length) {
+  require(window_length > 0, "make_blocks: zero window length");
+  std::vector<Block> blocks;
+  if (sequence.size() < window_length) return blocks;
+  blocks.reserve(sequence.size() - window_length + 1);
+  for (std::size_t start = 0; start + window_length <= sequence.size();
+       ++start) {
+    Block block;
+    block.sequence = sequence.id();
+    block.start = static_cast<std::uint32_t>(start);
+    const auto window = sequence.window(start, window_length);
+    block.window.assign(window.begin(), window.end());
+    blocks.push_back(std::move(block));
+  }
+  return blocks;
+}
+
+}  // namespace mendel::core

@@ -1,0 +1,311 @@
+#include "src/mendel/client.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "src/common/error.h"
+#include "src/hash/sha1.h"
+#include "src/mendel/protocol.h"
+#include "src/scoring/matrix.h"
+
+namespace mendel::core {
+
+Client::Client(ClientOptions options) : options_(std::move(options)) {
+  transport_ = std::make_unique<net::SimTransport>(options_.cost);
+  client_actor_ = std::make_unique<net::FunctionActor>(
+      [this](const net::Message& message, net::Context& ctx) {
+        if (message.type != kQueryResult) return;
+        auto payload = decode_payload<QueryResultPayload>(message.payload);
+        Reply reply;
+        reply.hits = std::move(payload.hits);
+        reply.arrival = ctx.now();
+        last_reply_ = std::move(reply);
+      });
+  transport_->register_actor(net::kClientNode, client_actor_.get());
+}
+
+Client::~Client() = default;
+
+void Client::spawn_nodes(seq::Alphabet alphabet) {
+  alphabet_ = alphabet;
+  // distance_ is allocated by the caller (index/load_index) BEFORE the
+  // prefix tree captures its address; it must never be reallocated here.
+  require(distance_ != nullptr, "spawn_nodes: distance matrix not set");
+
+  StorageNodeConfig node_config;
+  node_config.topology = topology_.get();
+  node_config.prefix_tree = prefix_tree_.get();
+  node_config.distance = distance_.get();
+  node_config.alphabet = alphabet;
+  node_config.bucket_capacity = options_.bucket_capacity;
+
+  nodes_.reserve(topology_->total_nodes());
+  for (net::NodeId id = 0; id < topology_->total_nodes(); ++id) {
+    nodes_.push_back(std::make_unique<StorageNode>(id, node_config));
+    transport_->register_actor(id, nodes_.back().get());
+  }
+}
+
+IndexReport Client::index(const seq::SequenceStore& store) {
+  require(!indexed_, "Client::index: already indexed");
+  require(store.size() > 0, "Client::index: empty store");
+
+  topology_ = std::make_unique<cluster::Topology>(options_.topology);
+  distance_ = std::make_unique<score::DistanceMatrix>(
+      score::default_distance(store.alphabet()));
+
+  Indexer sampler(topology_.get(), distance_.get(), options_.indexing);
+  prefix_tree_ = std::make_unique<vpt::VpPrefixTree>(
+      sampler.build_prefix_tree(store, options_.prefix_tree));
+  topology_->bind_prefixes(prefix_tree_->leaf_prefixes());
+
+  spawn_nodes(store.alphabet());
+
+  Indexer indexer(topology_.get(), distance_.get(), options_.indexing);
+  const IndexReport report = indexer.index_store(
+      store, *prefix_tree_, *transport_, net::kClientNode);
+  transport_->run_until_idle();
+
+  database_residues_ = store.total_residues();
+  for (auto& node : nodes_) {
+    node->set_database_residues(database_residues_);
+  }
+  next_sequence_id_ = static_cast<seq::SequenceId>(store.size());
+  indexed_ = true;
+  return report;
+}
+
+seq::SequenceId Client::add_sequences(const seq::SequenceStore& more) {
+  require(indexed_, "Client::add_sequences before index()/load_index()");
+  require(more.alphabet() == alphabet_,
+          "Client::add_sequences: alphabet mismatch");
+  require(more.size() > 0, "Client::add_sequences: empty store");
+  const seq::SequenceId base = next_sequence_id_;
+
+  Indexer indexer(topology_.get(), distance_.get(), options_.indexing);
+  indexer.index_store(more, *prefix_tree_, *transport_, net::kClientNode,
+                      base);
+  transport_->run_until_idle();
+
+  next_sequence_id_ += static_cast<seq::SequenceId>(more.size());
+  database_residues_ += more.total_residues();
+  for (auto& node : nodes_) {
+    node->set_database_residues(database_residues_);
+  }
+  return base;
+}
+
+net::NodeId Client::add_node(std::uint32_t group) {
+  require(indexed_, "Client::add_node before index()/load_index()");
+  const net::NodeId id = topology_->add_node(group);
+
+  StorageNodeConfig node_config;
+  node_config.topology = topology_.get();
+  node_config.prefix_tree = prefix_tree_.get();
+  node_config.distance = distance_.get();
+  node_config.alphabet = alphabet_;
+  node_config.bucket_capacity = options_.bucket_capacity;
+  node_config.database_residues = database_residues_;
+  nodes_.push_back(std::make_unique<StorageNode>(id, node_config));
+  transport_->register_actor(id, nodes_.back().get());
+
+  // Every pre-existing node re-evaluates ownership; blocks and sequences
+  // the newcomer now owns flow to it (consistent hashing moves only the
+  // remapped slice).
+  for (net::NodeId existing = 0; existing < id; ++existing) {
+    net::Message message;
+    message.from = net::kClientNode;
+    message.to = existing;
+    message.type = kRebalance;
+    message.request_id = 0;
+    transport_->send(std::move(message));
+  }
+  transport_->run_until_idle();
+  return id;
+}
+
+QueryOutcome Client::query(const seq::Sequence& query, QueryParams params) {
+  require(indexed_, "Client::query before index()/load_index()");
+  require(query.alphabet() == alphabet_,
+          "Client::query: alphabet mismatch with indexed database");
+
+  const std::uint64_t query_id = next_query_id_++;
+  // Symmetric architecture: any node can be the system entry point; rotate
+  // deterministically per query.
+  const net::NodeId entry = static_cast<net::NodeId>(
+      hashing::sha1_prefix64("entry" + std::to_string(query_id)) %
+      topology_->total_nodes());
+
+  QueryRequestPayload request;
+  request.params = std::move(params);
+  request.query.assign(query.codes().begin(), query.codes().end());
+
+  const double t0 = transport_->external_time();
+  const net::NetworkStats before = transport_->stats();
+
+  net::Message message;
+  message.from = net::kClientNode;
+  message.to = entry;
+  message.type = kQueryRequest;
+  message.request_id = query_id;
+  message.payload = encode_payload(request);
+
+  last_reply_.reset();
+  transport_->send(std::move(message));
+  double horizon = transport_->run_until_idle();
+
+  QueryOutcome outcome;
+  if (!last_reply_.has_value()) {
+    // The dataflow stalled (a fan-in waits on a node whose messages were
+    // dropped). Abort cluster-side pending state so nothing leaks, and
+    // report the incomplete outcome instead of hanging or throwing.
+    outcome.completed = false;
+    for (net::NodeId id = 0; id < topology_->total_nodes(); ++id) {
+      net::Message cancel;
+      cancel.from = net::kClientNode;
+      cancel.to = id;
+      cancel.type = kCancelQuery;
+      cancel.request_id = query_id;
+      transport_->send(std::move(cancel));
+    }
+    horizon = transport_->run_until_idle();
+    outcome.turnaround = horizon - t0;
+    const net::NetworkStats after_cancel = transport_->stats();
+    outcome.traffic.messages = after_cancel.messages - before.messages;
+    outcome.traffic.bytes = after_cancel.bytes - before.bytes;
+    transport_->set_external_time(horizon);
+    return outcome;
+  }
+  outcome.hits = std::move(last_reply_->hits);
+  outcome.turnaround = last_reply_->arrival - t0;
+  const net::NetworkStats after = transport_->stats();
+  outcome.traffic.messages = after.messages - before.messages;
+  outcome.traffic.bytes = after.bytes - before.bytes;
+  last_reply_.reset();
+  // Future queries start from the drained horizon.
+  transport_->set_external_time(horizon);
+  return outcome;
+}
+
+const cluster::Topology& Client::topology() const {
+  require(topology_ != nullptr, "Client::topology before index()");
+  return *topology_;
+}
+
+std::vector<std::uint64_t> Client::block_counts() const {
+  std::vector<std::uint64_t> counts;
+  counts.reserve(nodes_.size());
+  for (const auto& node : nodes_) counts.push_back(node->block_count());
+  return counts;
+}
+
+NodeCounters Client::total_counters() const {
+  NodeCounters total;
+  for (const auto& node : nodes_) {
+    const NodeCounters& c = node->counters();
+    total.blocks_inserted += c.blocks_inserted;
+    total.sequences_stored += c.sequences_stored;
+    total.nn_searches += c.nn_searches;
+    total.seeds_emitted += c.seeds_emitted;
+    total.fetches_served += c.fetches_served;
+    total.group_queries += c.group_queries;
+    total.queries_coordinated += c.queries_coordinated;
+    total.anchors_extended += c.anchors_extended;
+    total.gapped_extensions += c.gapped_extensions;
+  }
+  return total;
+}
+
+StorageNode& Client::node(net::NodeId id) {
+  require(id < nodes_.size(), "Client::node: id out of range");
+  return *nodes_[id];
+}
+
+void Client::fail_node(net::NodeId id) {
+  require(id < nodes_.size(), "Client::fail_node: id out of range");
+  transport_->fail_node(id);
+  for (auto& node : nodes_) node->set_down(id, true);
+}
+
+void Client::heal_node(net::NodeId id) {
+  require(id < nodes_.size(), "Client::heal_node: id out of range");
+  transport_->heal_node(id);
+  for (auto& node : nodes_) node->set_down(id, false);
+}
+
+void Client::save_index(const std::string& path) const {
+  require(indexed_, "Client::save_index before index()");
+  CodecWriter writer;
+  writer.str("mendel-index-v2");
+  writer.u8(static_cast<std::uint8_t>(alphabet_));
+  writer.u64(database_residues_);
+  writer.u32(options_.topology.num_groups);
+  writer.u32(options_.topology.nodes_per_group);
+  // Nodes added after the initial dense layout, in id order.
+  const std::uint32_t dense =
+      options_.topology.num_groups * options_.topology.nodes_per_group;
+  writer.u32(topology_->total_nodes() - dense);
+  for (net::NodeId id = dense; id < topology_->total_nodes(); ++id) {
+    writer.u32(topology_->address(id).group);
+  }
+  prefix_tree_->encode(writer);
+  writer.u32(static_cast<std::uint32_t>(nodes_.size()));
+  for (const auto& node : nodes_) node->save(writer);
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("save_index: cannot open " + path);
+  out.write(reinterpret_cast<const char*>(writer.data().data()),
+            static_cast<std::streamsize>(writer.size()));
+  if (!out) throw IoError("save_index: write failed for " + path);
+}
+
+void Client::load_index(const std::string& path) {
+  require(!indexed_, "Client::load_index: already indexed");
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("load_index: cannot open " + path);
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  CodecReader reader(bytes);
+
+  const std::string magic = reader.str();
+  require(magic == "mendel-index-v2",
+          "load_index: bad snapshot magic '" + magic + "'");
+  const auto alphabet = static_cast<seq::Alphabet>(reader.u8());
+  database_residues_ = reader.u64();
+  // Adopt the snapshot's topology: an index is only meaningful on the
+  // cluster shape it was built for.
+  options_.topology.num_groups = reader.u32();
+  options_.topology.nodes_per_group = reader.u32();
+  const std::uint32_t extra_nodes = reader.u32();
+  std::vector<std::uint32_t> extra_groups;
+  for (std::uint32_t i = 0; i < extra_nodes; ++i) {
+    extra_groups.push_back(reader.u32());
+  }
+
+  topology_ = std::make_unique<cluster::Topology>(options_.topology);
+  for (std::uint32_t group : extra_groups) topology_->add_node(group);
+  distance_ = std::make_unique<score::DistanceMatrix>(
+      score::default_distance(alphabet));
+  prefix_tree_ = std::make_unique<vpt::VpPrefixTree>(
+      vpt::VpPrefixTree::decode(reader, distance_.get()));
+  topology_->bind_prefixes(prefix_tree_->leaf_prefixes());
+
+  spawn_nodes(alphabet);
+  const std::uint32_t node_count = reader.u32();
+  require(node_count == nodes_.size(),
+          "load_index: node count mismatch");
+  for (auto& node : nodes_) {
+    node->load(reader);
+    node->set_database_residues(database_residues_);
+  }
+  // Recover the id watermark from the restored shards so add_sequences()
+  // keeps allocating fresh ids after a load.
+  seq::SequenceId watermark = 0;
+  for (auto& node : nodes_) {
+    watermark = std::max(watermark, node->max_sequence_id_plus_one());
+  }
+  next_sequence_id_ = watermark;
+  indexed_ = true;
+}
+
+}  // namespace mendel::core

@@ -1,0 +1,134 @@
+// mendel::core::Client — the public facade of the framework.
+//
+// A Client owns a complete simulated Mendel deployment: the two-tier
+// topology, the vp-prefix routing tree, one StorageNode actor per cluster
+// node, and the discrete-event transport. Typical use (see
+// examples/quickstart.cpp):
+//
+//   mendel::core::ClientOptions options;
+//   options.topology.num_groups = 10;
+//   options.topology.nodes_per_group = 5;
+//   mendel::core::Client client(options);
+//   client.index(store);                       // build + disperse the index
+//   auto outcome = client.query(query);        // similarity search
+//   for (const auto& hit : outcome.hits) ...;  // ranked alignments
+//
+// The Client also exposes the paper's future-work features implemented
+// here: index persistence (save_index/load_index) and fault injection with
+// replication (fail_node).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/cluster/topology.h"
+#include "src/mendel/indexer.h"
+#include "src/mendel/params.h"
+#include "src/mendel/storage_node.h"
+#include "src/net/sim_transport.h"
+
+namespace mendel::core {
+
+struct ClientOptions {
+  cluster::TopologyConfig topology;
+  IndexingOptions indexing;
+  vpt::PrefixTreeOptions prefix_tree;
+  net::CostModel cost;
+  std::size_t bucket_capacity = 32;
+};
+
+struct QueryOutcome {
+  std::vector<align::AlignmentHit> hits;
+  // Virtual-time turnaround: injection at the system entry point to the
+  // client's receipt of the ranked result (what Figures 6a–6c measure).
+  double turnaround = 0.0;
+  // Network traffic attributable to this query.
+  net::NetworkStats traffic;
+  // False when the query's dataflow stalled (e.g. a node failed silently
+  // mid-query and a fan-in never completed). The client then broadcasts
+  // kCancelQuery so no pending state leaks, and returns empty hits.
+  bool completed = true;
+};
+
+class Client {
+ public:
+  explicit Client(ClientOptions options);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Builds the prefix tree from `store`, binds the topology, spawns the
+  // storage nodes, and streams the database in. Callable once per Client
+  // (use a fresh Client per experiment configuration).
+  IndexReport index(const seq::SequenceStore& store);
+
+  // Incremental indexing: streams additional sequences into an
+  // already-indexed cluster (the DHT's scale-with-the-data story). The new
+  // sequences get fresh cluster-wide ids starting at the returned base id;
+  // hits reference those ids. Tier-1 routing keeps using the original
+  // LSH sample.
+  seq::SequenceId add_sequences(const seq::SequenceStore& more);
+
+  // Elastic scale-out (paper §I: "commodity hardware can be added
+  // incrementally"): grows `group` by one storage node and runs the
+  // rebalance protocol — consistent hashing moves ~1/n of the group's
+  // blocks (and a slice of the sequence repository) onto the newcomer.
+  // Returns the new node's id. Queries work unchanged afterwards.
+  net::NodeId add_node(std::uint32_t group);
+
+  bool indexed() const { return indexed_; }
+
+  // Runs one similarity query through the cluster.
+  QueryOutcome query(const seq::Sequence& query, QueryParams params = {});
+
+  // --- telemetry ---------------------------------------------------------
+  const cluster::Topology& topology() const;
+  std::vector<std::uint64_t> block_counts() const;
+  NodeCounters total_counters() const;
+  net::SimTransport& transport() { return *transport_; }
+  StorageNode& node(net::NodeId id);
+
+  // --- fault tolerance (paper §VII-B future work) -------------------------
+  // Marks a node failed: the transport drops its traffic and every other
+  // node excludes it from fan-outs and home-node lookups.
+  void fail_node(net::NodeId id);
+  void heal_node(net::NodeId id);
+
+  // --- persistence (paper §VII-B future work) ------------------------------
+  // Snapshot the fully built index (routing state + every node's blocks
+  // and sequence shard) so "pre-indexed data for popular large datasets"
+  // can be reloaded without re-indexing.
+  void save_index(const std::string& path) const;
+  // Restores a snapshot into this (un-indexed) Client. The snapshot's
+  // topology replaces whatever ClientOptions carried (an index is only
+  // valid on the cluster shape it was built for).
+  void load_index(const std::string& path);
+
+ private:
+  void spawn_nodes(seq::Alphabet alphabet);
+
+  ClientOptions options_;
+  std::unique_ptr<cluster::Topology> topology_;
+  std::unique_ptr<score::DistanceMatrix> distance_;
+  std::unique_ptr<vpt::VpPrefixTree> prefix_tree_;
+  std::unique_ptr<net::SimTransport> transport_;
+  std::vector<std::unique_ptr<StorageNode>> nodes_;
+  std::unique_ptr<net::Actor> client_actor_;
+  bool indexed_ = false;
+  std::uint64_t next_query_id_ = 1;
+  seq::SequenceId next_sequence_id_ = 0;
+  std::uint64_t database_residues_ = 0;
+  seq::Alphabet alphabet_ = seq::Alphabet::kProtein;
+
+  // Filled by the client actor when a kQueryResult lands.
+  struct Reply {
+    std::vector<align::AlignmentHit> hits;
+    double arrival = 0.0;
+  };
+  std::optional<Reply> last_reply_;
+};
+
+}  // namespace mendel::core

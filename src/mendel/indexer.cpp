@@ -1,0 +1,160 @@
+#include "src/mendel/indexer.h"
+
+#include <map>
+
+#include "src/common/error.h"
+#include "src/common/rng.h"
+#include "src/mendel/protocol.h"
+
+namespace mendel::core {
+
+Indexer::Indexer(const cluster::Topology* topology,
+                 const score::DistanceMatrix* distance,
+                 IndexingOptions options)
+    : topology_(topology), distance_(distance), options_(options) {
+  require(topology_ != nullptr, "Indexer: null topology");
+  require(distance_ != nullptr, "Indexer: null distance matrix");
+  require(options_.window_length >= 4, "Indexer: window_length must be >= 4");
+  require(options_.batch_size > 0, "Indexer: batch_size must be > 0");
+  require(options_.sample_size >= 16, "Indexer: sample_size must be >= 16");
+}
+
+vpt::VpPrefixTree Indexer::build_prefix_tree(
+    const seq::SequenceStore& store,
+    vpt::PrefixTreeOptions tree_options) const {
+  // Reservoir-sample windows uniformly over all block positions.
+  Rng rng(options_.seed);
+  std::vector<vpt::Window> sample;
+  sample.reserve(options_.sample_size);
+  std::size_t seen = 0;
+  for (const auto& sequence : store) {
+    if (sequence.size() < options_.window_length) continue;
+    for (std::size_t start = 0;
+         start + options_.window_length <= sequence.size(); ++start) {
+      ++seen;
+      const auto window = sequence.window(start, options_.window_length);
+      if (sample.size() < options_.sample_size) {
+        sample.emplace_back(window.begin(), window.end());
+      } else {
+        const std::size_t j = rng.below(seen);
+        if (j < sample.size()) {
+          sample[j].assign(window.begin(), window.end());
+        }
+      }
+    }
+  }
+  require(!sample.empty(),
+          "Indexer: store has no sequence long enough for one block");
+  vpt::VpPrefixTree tree(distance_, tree_options);
+  tree.build(std::move(sample));
+  return tree;
+}
+
+IndexReport Indexer::index_store(const seq::SequenceStore& store,
+                                 const vpt::VpPrefixTree& prefix_tree,
+                                 net::Transport& transport,
+                                 net::NodeId sender,
+                                 seq::SequenceId id_offset) const {
+  IndexReport report;
+  // Per-destination block batches, flushed at batch_size.
+  std::map<net::NodeId, std::vector<Block>> batches;
+  auto flush = [&](net::NodeId node, std::vector<Block>& batch) {
+    if (batch.empty()) return;
+    InsertBlocksPayload payload;
+    payload.blocks = std::move(batch);
+    batch = {};
+    net::Message message;
+    message.from = sender;
+    message.to = node;
+    message.type = kInsertBlocks;
+    message.request_id = 0;
+    message.payload = encode_payload(payload);
+    transport.send(std::move(message));
+    ++report.messages;
+  };
+
+  for (const auto& sequence : store) {
+    // Sequence repository: ship the full sequence to its home node(s).
+    StoreSequencePayload stored;
+    stored.sequence = sequence.id() + id_offset;
+    stored.name = sequence.name();
+    stored.alphabet = static_cast<std::uint8_t>(sequence.alphabet());
+    stored.codes.assign(sequence.codes().begin(), sequence.codes().end());
+    for (net::NodeId home : topology_->sequence_homes(
+             sequence_placement_key(sequence.id() + id_offset))) {
+      net::Message message;
+      message.from = sender;
+      message.to = home;
+      message.type = kStoreSequence;
+      message.request_id = 0;
+      message.payload = encode_payload(stored);
+      transport.send(std::move(message));
+      ++report.messages;
+    }
+    ++report.sequences;
+
+    // Inverted-index blocks: tier-1 group via the vp-prefix LSH, tier-2
+    // node via the group's SHA-1 ring.
+    for (Block& block : make_blocks(sequence, options_.window_length)) {
+      block.sequence += id_offset;
+      const std::uint64_t prefix = prefix_tree.hash(block.window);
+      const std::uint32_t group = topology_->group_for_prefix(prefix);
+      const std::uint64_t key = block_placement_key(block);
+      for (net::NodeId node : topology_->nodes_for_key(group, key)) {
+        auto& batch = batches[node];
+        batch.push_back(block);
+        if (batch.size() >= options_.batch_size) flush(node, batch);
+      }
+      ++report.blocks;
+    }
+  }
+  for (auto& [node, batch] : batches) flush(node, batch);
+  return report;
+}
+
+std::vector<std::uint64_t> Indexer::placement_counts(
+    const seq::SequenceStore& store,
+    const vpt::VpPrefixTree& prefix_tree) const {
+  std::vector<std::uint64_t> counts(topology_->total_nodes(), 0);
+  for (const auto& sequence : store) {
+    for (const Block& block :
+         make_blocks(sequence, options_.window_length)) {
+      const std::uint64_t prefix = prefix_tree.hash(block.window);
+      const std::uint32_t group = topology_->group_for_prefix(prefix);
+      const net::NodeId node =
+          topology_->primary_node_for_key(group, block_placement_key(block));
+      ++counts[node];
+    }
+  }
+  return counts;
+}
+
+std::vector<std::uint64_t> Indexer::flat_placement_counts(
+    const seq::SequenceStore& store) const {
+  std::vector<std::uint64_t> counts(topology_->total_nodes(), 0);
+  for (const auto& sequence : store) {
+    for (const Block& block :
+         make_blocks(sequence, options_.window_length)) {
+      counts[block_placement_key(block) % topology_->total_nodes()] += 1;
+    }
+  }
+  return counts;
+}
+
+std::vector<std::uint64_t> Indexer::similarity_only_placement_counts(
+    const seq::SequenceStore& store,
+    const vpt::VpPrefixTree& prefix_tree) const {
+  std::vector<std::uint64_t> counts(topology_->total_nodes(), 0);
+  for (const auto& sequence : store) {
+    for (const Block& block :
+         make_blocks(sequence, options_.window_length)) {
+      // No flat tier: the prefix alone picks the node, so similar blocks
+      // pile onto single machines (§V-A2's rejected design).
+      const std::uint64_t prefix = prefix_tree.hash(block.window);
+      counts[prefix % topology_->total_nodes()] += 1;
+    }
+  }
+  return counts;
+}
+
+}  // namespace mendel::core

@@ -1,0 +1,225 @@
+// Wire protocol of the Mendel cluster (message types + payload codecs).
+//
+// Query dataflow (paper §V-B):
+//
+//   client ──kQueryRequest──▶ system entry point (coordinator)
+//     coordinator: stride-k sliding window ⇒ subqueries; vp-prefix
+//     hash_multi ⇒ target groups
+//   coordinator ──kGroupQuery──▶ one entry node per selected group
+//     group entry ──kNodeSearch──▶ every node of the group (flat-hash
+//       dispersal means any node may hold matches — paper §V-A2)
+//     node: local vp-tree n-NN per subquery, identity + c-score filters
+//     node ──kNodeSearchResult──▶ group entry
+//     group entry: merge seeds on (sequence, diagonal); batched
+//       kFetchRange to sequence home nodes; ungapped X-drop extension
+//     group entry ──kGroupResult──▶ coordinator
+//   coordinator: merge anchors across groups, bin by sequence, anchors
+//     with normalized score > S ⇒ banded gapped extension (band l) using
+//     ranges fetched from home nodes; E-value filter; rank
+//   coordinator ──kQueryResult──▶ client
+//
+// Indexing dataflow (paper §V-A): the indexer ships each sequence to its
+// home node (kStoreSequence) and each inverted-index block batch to its
+// tier-1 group / tier-2 ring owner (kInsertBlocks).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/align/alignment.h"
+#include "src/common/codec.h"
+#include "src/mendel/block.h"
+#include "src/mendel/params.h"
+#include "src/net/message.h"
+
+namespace mendel::core {
+
+enum MessageType : std::uint32_t {
+  kStoreSequence = 1,
+  kInsertBlocks = 2,
+  kQueryRequest = 10,
+  kGroupQuery = 11,
+  kNodeSearch = 12,
+  kNodeSearchResult = 13,
+  kGroupResult = 14,
+  kQueryResult = 15,
+  kFetchRange = 20,
+  kFetchRangeResult = 21,
+  // Client-issued abort: nodes drop any pending state for the query id
+  // (sent when a query's dataflow stalled, e.g. a silently failed node).
+  kCancelQuery = 30,
+  // Membership changed (a node joined): re-evaluate ownership of every
+  // locally stored block and sequence against the shared topology and ship
+  // anything this node no longer owns to its current owners.
+  kRebalance = 31,
+};
+
+// --- Indexing ---------------------------------------------------------
+
+struct StoreSequencePayload {
+  std::uint32_t sequence = 0;
+  std::string name;
+  std::uint8_t alphabet = 1;
+  std::vector<seq::Code> codes;
+
+  void encode(CodecWriter& w) const;
+  static StoreSequencePayload decode(CodecReader& r);
+};
+
+struct InsertBlocksPayload {
+  std::vector<Block> blocks;
+
+  void encode(CodecWriter& w) const;
+  static InsertBlocksPayload decode(CodecReader& r);
+};
+
+// --- Query ------------------------------------------------------------
+
+struct Subquery {
+  std::uint32_t query_offset = 0;
+  vpt::Window window;
+
+  void encode(CodecWriter& w) const;
+  static Subquery decode(CodecReader& r);
+};
+
+struct QueryRequestPayload {
+  QueryParams params;
+  std::vector<seq::Code> query;
+
+  void encode(CodecWriter& w) const;
+  static QueryRequestPayload decode(CodecReader& r);
+};
+
+struct GroupQueryPayload {
+  QueryParams params;
+  std::vector<seq::Code> query;
+  std::vector<Subquery> subqueries;
+
+  void encode(CodecWriter& w) const;
+  static GroupQueryPayload decode(CodecReader& r);
+};
+
+struct NodeSearchPayload {
+  QueryParams params;
+  std::vector<Subquery> subqueries;
+
+  void encode(CodecWriter& w) const;
+  static NodeSearchPayload decode(CodecReader& r);
+};
+
+// A filtered n-NN candidate: block-sized match between query and subject.
+struct Seed {
+  std::uint32_t sequence = 0;
+  std::uint32_t subject_start = 0;
+  std::uint32_t query_offset = 0;
+  std::uint32_t length = 0;
+  double identity = 0.0;
+  double c_score = 0.0;
+
+  std::ptrdiff_t diagonal() const {
+    return static_cast<std::ptrdiff_t>(subject_start) -
+           static_cast<std::ptrdiff_t>(query_offset);
+  }
+
+  void encode(CodecWriter& w) const;
+  static Seed decode(CodecReader& r);
+};
+
+struct NodeSearchResultPayload {
+  std::vector<Seed> seeds;
+
+  void encode(CodecWriter& w) const;
+  static NodeSearchResultPayload decode(CodecReader& r);
+};
+
+// An ungapped-extended anchor (group entry output / coordinator input).
+struct Anchor {
+  std::uint32_t sequence = 0;
+  std::uint32_t q_begin = 0;
+  std::uint32_t q_end = 0;
+  std::uint32_t s_begin = 0;
+  std::uint32_t s_end = 0;
+  std::int32_t score = 0;
+
+  std::ptrdiff_t diagonal() const {
+    return static_cast<std::ptrdiff_t>(s_begin) -
+           static_cast<std::ptrdiff_t>(q_begin);
+  }
+  std::uint32_t length() const { return q_end - q_begin; }
+  double normalized_score() const {
+    return length() == 0 ? 0.0
+                         : static_cast<double>(score) /
+                               static_cast<double>(length());
+  }
+
+  void encode(CodecWriter& w) const;
+  static Anchor decode(CodecReader& r);
+};
+
+struct GroupResultPayload {
+  std::vector<Anchor> anchors;
+
+  void encode(CodecWriter& w) const;
+  static GroupResultPayload decode(CodecReader& r);
+};
+
+// --- Sequence repository ------------------------------------------------
+
+// Purpose tag so a node acting simultaneously as group entry and as
+// coordinator for one query can route fetch responses to the right pending
+// state machine.
+enum class FetchPurpose : std::uint8_t {
+  kGroupExtension = 0,
+  kGappedExtension = 1,
+};
+
+struct FetchRangePayload {
+  std::uint8_t purpose = 0;
+  std::uint32_t token = 0;  // requester-local correlation
+  std::uint32_t sequence = 0;
+  std::uint32_t start = 0;
+  std::uint32_t length = 0;
+
+  void encode(CodecWriter& w) const;
+  static FetchRangePayload decode(CodecReader& r);
+};
+
+struct FetchRangeResultPayload {
+  std::uint8_t purpose = 0;
+  std::uint32_t token = 0;
+  std::uint32_t sequence = 0;
+  std::uint32_t start = 0;           // clamped actual start
+  std::uint32_t sequence_length = 0;  // full subject length
+  std::string sequence_name;
+  std::vector<seq::Code> codes;
+
+  void encode(CodecWriter& w) const;
+  static FetchRangeResultPayload decode(CodecReader& r);
+};
+
+// --- Results ------------------------------------------------------------
+
+struct QueryResultPayload {
+  std::vector<align::AlignmentHit> hits;
+
+  void encode(CodecWriter& w) const;
+  static QueryResultPayload decode(CodecReader& r);
+};
+
+// Helper: serialize any payload struct into message bytes.
+template <typename Payload>
+std::vector<std::uint8_t> encode_payload(const Payload& payload) {
+  CodecWriter writer;
+  payload.encode(writer);
+  return writer.take();
+}
+
+template <typename Payload>
+Payload decode_payload(const std::vector<std::uint8_t>& bytes) {
+  CodecReader reader(bytes);
+  return Payload::decode(reader);
+}
+
+}  // namespace mendel::core

@@ -1,0 +1,784 @@
+#include "src/mendel/storage_node.h"
+
+#include <algorithm>
+
+#include "src/align/banded.h"
+#include "src/align/ungapped.h"
+#include "src/common/error.h"
+#include "src/mendel/anchors.h"
+#include "src/scoring/matrix.h"
+
+namespace mendel::core {
+
+StorageNode::StorageNode(net::NodeId id, StorageNodeConfig config)
+    : id_(id),
+      config_(config),
+      tree_(BlockMetric{config.distance},
+            vpt::DynamicVpTreeOptions{config.bucket_capacity, true, 2.0,
+                                      0x6e6f6465ULL + id}) {
+  require(config_.topology != nullptr, "StorageNode: null topology");
+  require(config_.prefix_tree != nullptr, "StorageNode: null prefix tree");
+  require(config_.distance != nullptr, "StorageNode: null distance matrix");
+  max_residue_distance_ = config_.distance->max_entry();
+}
+
+void StorageNode::set_down(net::NodeId node, bool down) {
+  if (down) {
+    down_.insert(node);
+  } else {
+    down_.erase(node);
+  }
+}
+
+seq::SequenceId StorageNode::max_sequence_id_plus_one() const {
+  seq::SequenceId watermark = 0;
+  for (const auto& [sid, stored] : sequences_) {
+    watermark = std::max(watermark, sid + 1);
+  }
+  return watermark;
+}
+
+std::vector<net::NodeId> StorageNode::alive_group_members(
+    std::uint32_t group) const {
+  std::vector<net::NodeId> alive;
+  for (net::NodeId node : config_.topology->group_nodes(group)) {
+    if (!is_down(node)) alive.push_back(node);
+  }
+  return alive;
+}
+
+net::NodeId StorageNode::pick_sequence_home(std::uint64_t key) const {
+  for (net::NodeId node : config_.topology->sequence_homes(key)) {
+    if (!is_down(node)) return node;
+  }
+  return net::kClientNode;  // sentinel: no alive home
+}
+
+void StorageNode::handle(const net::Message& message, net::Context& ctx) {
+  switch (message.type) {
+    case kStoreSequence:
+      on_store_sequence(message);
+      return;
+    case kInsertBlocks:
+      on_insert_blocks(message);
+      return;
+    case kFetchRange:
+      on_fetch_range(message, ctx);
+      return;
+    case kQueryRequest:
+      on_query_request(message, ctx);
+      return;
+    case kGroupQuery:
+      on_group_query(message, ctx);
+      return;
+    case kNodeSearch:
+      on_node_search(message, ctx);
+      return;
+    case kNodeSearchResult:
+      on_node_search_result(message, ctx);
+      return;
+    case kFetchRangeResult:
+      on_fetch_range_result(message, ctx);
+      return;
+    case kGroupResult:
+      on_group_result(message, ctx);
+      return;
+    case kCancelQuery:
+      group_pending_.erase(message.request_id);
+      coord_pending_.erase(message.request_id);
+      return;
+    case kRebalance:
+      on_rebalance(ctx);
+      return;
+    default:
+      throw ProtocolError("StorageNode " + std::to_string(id_) +
+                          ": unknown message type " +
+                          std::to_string(message.type));
+  }
+}
+
+// --- indexing -----------------------------------------------------------
+
+void StorageNode::on_store_sequence(const net::Message& message) {
+  auto payload = decode_payload<StoreSequencePayload>(message.payload);
+  StoredSequence stored;
+  stored.name = std::move(payload.name);
+  stored.codes = std::move(payload.codes);
+  sequences_[payload.sequence] = std::move(stored);
+  ++counters_.sequences_stored;
+}
+
+void StorageNode::on_insert_blocks(const net::Message& message) {
+  auto payload = decode_payload<InsertBlocksPayload>(message.payload);
+  // Deduplicate: replication and rebalance may redeliver blocks this node
+  // already stores.
+  std::vector<Block> fresh;
+  fresh.reserve(payload.blocks.size());
+  for (Block& block : payload.blocks) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(block.sequence) << 32) | block.start;
+    if (block_keys_.insert(key).second) fresh.push_back(std::move(block));
+  }
+  counters_.blocks_inserted += fresh.size();
+  if (!fresh.empty()) tree_.insert_batch(std::move(fresh));
+}
+
+// --- sequence repository --------------------------------------------------
+
+void StorageNode::on_fetch_range(const net::Message& message,
+                                 net::Context& ctx) {
+  auto request = decode_payload<FetchRangePayload>(message.payload);
+  ++counters_.fetches_served;
+
+  FetchRangeResultPayload reply;
+  reply.purpose = request.purpose;
+  reply.token = request.token;
+  reply.sequence = request.sequence;
+
+  auto it = sequences_.find(request.sequence);
+  if (it != sequences_.end()) {
+    const auto& codes = it->second.codes;
+    const auto start =
+        std::min<std::uint32_t>(request.start,
+                                static_cast<std::uint32_t>(codes.size()));
+    const auto end = std::min<std::uint32_t>(
+        request.start + request.length,
+        static_cast<std::uint32_t>(codes.size()));
+    reply.start = start;
+    reply.sequence_length = static_cast<std::uint32_t>(codes.size());
+    reply.sequence_name = it->second.name;
+    reply.codes.assign(codes.begin() + start, codes.begin() + end);
+  }
+  ctx.send(message.from, kFetchRangeResult, message.request_id,
+           encode_payload(reply));
+}
+
+// --- coordinator: query entry ----------------------------------------------
+
+void StorageNode::on_query_request(const net::Message& message,
+                                   net::Context& ctx) {
+  auto request = decode_payload<QueryRequestPayload>(message.payload);
+  ++counters_.queries_coordinated;
+
+  const std::size_t block_len = config_.prefix_tree->window_length();
+  const std::uint64_t query_id = message.request_id;
+
+  PendingQuery pending;
+  pending.client = message.from;
+  pending.params = request.params;
+  pending.query = request.query;
+
+  if (request.query.size() < block_len || request.params.k == 0) {
+    QueryResultPayload empty;
+    ctx.send(message.from, kQueryResult, query_id, encode_payload(empty));
+    return;
+  }
+
+  // Stride-k sliding window over the query (paper §V-B: "steps over the
+  // query sequence in larger intervals of size k ... to reduce the
+  // amplification of the subqueries"), plus a final window flush against
+  // the tail so the query's end is always covered.
+  std::vector<Subquery> subqueries;
+  const std::size_t last_offset = request.query.size() - block_len;
+  for (std::size_t offset = 0;; offset += request.params.k) {
+    if (offset > last_offset) break;
+    Subquery sub;
+    sub.query_offset = static_cast<std::uint32_t>(offset);
+    sub.window.assign(request.query.begin() + static_cast<std::ptrdiff_t>(offset),
+                      request.query.begin() +
+                          static_cast<std::ptrdiff_t>(offset + block_len));
+    subqueries.push_back(std::move(sub));
+    if (offset == last_offset) break;
+    if (offset + request.params.k > last_offset) {
+      // Tail flush: one final window ending exactly at the query's end.
+      Subquery tail;
+      tail.query_offset = static_cast<std::uint32_t>(last_offset);
+      tail.window.assign(
+          request.query.begin() + static_cast<std::ptrdiff_t>(last_offset),
+          request.query.end());
+      subqueries.push_back(std::move(tail));
+      break;
+    }
+  }
+
+  // Tier-1 routing: vp-prefix multi-hash each subquery to its group(s).
+  std::map<std::uint32_t, std::vector<Subquery>> per_group;
+  for (const Subquery& sub : subqueries) {
+    const auto prefixes = config_.prefix_tree->hash_multi(
+        sub.window, request.params.branch_epsilon);
+    std::set<std::uint32_t> groups;
+    for (std::uint64_t prefix : prefixes) {
+      groups.insert(config_.topology->group_for_prefix(prefix));
+    }
+    for (std::uint32_t group : groups) per_group[group].push_back(sub);
+  }
+
+  // Dispatch one GroupQuery per selected group to an alive entry node.
+  std::size_t dispatched = 0;
+  for (auto& [group, subs] : per_group) {
+    const auto alive = alive_group_members(group);
+    if (alive.empty()) continue;
+    const net::NodeId entry =
+        alive[(query_id + group) % alive.size()];
+    GroupQueryPayload group_query;
+    group_query.params = request.params;
+    group_query.query = request.query;
+    group_query.subqueries = std::move(subs);
+    ctx.send(entry, kGroupQuery, query_id, encode_payload(group_query));
+    ++dispatched;
+  }
+
+  if (dispatched == 0) {
+    QueryResultPayload empty;
+    ctx.send(message.from, kQueryResult, query_id, encode_payload(empty));
+    return;
+  }
+  pending.awaiting_groups = dispatched;
+  coord_pending_[query_id] = std::move(pending);
+}
+
+// --- group entry -------------------------------------------------------------
+
+void StorageNode::on_group_query(const net::Message& message,
+                                 net::Context& ctx) {
+  auto request = decode_payload<GroupQueryPayload>(message.payload);
+  ++counters_.group_queries;
+  const std::uint64_t query_id = message.request_id;
+  const std::uint32_t group = config_.topology->address(id_).group;
+
+  PendingGroupQuery pending;
+  pending.coordinator = message.from;
+  pending.params = request.params;
+  pending.query = request.query;
+
+  // Flat-hash dispersal means any node of the group may hold relevant
+  // blocks: replicate the search to every alive member (paper §V-B).
+  const auto members = alive_group_members(group);
+  NodeSearchPayload search;
+  search.params = request.params;
+  search.subqueries = std::move(request.subqueries);
+  const auto encoded = encode_payload(search);
+  for (net::NodeId member : members) {
+    ctx.send(member, kNodeSearch, query_id, encoded);
+  }
+  pending.awaiting_nodes = members.size();
+  if (members.empty()) {
+    GroupResultPayload empty;
+    ctx.send(message.from, kGroupResult, query_id, encode_payload(empty));
+    return;
+  }
+  group_pending_[query_id] = std::move(pending);
+}
+
+// --- searcher ------------------------------------------------------------------
+
+void StorageNode::on_node_search(const net::Message& message,
+                                 net::Context& ctx) {
+  auto request = decode_payload<NodeSearchPayload>(message.payload);
+  const auto& matrix = score::matrix_by_name(request.params.matrix);
+
+  NodeSearchResultPayload reply;
+  for (const Subquery& sub : request.subqueries) {
+    ++counters_.nn_searches;
+    Block probe;
+    probe.window = sub.window;
+    // Exact radius cap from the identity filter: a candidate passing
+    // identity >= i differs in at most (1-i)*k positions, each costing at
+    // most max_entry — anything farther is filtered later anyway, so the
+    // n-NN search can discard it up front.
+    const double cap = (1.0 - request.params.identity) *
+                       static_cast<double>(sub.window.size()) *
+                       max_residue_distance_;
+    const auto neighbors = tree_.nearest(probe, request.params.n, cap);
+    for (const auto& neighbor : neighbors) {
+      const Block& block = *neighbor.item;
+      const double identity =
+          score::percent_identity(sub.window, block.window);
+      if (identity < request.params.identity) continue;
+      const double c =
+          score::consecutivity_score(sub.window, block.window, matrix);
+      if (c < request.params.c_score) continue;
+      Seed seed;
+      seed.sequence = block.sequence;
+      seed.subject_start = block.start;
+      seed.query_offset = sub.query_offset;
+      seed.length = static_cast<std::uint32_t>(block.window.size());
+      seed.identity = identity;
+      seed.c_score = c;
+      reply.seeds.push_back(seed);
+    }
+  }
+  counters_.seeds_emitted += reply.seeds.size();
+  ctx.send(message.from, kNodeSearchResult, message.request_id,
+           encode_payload(reply));
+}
+
+// --- group entry: fan-in, merge, fetch, extend ------------------------------
+
+void StorageNode::on_node_search_result(const net::Message& message,
+                                        net::Context& ctx) {
+  auto it = group_pending_.find(message.request_id);
+  if (it == group_pending_.end()) return;  // stale / cancelled
+  PendingGroupQuery& pending = it->second;
+
+  auto payload = decode_payload<NodeSearchResultPayload>(message.payload);
+  pending.seeds.insert(pending.seeds.end(), payload.seeds.begin(),
+                       payload.seeds.end());
+  if (--pending.awaiting_nodes > 0) return;
+  group_entry_merge_and_fetch(message.request_id, pending, ctx);
+}
+
+void StorageNode::group_entry_merge_and_fetch(std::uint64_t query_id,
+                                              PendingGroupQuery& pending,
+                                              net::Context& ctx) {
+  if (pending.seeds.empty()) {
+    GroupResultPayload empty;
+    ctx.send(pending.coordinator, kGroupResult, query_id,
+             encode_payload(empty));
+    group_pending_.erase(query_id);
+    return;
+  }
+
+  // Merge seeds on the same (sequence, diagonal) into runs (paper §V-B:
+  // binning by sequence id, combining overlapping anchors on the same
+  // diagonal).
+  std::sort(pending.seeds.begin(), pending.seeds.end(),
+            [](const Seed& a, const Seed& b) {
+              if (a.sequence != b.sequence) return a.sequence < b.sequence;
+              if (a.diagonal() != b.diagonal())
+                return a.diagonal() < b.diagonal();
+              return a.query_offset < b.query_offset;
+            });
+  std::vector<MergedSeed> merged;
+  for (const Seed& seed : pending.seeds) {
+    const bool extends_last =
+        !merged.empty() && merged.back().sequence == seed.sequence &&
+        static_cast<std::ptrdiff_t>(merged.back().s_begin) -
+                static_cast<std::ptrdiff_t>(merged.back().q_begin) ==
+            seed.diagonal() &&
+        seed.query_offset <= merged.back().q_end;
+    if (extends_last) {
+      merged.back().q_end = std::max(merged.back().q_end,
+                                     seed.query_offset + seed.length);
+    } else {
+      MergedSeed m;
+      m.sequence = seed.sequence;
+      m.q_begin = seed.query_offset;
+      m.q_end = seed.query_offset + seed.length;
+      m.s_begin = seed.subject_start;
+      merged.push_back(m);
+    }
+  }
+  // Optional noise gate: drop isolated short runs before paying for their
+  // fetch + extension (params.min_anchor_span, 0 = keep everything).
+  if (pending.params.min_anchor_span > 0) {
+    std::erase_if(merged, [&](const MergedSeed& m) {
+      return m.q_end - m.q_begin < pending.params.min_anchor_span;
+    });
+    if (merged.empty()) {
+      GroupResultPayload empty;
+      ctx.send(pending.coordinator, kGroupResult, query_id,
+               encode_payload(empty));
+      group_pending_.erase(query_id);
+      return;
+    }
+  }
+  pending.merged = std::move(merged);
+  pending.fetched.assign(pending.merged.size(), std::nullopt);
+
+  // Batched range fetches: one per merged seed, margin either side.
+  const std::uint32_t margin = pending.params.extension_margin;
+  std::size_t sent = 0;
+  for (std::size_t i = 0; i < pending.merged.size(); ++i) {
+    const MergedSeed& m = pending.merged[i];
+    const net::NodeId home =
+        pick_sequence_home(sequence_placement_key(m.sequence));
+    if (home == net::kClientNode) continue;  // no alive replica: skip seed
+    FetchRangePayload fetch;
+    fetch.purpose = static_cast<std::uint8_t>(FetchPurpose::kGroupExtension);
+    fetch.token = static_cast<std::uint32_t>(i);
+    fetch.sequence = m.sequence;
+    const std::uint32_t span = m.q_end - m.q_begin;
+    fetch.start = m.s_begin > margin ? m.s_begin - margin : 0;
+    fetch.length = (m.s_begin - fetch.start) + span + margin;
+    ctx.send(home, kFetchRange, query_id, encode_payload(fetch));
+    ++sent;
+  }
+  if (sent == 0) {
+    GroupResultPayload empty;
+    ctx.send(pending.coordinator, kGroupResult, query_id,
+             encode_payload(empty));
+    group_pending_.erase(query_id);
+    return;
+  }
+  pending.awaiting_fetches = sent;
+}
+
+void StorageNode::group_entry_extend_and_reply(std::uint64_t query_id,
+                                               PendingGroupQuery& pending,
+                                               net::Context& ctx) {
+  const auto& matrix = score::matrix_by_name(pending.params.matrix);
+  std::vector<Anchor> anchors;
+  for (std::size_t i = 0; i < pending.merged.size(); ++i) {
+    if (!pending.fetched[i].has_value()) continue;
+    const FetchedRange& range = *pending.fetched[i];
+    if (range.codes.empty()) continue;
+    const MergedSeed& m = pending.merged[i];
+    if (m.s_begin < range.start) continue;  // defensive: clamp mismatch
+    const std::size_t s_local = m.s_begin - range.start;
+    const std::size_t span = m.q_end - m.q_begin;
+    if (s_local + span > range.codes.size()) continue;
+
+    ++counters_.anchors_extended;
+    const align::Hsp hsp = align::extend_ungapped(
+        pending.query, range.codes, m.q_begin, s_local, span, matrix,
+        {pending.params.x_drop});
+    Anchor anchor;
+    anchor.sequence = m.sequence;
+    anchor.q_begin = static_cast<std::uint32_t>(hsp.q_begin);
+    anchor.q_end = static_cast<std::uint32_t>(hsp.q_end);
+    anchor.s_begin = static_cast<std::uint32_t>(hsp.s_begin + range.start);
+    anchor.s_end = static_cast<std::uint32_t>(hsp.s_end + range.start);
+    anchor.score = hsp.score;
+    anchors.push_back(anchor);
+  }
+
+  GroupResultPayload reply;
+  reply.anchors = merge_anchors(std::move(anchors));
+  ctx.send(pending.coordinator, kGroupResult, query_id,
+           encode_payload(reply));
+  group_pending_.erase(query_id);
+}
+
+// --- coordinator: fan-in, gapped extension, ranking ---------------------------
+
+void StorageNode::on_group_result(const net::Message& message,
+                                  net::Context& ctx) {
+  auto it = coord_pending_.find(message.request_id);
+  if (it == coord_pending_.end()) return;
+  PendingQuery& pending = it->second;
+
+  auto payload = decode_payload<GroupResultPayload>(message.payload);
+  pending.anchors.insert(pending.anchors.end(), payload.anchors.begin(),
+                         payload.anchors.end());
+  if (--pending.awaiting_groups > 0) return;
+  coordinator_bin_and_fetch(message.request_id, pending, ctx);
+}
+
+void StorageNode::coordinator_bin_and_fetch(std::uint64_t query_id,
+                                            PendingQuery& pending,
+                                            net::Context& ctx) {
+  // Second aggregation stage (paper §V-B): combine overlapping anchors on
+  // the same diagonal across groups, then bin by sequence.
+  pending.anchors = merge_anchors(std::move(pending.anchors));
+
+  std::map<std::uint32_t, SequenceBin> bins;
+  for (const Anchor& anchor : pending.anchors) {
+    auto& bin = bins[anchor.sequence];
+    bin.sequence = anchor.sequence;
+    bin.anchors.push_back(anchor);
+  }
+  // Keep only bins with at least one anchor above the gapped trigger S.
+  pending.bins.clear();
+  for (auto& [sid, bin] : bins) {
+    const bool qualifies = std::any_of(
+        bin.anchors.begin(), bin.anchors.end(), [&](const Anchor& a) {
+          return a.normalized_score() > pending.params.gapped_trigger;
+        });
+    if (!qualifies) continue;
+    // Best-first so the strongest anchor's gapped alignment is accepted
+    // before weaker overlapping anchors can shadow it in the dedup pass.
+    // The order is total, so results are independent of message arrival
+    // order (symmetric-architecture guarantee: every entry point generates
+    // identical results).
+    std::sort(bin.anchors.begin(), bin.anchors.end(),
+              [](const Anchor& a, const Anchor& b) {
+                if (a.score != b.score) return a.score > b.score;
+                if (a.s_begin != b.s_begin) return a.s_begin < b.s_begin;
+                if (a.q_begin != b.q_begin) return a.q_begin < b.q_begin;
+                return a.q_end < b.q_end;
+              });
+    pending.bins.push_back(std::move(bin));
+  }
+
+  if (pending.bins.empty()) {
+    QueryResultPayload empty;
+    ctx.send(pending.client, kQueryResult, query_id, encode_payload(empty));
+    coord_pending_.erase(query_id);
+    return;
+  }
+
+  pending.fetched.assign(pending.bins.size(), std::nullopt);
+  const std::uint32_t margin =
+      pending.params.extension_margin + pending.params.band;
+  std::size_t sent = 0;
+  for (std::size_t i = 0; i < pending.bins.size(); ++i) {
+    const SequenceBin& bin = pending.bins[i];
+    const net::NodeId home =
+        pick_sequence_home(sequence_placement_key(bin.sequence));
+    if (home == net::kClientNode) continue;
+    std::uint32_t lo = bin.anchors.front().s_begin;
+    std::uint32_t hi = 0;
+    for (const Anchor& a : bin.anchors) {
+      lo = std::min(lo, a.s_begin);
+      hi = std::max(hi, a.s_end);
+    }
+    FetchRangePayload fetch;
+    fetch.purpose = static_cast<std::uint8_t>(FetchPurpose::kGappedExtension);
+    fetch.token = static_cast<std::uint32_t>(i);
+    fetch.sequence = bin.sequence;
+    fetch.start = lo > margin ? lo - margin : 0;
+    fetch.length = (lo - fetch.start) + (hi - lo) + 2 * margin;
+    ctx.send(home, kFetchRange, query_id, encode_payload(fetch));
+    ++sent;
+  }
+  if (sent == 0) {
+    QueryResultPayload empty;
+    ctx.send(pending.client, kQueryResult, query_id, encode_payload(empty));
+    coord_pending_.erase(query_id);
+    return;
+  }
+  pending.awaiting_fetches = sent;
+}
+
+void StorageNode::coordinator_finish(std::uint64_t query_id,
+                                     PendingQuery& pending,
+                                     net::Context& ctx) {
+  const auto& matrix = score::matrix_by_name(pending.params.matrix);
+  const auto karlin = score::gapped_params(matrix);
+  const std::uint64_t db_residues =
+      config_.database_residues > 0 ? config_.database_residues : 1;
+
+  QueryResultPayload reply;
+  for (std::size_t i = 0; i < pending.bins.size(); ++i) {
+    if (!pending.fetched[i].has_value()) continue;
+    const FetchedRange& range = *pending.fetched[i];
+    if (range.codes.empty()) continue;
+    const SequenceBin& bin = pending.bins[i];
+
+    std::vector<align::GappedAlignment> accepted;
+    std::uint32_t attempts = 0;
+    for (const Anchor& anchor : bin.anchors) {
+      if (anchor.normalized_score() <= pending.params.gapped_trigger) {
+        continue;
+      }
+      if (attempts >= pending.params.max_gapped_per_bin) break;
+      // Anchors are processed best-first; skip any anchor already covered
+      // by an accepted gapped alignment *before* paying for its DP —
+      // nearby-diagonal anchors overwhelmingly converge to one alignment.
+      bool covered = false;
+      for (const auto& existing : accepted) {
+        const bool q_overlap = anchor.q_begin <
+                                   static_cast<std::uint32_t>(
+                                       existing.hsp.q_end) &&
+                               static_cast<std::uint32_t>(
+                                   existing.hsp.q_begin) < anchor.q_end;
+        const bool s_overlap = anchor.s_begin <
+                                   static_cast<std::uint32_t>(
+                                       existing.hsp.s_end) &&
+                               static_cast<std::uint32_t>(
+                                   existing.hsp.s_begin) < anchor.s_end;
+        if (q_overlap && s_overlap) {
+          covered = true;
+          break;
+        }
+      }
+      if (covered) continue;
+
+      ++attempts;
+      ++counters_.gapped_extensions;
+      const std::ptrdiff_t local_diag =
+          anchor.diagonal() - static_cast<std::ptrdiff_t>(range.start);
+      align::GappedAlignment gapped = align::banded_local_align(
+          pending.query, range.codes, matrix, matrix.default_gaps(),
+          {local_diag, pending.params.band});
+      if (gapped.hsp.score <= 0) continue;
+      // Back to absolute subject coordinates.
+      gapped.hsp.s_begin += range.start;
+      gapped.hsp.s_end += range.start;
+
+      // Deduplicate against the accepted alignments (the pre-check used
+      // the anchor's span; the gapped result can drift).
+      bool duplicate = false;
+      for (const auto& existing : accepted) {
+        const bool q_overlap =
+            gapped.hsp.q_begin < existing.hsp.q_end &&
+            existing.hsp.q_begin < gapped.hsp.q_end;
+        const bool s_overlap =
+            gapped.hsp.s_begin < existing.hsp.s_end &&
+            existing.hsp.s_begin < gapped.hsp.s_end;
+        if (q_overlap && s_overlap) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) continue;
+
+      const double e = score::evalue(karlin, gapped.hsp.score,
+                                     pending.query.size(), db_residues);
+      if (e > pending.params.evalue) {
+        accepted.push_back(gapped);  // still shadows duplicates
+        continue;
+      }
+
+      align::AlignmentHit hit;
+      hit.subject_id = bin.sequence;
+      hit.subject_name = range.name;
+      hit.alignment = gapped;
+      hit.bit_score = score::bit_score(karlin, gapped.hsp.score);
+      hit.evalue = e;
+      if (pending.params.include_subject_segment) {
+        const std::size_t local_begin = gapped.hsp.s_begin - range.start;
+        hit.subject_segment.assign(
+            range.codes.begin() + static_cast<std::ptrdiff_t>(local_begin),
+            range.codes.begin() +
+                static_cast<std::ptrdiff_t>(local_begin +
+                                            gapped.hsp.s_len()));
+      }
+      reply.hits.push_back(std::move(hit));
+      accepted.push_back(gapped);
+    }
+  }
+
+  std::sort(reply.hits.begin(), reply.hits.end(),
+            [](const align::AlignmentHit& a, const align::AlignmentHit& b) {
+              if (a.evalue != b.evalue) return a.evalue < b.evalue;
+              return a.subject_id < b.subject_id;
+            });
+  if (reply.hits.size() > pending.params.max_hits) {
+    reply.hits.resize(pending.params.max_hits);
+  }
+  ctx.send(pending.client, kQueryResult, query_id, encode_payload(reply));
+  coord_pending_.erase(query_id);
+}
+
+// --- fetch fan-in shared by both roles --------------------------------------
+
+void StorageNode::on_fetch_range_result(const net::Message& message,
+                                        net::Context& ctx) {
+  auto payload = decode_payload<FetchRangeResultPayload>(message.payload);
+  FetchedRange range;
+  range.sequence = payload.sequence;
+  range.start = payload.start;
+  range.sequence_length = payload.sequence_length;
+  range.name = std::move(payload.sequence_name);
+  range.codes = std::move(payload.codes);
+
+  if (payload.purpose ==
+      static_cast<std::uint8_t>(FetchPurpose::kGroupExtension)) {
+    auto it = group_pending_.find(message.request_id);
+    if (it == group_pending_.end()) return;
+    PendingGroupQuery& pending = it->second;
+    if (payload.token < pending.fetched.size()) {
+      pending.fetched[payload.token] = std::move(range);
+    }
+    if (--pending.awaiting_fetches == 0) {
+      group_entry_extend_and_reply(message.request_id, pending, ctx);
+    }
+    return;
+  }
+
+  auto it = coord_pending_.find(message.request_id);
+  if (it == coord_pending_.end()) return;
+  PendingQuery& pending = it->second;
+  if (payload.token < pending.fetched.size()) {
+    pending.fetched[payload.token] = std::move(range);
+  }
+  if (--pending.awaiting_fetches == 0) {
+    coordinator_finish(message.request_id, pending, ctx);
+  }
+}
+
+// --- elasticity ---------------------------------------------------------------
+
+void StorageNode::on_rebalance(net::Context& ctx) {
+  const std::uint32_t group = config_.topology->address(id_).group;
+
+  // Blocks: ship everything whose owner set no longer includes this node.
+  auto moved = tree_.remove_if([&](const Block& block) {
+    const auto owners = config_.topology->nodes_for_key(
+        group, block_placement_key(block));
+    return std::find(owners.begin(), owners.end(), id_) == owners.end();
+  });
+  std::map<net::NodeId, InsertBlocksPayload> outgoing;
+  for (Block& block : moved) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(block.sequence) << 32) | block.start;
+    block_keys_.erase(key);
+    for (net::NodeId owner : config_.topology->nodes_for_key(
+             group, block_placement_key(block))) {
+      outgoing[owner].blocks.push_back(block);
+    }
+  }
+  for (auto& [owner, payload] : outgoing) {
+    ctx.send(owner, kInsertBlocks, 0, encode_payload(payload));
+  }
+
+  // Sequence shard: same treatment against the global repository ring.
+  std::vector<std::uint32_t> evicted;
+  for (const auto& [sid, stored] : sequences_) {
+    const auto homes =
+        config_.topology->sequence_homes(sequence_placement_key(sid));
+    if (std::find(homes.begin(), homes.end(), id_) != homes.end()) continue;
+    StoreSequencePayload payload;
+    payload.sequence = sid;
+    payload.name = stored.name;
+    payload.alphabet = static_cast<std::uint8_t>(config_.alphabet);
+    payload.codes = stored.codes;
+    for (net::NodeId home : homes) {
+      ctx.send(home, kStoreSequence, 0, encode_payload(payload));
+    }
+    evicted.push_back(sid);
+  }
+  for (std::uint32_t sid : evicted) sequences_.erase(sid);
+}
+
+// --- persistence ------------------------------------------------------------
+
+void StorageNode::save(CodecWriter& writer) const {
+  writer.str("mendel-node-v1");
+  writer.u32(id_);
+  const auto blocks = tree_.collect_all();
+  writer.vec(blocks, [](CodecWriter& w, const Block& b) { b.encode(w); });
+  writer.u32(static_cast<std::uint32_t>(sequences_.size()));
+  // Deterministic order for byte-stable snapshots.
+  std::vector<std::uint32_t> ids;
+  ids.reserve(sequences_.size());
+  for (const auto& [sid, stored] : sequences_) ids.push_back(sid);
+  std::sort(ids.begin(), ids.end());
+  for (std::uint32_t sid : ids) {
+    const auto& stored = sequences_.at(sid);
+    writer.u32(sid);
+    writer.str(stored.name);
+    writer.bytes(std::span<const std::uint8_t>(stored.codes.data(),
+                                               stored.codes.size()));
+  }
+}
+
+void StorageNode::load(CodecReader& reader) {
+  const std::string magic = reader.str();
+  require(magic == "mendel-node-v1",
+          "StorageNode::load: bad snapshot magic '" + magic + "'");
+  const std::uint32_t saved_id = reader.u32();
+  require(saved_id == id_, "StorageNode::load: snapshot is for node " +
+                               std::to_string(saved_id));
+  auto blocks =
+      reader.vec<Block>([](CodecReader& r) { return Block::decode(r); });
+  counters_.blocks_inserted += blocks.size();
+  for (const Block& block : blocks) {
+    block_keys_.insert(
+        (static_cast<std::uint64_t>(block.sequence) << 32) | block.start);
+  }
+  tree_.insert_batch(std::move(blocks));
+  const std::uint32_t count = reader.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t sid = reader.u32();
+    StoredSequence stored;
+    stored.name = reader.str();
+    stored.codes = reader.bytes();
+    sequences_[sid] = std::move(stored);
+    ++counters_.sequences_stored;
+  }
+}
+
+}  // namespace mendel::core

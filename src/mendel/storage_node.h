@@ -1,0 +1,209 @@
+// Mendel storage node: one actor playing every server-side role of the
+// symmetric architecture (paper §V-B: "any node in the cluster can perform
+// as a query's entry point and generates identical results").
+//
+// Roles, all hosted in this class:
+//   * block store     — a dynamically balanced local vp-tree over the
+//                       inverted-index blocks this node owns (§V-A3);
+//   * sequence shard  — home-node storage of full reference sequences,
+//                       serving FetchRange requests during anchor and
+//                       gapped extension;
+//   * searcher        — per-subquery n-NN lookups with identity and
+//                       c-score filtering (§V-B);
+//   * group entry     — fan-out/fan-in within its group, seed merging on
+//                       (sequence, diagonal), batched range fetches, and
+//                       ungapped anchor extension;
+//   * coordinator     — system entry point: subquery construction, group
+//                       routing via the vp-prefix tree, cross-group anchor
+//                       aggregation, gapped extension, E-value ranking.
+//
+// The class is transport-agnostic: the same code runs under the
+// deterministic SimTransport and the thread-per-node ThreadTransport. All
+// mutable state is only touched from handle(), which both transports call
+// from a single thread per node.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/cluster/topology.h"
+#include "src/mendel/protocol.h"
+#include "src/net/message.h"
+#include "src/scoring/distance.h"
+#include "src/scoring/karlin.h"
+#include "src/vptree/dynamic_vptree.h"
+#include "src/vptree/prefix_tree.h"
+
+namespace mendel::core {
+
+struct StorageNodeConfig {
+  const cluster::Topology* topology = nullptr;
+  const vpt::VpPrefixTree* prefix_tree = nullptr;
+  const score::DistanceMatrix* distance = nullptr;
+  seq::Alphabet alphabet = seq::Alphabet::kProtein;
+  std::size_t bucket_capacity = 32;
+  // Total residues across the indexed database; set by the client after
+  // indexing (used for Karlin–Altschul E-values at the coordinator).
+  std::uint64_t database_residues = 0;
+};
+
+// Per-node work counters (telemetry for benches and tests).
+struct NodeCounters {
+  std::uint64_t blocks_inserted = 0;
+  std::uint64_t sequences_stored = 0;
+  std::uint64_t nn_searches = 0;
+  std::uint64_t seeds_emitted = 0;
+  std::uint64_t fetches_served = 0;
+  std::uint64_t group_queries = 0;
+  std::uint64_t queries_coordinated = 0;
+  std::uint64_t anchors_extended = 0;
+  std::uint64_t gapped_extensions = 0;
+};
+
+class StorageNode final : public net::Actor {
+ public:
+  StorageNode(net::NodeId id, StorageNodeConfig config);
+
+  void handle(const net::Message& message, net::Context& ctx) override;
+
+  net::NodeId id() const { return id_; }
+  std::size_t block_count() const { return tree_.size(); }
+  std::size_t sequence_count() const { return sequences_.size(); }
+  // Highest stored sequence id + 1 (0 when the shard is empty); the client
+  // uses the cluster-wide max as its id watermark after load_index().
+  seq::SequenceId max_sequence_id_plus_one() const;
+  const NodeCounters& counters() const { return counters_; }
+
+  // Membership view for fault tolerance: nodes marked down are excluded
+  // from fan-outs and home-node selection. (The paper leaves fault
+  // tolerance as future work; Mendel ships a static-membership version.)
+  void set_down(net::NodeId node, bool down);
+
+  // Updated by the client after (incremental) indexing.
+  void set_database_residues(std::uint64_t residues) {
+    config_.database_residues = residues;
+  }
+
+  // --- persistence (paper §VII-B future work: save pre-indexed data) ----
+  void save(CodecWriter& writer) const;
+  void load(CodecReader& reader);
+
+ private:
+  // Stored sequence shard entry.
+  struct StoredSequence {
+    std::string name;
+    std::vector<seq::Code> codes;
+  };
+
+  // Metric adapter: L1 window distance between block payloads, with the
+  // early-abandoning variant the vp-tree uses for bucket scans.
+  struct BlockMetric {
+    const score::DistanceMatrix* distance;
+    double operator()(const Block& a, const Block& b) const {
+      return score::window_distance(*distance, a.window, b.window);
+    }
+    double bounded(const Block& a, const Block& b, double bound) const {
+      return score::window_distance_bounded(*distance, a.window, b.window,
+                                            bound);
+    }
+  };
+
+  // A fetched subject range held while a pending state machine completes.
+  struct FetchedRange {
+    std::uint32_t sequence = 0;
+    std::uint32_t start = 0;
+    std::uint32_t sequence_length = 0;
+    std::string name;
+    std::vector<seq::Code> codes;
+  };
+
+  // Seeds merged on one (sequence, diagonal) run, pre-extension.
+  struct MergedSeed {
+    std::uint32_t sequence = 0;
+    std::uint32_t q_begin = 0;
+    std::uint32_t q_end = 0;
+    std::uint32_t s_begin = 0;
+  };
+
+  // ---- group entry pending state ----
+  struct PendingGroupQuery {
+    net::NodeId coordinator = 0;
+    QueryParams params;
+    std::vector<seq::Code> query;
+    std::size_t awaiting_nodes = 0;
+    std::vector<Seed> seeds;
+    // fetch stage
+    std::vector<MergedSeed> merged;
+    std::vector<std::optional<FetchedRange>> fetched;
+    std::size_t awaiting_fetches = 0;
+  };
+
+  // ---- coordinator pending state ----
+  struct SequenceBin {
+    std::uint32_t sequence = 0;
+    std::vector<Anchor> anchors;
+  };
+  struct PendingQuery {
+    net::NodeId client = 0;
+    QueryParams params;
+    std::vector<seq::Code> query;
+    std::size_t awaiting_groups = 0;
+    std::vector<Anchor> anchors;
+    // gapped stage
+    std::vector<SequenceBin> bins;
+    std::vector<std::optional<FetchedRange>> fetched;
+    std::size_t awaiting_fetches = 0;
+  };
+
+  // Handlers, one per message type.
+  void on_store_sequence(const net::Message& message);
+  void on_insert_blocks(const net::Message& message);
+  void on_fetch_range(const net::Message& message, net::Context& ctx);
+  void on_query_request(const net::Message& message, net::Context& ctx);
+  void on_group_query(const net::Message& message, net::Context& ctx);
+  void on_node_search(const net::Message& message, net::Context& ctx);
+  void on_node_search_result(const net::Message& message, net::Context& ctx);
+  void on_fetch_range_result(const net::Message& message, net::Context& ctx);
+  void on_group_result(const net::Message& message, net::Context& ctx);
+  void on_rebalance(net::Context& ctx);
+
+  // Stage transitions.
+  void group_entry_merge_and_fetch(std::uint64_t query_id,
+                                   PendingGroupQuery& pending,
+                                   net::Context& ctx);
+  void group_entry_extend_and_reply(std::uint64_t query_id,
+                                    PendingGroupQuery& pending,
+                                    net::Context& ctx);
+  void coordinator_bin_and_fetch(std::uint64_t query_id,
+                                 PendingQuery& pending, net::Context& ctx);
+  void coordinator_finish(std::uint64_t query_id, PendingQuery& pending,
+                          net::Context& ctx);
+
+  // First alive home node of a sequence key.
+  net::NodeId pick_sequence_home(std::uint64_t key) const;
+  bool is_down(net::NodeId node) const {
+    return down_.find(node) != down_.end();
+  }
+  std::vector<net::NodeId> alive_group_members(std::uint32_t group) const;
+
+  net::NodeId id_;
+  StorageNodeConfig config_;
+  double max_residue_distance_ = 0.0;  // cached distance->max_entry()
+  vpt::DynamicVpTree<Block, BlockMetric> tree_;
+  // Identities of stored blocks ((sequence << 32) | start) so re-deliveries
+  // during replication and rebalance stay idempotent.
+  std::unordered_set<std::uint64_t> block_keys_;
+  std::unordered_map<std::uint32_t, StoredSequence> sequences_;
+  std::set<net::NodeId> down_;
+  NodeCounters counters_;
+
+  std::map<std::uint64_t, PendingGroupQuery> group_pending_;
+  std::map<std::uint64_t, PendingQuery> coord_pending_;
+};
+
+}  // namespace mendel::core

@@ -1,0 +1,16 @@
+#include "src/net/message.h"
+
+namespace mendel::net {
+
+void Context::send(NodeId to, std::uint32_t type, std::uint64_t request_id,
+                   std::vector<std::uint8_t> payload) {
+  Message message;
+  message.from = self_;
+  message.to = to;
+  message.type = type;
+  message.request_id = request_id;
+  message.payload = std::move(payload);
+  transport_->send(std::move(message));
+}
+
+}  // namespace mendel::net

@@ -1,0 +1,96 @@
+#include "src/net/sim_transport.h"
+
+#include <algorithm>
+
+#include "src/common/error.h"
+#include "src/common/stopwatch.h"
+
+namespace mendel::net {
+
+void SimTransport::register_actor(NodeId id, Actor* actor) {
+  require(actor != nullptr, "SimTransport: null actor");
+  require(actors_.find(id) == actors_.end(),
+          "SimTransport: duplicate actor id " + std::to_string(id));
+  actors_[id] = actor;
+  clocks_[id] = 0.0;
+}
+
+void SimTransport::send(Message message) {
+  if (actors_.find(message.to) == actors_.end()) {
+    throw ProtocolError("SimTransport: send to unregistered node " +
+                        std::to_string(message.to));
+  }
+  stats_.messages += 1;
+  stats_.bytes += message.wire_size();
+  if (in_handler_) {
+    // A handler's outbound messages depart when the handler's node clock
+    // advances past its (yet unknown) completion time; buffer them and
+    // stamp after the handler returns.
+    pending_.push_back(std::move(message));
+    return;
+  }
+  Event event;
+  event.time = external_now_ + cost_.transfer_delay(message.wire_size());
+  event.seq = next_seq_++;
+  event.message = std::move(message);
+  queue_.push(std::move(event));
+}
+
+double SimTransport::run_until_idle() {
+  double horizon = external_now_;
+  while (!queue_.empty()) {
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+
+    if (failed_[event.message.to]) {
+      ++dropped_;
+      continue;
+    }
+    Actor* actor = actors_.at(event.message.to);
+    double& clock = clocks_[event.message.to];
+    const double start = std::max(clock, event.time);
+
+    // Execute the real handler, measuring its CPU cost.
+    in_handler_ = true;
+    Stopwatch watch;
+    Context ctx(this, event.message.to, start);
+    try {
+      actor->handle(event.message, ctx);
+    } catch (...) {
+      in_handler_ = false;
+      pending_.clear();
+      throw;
+    }
+    in_handler_ = false;
+
+    const double cpu = cost_.measured_cpu ? watch.seconds() : 0.0;
+    total_cpu_ += cpu;
+    const double end = start + cpu * cost_.cpu_scale + cost_.proc_overhead;
+    clock = std::max(clock, end);
+    horizon = std::max(horizon, end);
+
+    // Messages the handler emitted depart at `end`.
+    for (auto& outbound : pending_) {
+      Event e;
+      e.time = end + cost_.transfer_delay(outbound.wire_size());
+      e.seq = next_seq_++;
+      e.message = std::move(outbound);
+      horizon = std::max(horizon, e.time);
+      queue_.push(std::move(e));
+    }
+    pending_.clear();
+  }
+  external_now_ = std::max(external_now_, horizon);
+  return horizon;
+}
+
+double SimTransport::node_clock(NodeId id) const {
+  auto it = clocks_.find(id);
+  require(it != clocks_.end(), "SimTransport: unknown node clock");
+  return it->second;
+}
+
+void SimTransport::fail_node(NodeId id) { failed_[id] = true; }
+void SimTransport::heal_node(NodeId id) { failed_[id] = false; }
+
+}  // namespace mendel::net

@@ -1,0 +1,114 @@
+// Discrete-event network simulator with virtual time.
+//
+// Why a simulator: the paper's evaluation ran on a 50-node LAN cluster. A
+// reproduction on a single machine cannot observe real parallel speedup by
+// running 50 threads on a few cores — wall time would serialize the very
+// parallelism Figure 6c measures. Instead, SimTransport executes the *real*
+// handler code (real vp-tree searches, real alignment DP) and charges each
+// handler's measured CPU time to the *owning node's* virtual clock:
+//
+//   start(m)   = max(node_clock[to], arrival_time(m))
+//   node_clock = start(m) + handler_cpu_seconds * cpu_scale + proc_overhead
+//
+// Messages emitted by a handler leave at the node's clock after the handler
+// finished and arrive `latency + size/bandwidth` later. A query's turnaround
+// is the virtual time at which the client actor receives the final response
+// — exactly the makespan an N-node cluster with these CPU costs and this
+// network would exhibit. The engine is single-threaded, so runs are
+// reproducible (ties broken by injection sequence number).
+//
+// For unit tests that need bit-exact timing across machines, set
+// `CostModel::measured_cpu = false`; every handler is then charged the fixed
+// `proc_overhead` instead of measured time.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "src/net/message.h"
+
+namespace mendel::net {
+
+struct CostModel {
+  // One-way link latency (seconds) — LAN-scale default.
+  double latency = 100e-6;
+  // Link bandwidth (bytes/second) — 10 GbE default.
+  double bandwidth = 1.25e9;
+  // Fixed cost charged per handled message (dispatch, deserialize).
+  double proc_overhead = 5e-6;
+  // Multiplier on measured handler CPU seconds (1.0 = charge as measured).
+  double cpu_scale = 1.0;
+  // When false, handler CPU is not measured; only proc_overhead is charged
+  // (deterministic timing for tests).
+  bool measured_cpu = true;
+
+  double transfer_delay(std::size_t bytes) const {
+    return latency + static_cast<double>(bytes) / bandwidth;
+  }
+};
+
+class SimTransport final : public Transport {
+ public:
+  explicit SimTransport(CostModel cost = {}) : cost_(cost) {}
+
+  void register_actor(NodeId id, Actor* actor) override;
+
+  // From inside a handler: departs at the sending node's current virtual
+  // clock. From outside run(): departs at `external_now_`.
+  void send(Message message) override;
+
+  // Processes events until the queue drains; returns the final virtual
+  // time (max over node clocks and deliveries).
+  double run_until_idle();
+
+  // Advances the external injection clock (used between queries so each
+  // query's turnaround is measured from its own injection time).
+  void set_external_time(double now) { external_now_ = now; }
+  double external_time() const { return external_now_; }
+
+  double node_clock(NodeId id) const;
+  NetworkStats stats() const override { return stats_; }
+
+  // Total measured handler CPU seconds charged so far (all nodes).
+  double total_cpu_seconds() const { return total_cpu_; }
+
+  // Marks a node as failed: messages to it are silently dropped (used by
+  // the fault-tolerance tests). Delivery to a failed node counts in
+  // dropped_messages().
+  void fail_node(NodeId id);
+  void heal_node(NodeId id);
+  std::uint64_t dropped_messages() const { return dropped_; }
+
+ private:
+  struct Event {
+    double time = 0.0;
+    std::uint64_t seq = 0;  // tie-breaker: FIFO among equal-time events
+    Message message;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  CostModel cost_;
+  std::map<NodeId, Actor*> actors_;
+  std::map<NodeId, double> clocks_;
+  std::map<NodeId, bool> failed_;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  NetworkStats stats_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dropped_ = 0;
+  double external_now_ = 0.0;
+  double total_cpu_ = 0.0;
+
+  // While a handler runs, its outbound messages are buffered here and
+  // stamped with the handler's completion time once it returns.
+  bool in_handler_ = false;
+  std::vector<Message> pending_;
+};
+
+}  // namespace mendel::net

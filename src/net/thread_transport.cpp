@@ -1,0 +1,107 @@
+#include "src/net/thread_transport.h"
+
+#include <chrono>
+
+#include "src/common/error.h"
+
+namespace mendel::net {
+
+ThreadTransport::~ThreadTransport() {
+  if (started_ && !stopped_) drain_and_stop();
+}
+
+void ThreadTransport::register_actor(NodeId id, Actor* actor) {
+  require(actor != nullptr, "ThreadTransport: null actor");
+  require(!started_, "ThreadTransport: register after start()");
+  require(actors_.find(id) == actors_.end(),
+          "ThreadTransport: duplicate actor id " + std::to_string(id));
+  actors_[id] = actor;
+  mailboxes_[id] = std::make_unique<Mailbox>();
+}
+
+void ThreadTransport::start() {
+  require(!started_, "ThreadTransport: started twice");
+  started_ = true;
+  workers_.reserve(actors_.size());
+  for (auto& [id, actor] : actors_) {
+    Mailbox* mailbox = mailboxes_.at(id).get();
+    workers_.emplace_back(
+        [this, id = id, actor = actor, mailbox] {
+          worker_loop(id, actor, mailbox);
+        });
+  }
+}
+
+void ThreadTransport::send(Message message) {
+  auto it = mailboxes_.find(message.to);
+  if (it == mailboxes_.end()) {
+    throw ProtocolError("ThreadTransport: send to unregistered node " +
+                        std::to_string(message.to));
+  }
+  {
+    std::lock_guard lock(stats_mu_);
+    stats_.messages += 1;
+    stats_.bytes += message.wire_size();
+  }
+  inflight_.fetch_add(1, std::memory_order_acq_rel);
+  Mailbox* mailbox = it->second.get();
+  {
+    std::lock_guard lock(mailbox->mu);
+    mailbox->queue.push_back(std::move(message));
+  }
+  mailbox->cv.notify_one();
+}
+
+void ThreadTransport::worker_loop(NodeId id, Actor* actor, Mailbox* mailbox) {
+  for (;;) {
+    Message message;
+    {
+      std::unique_lock lock(mailbox->mu);
+      mailbox->cv.wait(lock,
+                       [&] { return mailbox->stop || !mailbox->queue.empty(); });
+      if (mailbox->queue.empty()) {
+        if (mailbox->stop) return;
+        continue;
+      }
+      message = std::move(mailbox->queue.front());
+      mailbox->queue.pop_front();
+    }
+    const double now =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    Context ctx(this, id, now);
+    // A throwing handler would deadlock drain_and_stop(); surface the
+    // failure loudly instead.
+    actor->handle(message, ctx);
+    if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard lock(idle_mu_);
+      idle_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadTransport::drain_and_stop() {
+  require(started_, "ThreadTransport: drain before start()");
+  require(!stopped_, "ThreadTransport: drained twice");
+  {
+    std::unique_lock lock(idle_mu_);
+    idle_cv_.wait(lock, [this] {
+      return inflight_.load(std::memory_order_acquire) == 0;
+    });
+  }
+  for (auto& [id, mailbox] : mailboxes_) {
+    std::lock_guard lock(mailbox->mu);
+    mailbox->stop = true;
+    mailbox->cv.notify_all();
+  }
+  for (auto& worker : workers_) worker.join();
+  stopped_ = true;
+}
+
+NetworkStats ThreadTransport::stats() const {
+  std::lock_guard lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace mendel::net

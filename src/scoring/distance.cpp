@@ -1,0 +1,184 @@
+#include "src/scoring/distance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.h"
+
+namespace mendel::score {
+
+DistanceMatrix::DistanceMatrix(seq::Alphabet alphabet) : alphabet_(alphabet) {
+  for (auto& row : cells_) row.fill(0.0);
+}
+
+DistanceMatrix DistanceMatrix::hamming(seq::Alphabet alphabet) {
+  DistanceMatrix d(alphabet);
+  const std::size_t n = seq::cardinality(alphabet);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      d.cells_[a][b] = a == b ? 0.0 : 1.0;
+    }
+  }
+  return d;
+}
+
+DistanceMatrix DistanceMatrix::paper_from_scores(const ScoringMatrix& scores) {
+  DistanceMatrix d(scores.alphabet());
+  const std::size_t n = seq::cardinality(scores.alphabet());
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      d.cells_[a][b] = std::abs(
+          static_cast<double>(scores.score(static_cast<seq::Code>(a),
+                                           static_cast<seq::Code>(b)) -
+                              scores.score(static_cast<seq::Code>(a),
+                                           static_cast<seq::Code>(a))));
+    }
+  }
+  return d;
+}
+
+DistanceMatrix DistanceMatrix::metric_from_scores(
+    const ScoringMatrix& scores) {
+  DistanceMatrix d(scores.alphabet());
+  const std::size_t n = seq::cardinality(scores.alphabet());
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      const auto ca = static_cast<seq::Code>(a);
+      const auto cb = static_cast<seq::Code>(b);
+      // Kernel-to-distance transform: d = (B(a,a) + B(b,b))/2 - B(a,b).
+      // Symmetric and zero-diagonal by construction; clamp at zero in case a
+      // matrix rewards a substitution above the self-match average.
+      const double value =
+          0.5 * (scores.score(ca, ca) + scores.score(cb, cb)) -
+          scores.score(ca, cb);
+      d.cells_[a][b] = std::max(0.0, value);
+    }
+  }
+  d.repair_triangle_inequality();
+  return d;
+}
+
+bool DistanceMatrix::zero_diagonal() const {
+  const std::size_t n = seq::cardinality(alphabet_);
+  for (std::size_t a = 0; a < n; ++a) {
+    if (cells_[a][a] != 0.0) return false;
+  }
+  return true;
+}
+
+bool DistanceMatrix::is_symmetric() const {
+  const std::size_t n = seq::cardinality(alphabet_);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      if (cells_[a][b] != cells_[b][a]) return false;
+    }
+  }
+  return true;
+}
+
+bool DistanceMatrix::satisfies_triangle_inequality() const {
+  const std::size_t n = seq::cardinality(alphabet_);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      for (std::size_t c = 0; c < n; ++c) {
+        if (cells_[a][c] > cells_[a][b] + cells_[b][c] + 1e-12) return false;
+      }
+    }
+  }
+  return true;
+}
+
+void DistanceMatrix::repair_triangle_inequality() {
+  const std::size_t n = seq::cardinality(alphabet_);
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t a = 0; a < n; ++a) {
+      for (std::size_t b = 0; b < n; ++b) {
+        cells_[a][b] = std::min(cells_[a][b], cells_[a][k] + cells_[k][b]);
+      }
+    }
+  }
+}
+
+double DistanceMatrix::max_entry() const {
+  double worst = 0.0;
+  const std::size_t n = seq::cardinality(alphabet_);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      worst = std::max(worst, cells_[a][b]);
+    }
+  }
+  return worst;
+}
+
+double window_distance(const DistanceMatrix& d, seq::CodeSpan a,
+                       seq::CodeSpan b) {
+  require(a.size() == b.size(), "window_distance: length mismatch");
+  double total = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) total += d.at(a[i], b[i]);
+  return total;
+}
+
+double window_distance_bounded(const DistanceMatrix& d, seq::CodeSpan a,
+                               seq::CodeSpan b, double bound) {
+  require(a.size() == b.size(), "window_distance_bounded: length mismatch");
+  double total = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    total += d.at(a[i], b[i]);
+    if (total > bound) return total;
+  }
+  return total;
+}
+
+std::size_t hamming_distance(seq::CodeSpan a, seq::CodeSpan b) {
+  require(a.size() == b.size(), "hamming_distance: length mismatch");
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    mismatches += a[i] != b[i] ? 1 : 0;
+  }
+  return mismatches;
+}
+
+double percent_identity(seq::CodeSpan a, seq::CodeSpan b) {
+  if (a.empty()) return 0.0;
+  return 1.0 - static_cast<double>(hamming_distance(a, b)) /
+                   static_cast<double>(a.size());
+}
+
+double consecutivity_score(seq::CodeSpan a, seq::CodeSpan b,
+                           const ScoringMatrix& scores) {
+  require(a.size() == b.size(), "consecutivity_score: length mismatch");
+  const bool protein = scores.alphabet() == seq::Alphabet::kProtein;
+  std::size_t matches = 0;
+  std::size_t consecutive = 0;
+  std::size_t run = 0;
+  auto close_run = [&]() {
+    if (run >= 2) consecutive += run;
+    run = 0;
+  };
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const bool hit =
+        protein ? scores.score(a[i], b[i]) > 0 : a[i] == b[i];
+    if (hit) {
+      ++matches;
+      ++run;
+    } else {
+      close_run();
+    }
+  }
+  close_run();
+  if (matches == 0) return 0.0;
+  return static_cast<double>(consecutive) / static_cast<double>(matches);
+}
+
+const DistanceMatrix& default_distance(seq::Alphabet alphabet) {
+  if (alphabet == seq::Alphabet::kDna) {
+    static const DistanceMatrix dna =
+        DistanceMatrix::hamming(seq::Alphabet::kDna);
+    return dna;
+  }
+  static const DistanceMatrix protein =
+      DistanceMatrix::metric_from_scores(blosum62());
+  return protein;
+}
+
+}  // namespace mendel::score

@@ -1,0 +1,103 @@
+// Metric-space distance functions for the vp-tree similarity layer.
+//
+// Paper §III-B: DNA uses Hamming distance; protein uses a distance matrix
+// derived from a substitution matrix B via M[i][j] = |B[i][j] - B[i][i]|
+// (zero diagonal, mismatch penalties proportional to substitution
+// unlikeliness). As published, that transform is NOT symmetric (because
+// B[i][i] != B[j][j]), so it is not a metric and vp-tree pruning built on it
+// can be lossy. Mendel therefore ships two derivations:
+//
+//   * paper_from_scores()       — the literal published formula, kept for
+//                                 fidelity experiments;
+//   * metric_from_scores()      — symmetrized ((B[i][i]+B[j][j])/2 - B[i][j])
+//                                 and Floyd–Warshall-repaired so the triangle
+//                                 inequality holds exactly. This is the
+//                                 default used everywhere in the pipeline.
+//
+// Window (block) distance is the L1 sum of per-residue distances, which is a
+// metric over fixed-length windows whenever the per-residue table is one.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "src/scoring/matrix.h"
+#include "src/sequence/sequence.h"
+
+namespace mendel::score {
+
+class DistanceMatrix {
+ public:
+  static constexpr std::size_t kMaxCodes = ScoringMatrix::kMaxCodes;
+
+  explicit DistanceMatrix(seq::Alphabet alphabet);
+
+  // 0/1 mismatch indicator — Hamming building block (DNA default).
+  static DistanceMatrix hamming(seq::Alphabet alphabet);
+
+  // Literal paper formula M[i][j] = |B[i][j] - B[i][i]| (asymmetric).
+  static DistanceMatrix paper_from_scores(const ScoringMatrix& scores);
+
+  // Symmetrized + triangle-repaired metric derivation (Mendel default for
+  // protein data).
+  static DistanceMatrix metric_from_scores(const ScoringMatrix& scores);
+
+  seq::Alphabet alphabet() const { return alphabet_; }
+
+  double at(seq::Code a, seq::Code b) const { return cells_[a][b]; }
+  void set(seq::Code a, seq::Code b, double value) { cells_[a][b] = value; }
+
+  // Metric-axiom checks over all codes of the alphabet.
+  bool zero_diagonal() const;
+  bool is_symmetric() const;
+  bool satisfies_triangle_inequality() const;
+  bool is_metric() const {
+    return zero_diagonal() && is_symmetric() &&
+           satisfies_triangle_inequality();
+  }
+
+  // Enforces the triangle inequality in place by relaxing through
+  // intermediate codes (Floyd–Warshall shortest path on the 24-vertex
+  // complete graph). Distances only decrease; symmetry and zero diagonal
+  // are preserved.
+  void repair_triangle_inequality();
+
+  // Largest per-residue distance; window distance is bounded by len * this.
+  double max_entry() const;
+
+ private:
+  seq::Alphabet alphabet_;
+  std::array<std::array<double, kMaxCodes>, kMaxCodes> cells_{};
+};
+
+// L1 window distance: sum of per-residue distances over two equal-length
+// windows. Throws InvalidArgument on length mismatch.
+double window_distance(const DistanceMatrix& d, seq::CodeSpan a,
+                       seq::CodeSpan b);
+
+// Early-exit variant: returns an arbitrary value > bound as soon as the
+// running sum exceeds `bound`. Exact when the true distance <= bound. Used
+// inside vp-tree searches where candidates beyond tau are discarded anyway.
+double window_distance_bounded(const DistanceMatrix& d, seq::CodeSpan a,
+                               seq::CodeSpan b, double bound);
+
+// Plain Hamming distance between equal-length windows (count of differing
+// positions); the DNA metric of the paper.
+std::size_t hamming_distance(seq::CodeSpan a, seq::CodeSpan b);
+
+// Percent identity in [0,1]: 1 - hamming/len. Paper §V-B measure (1).
+double percent_identity(seq::CodeSpan a, seq::CodeSpan b);
+
+// Consecutivity score (paper §V-B measure (2), pinned down in DESIGN.md §7):
+// a position matches iff codes are equal (DNA) or the scoring matrix gives a
+// positive substitution score (protein). The c-score is the fraction of
+// matching positions that sit in a run of >= 2 consecutive matches; 0 when
+// nothing matches.
+double consecutivity_score(seq::CodeSpan a, seq::CodeSpan b,
+                           const ScoringMatrix& scores);
+
+// Default distance for an alphabet: Hamming for DNA, repaired
+// BLOSUM62-derived metric for protein.
+const DistanceMatrix& default_distance(seq::Alphabet alphabet);
+
+}  // namespace mendel::score

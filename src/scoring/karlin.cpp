@@ -1,0 +1,125 @@
+#include "src/scoring/karlin.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.h"
+#include "src/sequence/alphabet.h"
+
+namespace mendel::score {
+
+namespace {
+
+// phi(lambda) = sum_ij p_i p_j exp(lambda s_ij) - 1. phi(0) = 0; for a valid
+// scoring system (negative expectation, some positive score) phi dips
+// negative then crosses zero at the unique positive root.
+double phi(const ScoringMatrix& scores, std::span<const double> freqs,
+           double lambda) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < freqs.size(); ++i) {
+    for (std::size_t j = 0; j < freqs.size(); ++j) {
+      total += freqs[i] * freqs[j] *
+               std::exp(lambda * scores.score(static_cast<seq::Code>(i),
+                                              static_cast<seq::Code>(j)));
+    }
+  }
+  return total - 1.0;
+}
+
+double relative_entropy(const ScoringMatrix& scores,
+                        std::span<const double> freqs, double lambda) {
+  double h = 0.0;
+  for (std::size_t i = 0; i < freqs.size(); ++i) {
+    for (std::size_t j = 0; j < freqs.size(); ++j) {
+      const double s = scores.score(static_cast<seq::Code>(i),
+                                    static_cast<seq::Code>(j));
+      // q_ij = p_i p_j exp(lambda s_ij) is the aligned-pair distribution.
+      const double q = freqs[i] * freqs[j] * std::exp(lambda * s);
+      h += q * lambda * s;
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+KarlinParams solve_ungapped(const ScoringMatrix& scores,
+                            std::span<const double> freqs) {
+  require(!freqs.empty(), "solve_ungapped: empty frequency vector");
+
+  double expected = 0.0;
+  bool has_positive = false;
+  for (std::size_t i = 0; i < freqs.size(); ++i) {
+    for (std::size_t j = 0; j < freqs.size(); ++j) {
+      const int s = scores.score(static_cast<seq::Code>(i),
+                                 static_cast<seq::Code>(j));
+      expected += freqs[i] * freqs[j] * s;
+      has_positive = has_positive || s > 0;
+    }
+  }
+  require(expected < 0.0,
+          "solve_ungapped: expected score must be negative for " +
+              scores.name());
+  require(has_positive,
+          "solve_ungapped: no positive score in " + scores.name());
+
+  // Bracket the positive root: phi is negative just right of 0 and grows
+  // without bound, so double `hi` until phi(hi) > 0, then bisect.
+  double lo = 1e-6;
+  double hi = 0.5;
+  while (phi(scores, freqs, hi) < 0.0) {
+    lo = hi;
+    hi *= 2.0;
+    require(hi < 64.0, "solve_ungapped: lambda root bracket failed");
+  }
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (phi(scores, freqs, mid) < 0.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+
+  KarlinParams params;
+  params.lambda = 0.5 * (lo + hi);
+  params.h = relative_entropy(scores, freqs, params.lambda);
+  // Quick K estimate (Altschul 1991 appendix-style approximation); exact K
+  // needs the full lattice computation which is unnecessary for ranking.
+  params.k = std::clamp(std::exp(-1.9 * params.h) * params.h / params.lambda *
+                            params.lambda,
+                        0.01, 0.5);
+  return params;
+}
+
+KarlinParams gapped_params(const ScoringMatrix& scores) {
+  // NCBI BLAST tabulated gapped parameters at the default gap penalties.
+  if (scores.name() == "BLOSUM62") return {0.267, 0.041, 0.14};   // 11/1
+  if (scores.name() == "BLOSUM80") return {0.299, 0.071, 0.21};   // 10/1
+  if (scores.name() == "PAM250") return {0.215, 0.021, 0.10};     // 14/2
+  if (scores.name() == "DNA") return {0.625, 0.41, 0.78};         // +2/-3, 5/2
+
+  // Unknown matrix: solve ungapped at the matrix's alphabet background and
+  // apply the conventional ~15% lambda reduction seen across BLAST tables.
+  const auto& freqs =
+      scores.alphabet() == seq::Alphabet::kProtein
+          ? std::span<const double>(seq::protein_background_frequencies())
+          : std::span<const double>(seq::dna_background_frequencies());
+  KarlinParams params = solve_ungapped(scores, freqs);
+  params.lambda *= 0.85;
+  params.k *= 0.5;
+  return params;
+}
+
+double evalue(const KarlinParams& params, double score, std::size_t query_len,
+              std::size_t database_len) {
+  return params.k * static_cast<double>(query_len) *
+         static_cast<double>(database_len) *
+         std::exp(-params.lambda * score);
+}
+
+double bit_score(const KarlinParams& params, double score) {
+  return (params.lambda * score - std::log(params.k)) / std::log(2.0);
+}
+
+}  // namespace mendel::score

@@ -1,0 +1,47 @@
+// Karlin–Altschul statistics for local alignment significance.
+//
+// The expectation value (paper Table I parameter E) of a local alignment
+// with raw score S against a database follows E = K * m * n * exp(-lambda*S)
+// where m is the query length, n the total database length, and (lambda, K)
+// depend on the scoring system and residue composition. We solve lambda
+// exactly for ungapped scoring (the unique positive root of
+// sum_ij p_i p_j exp(lambda * s_ij) = 1) and carry tabulated gapped
+// parameters for the canonical matrices, matching how BLAST itself operates.
+#pragma once
+
+#include <span>
+
+#include "src/scoring/matrix.h"
+
+namespace mendel::score {
+
+struct KarlinParams {
+  double lambda = 0.0;  // nats per score unit
+  double k = 0.0;       // Karlin K
+  double h = 0.0;       // relative entropy (nats per aligned pair)
+};
+
+// Solves lambda for an ungapped scoring system over the given residue
+// frequencies (indexed by code; only the first freqs.size() codes are
+// considered). Requires a negative expected score and at least one positive
+// score (otherwise no positive root exists — throws InvalidArgument).
+// K is estimated with Altschul's approximation K ~= H / lambda * C; we use
+// the standard quick estimate K = exp(-1.9 * H) clamped to [0.01, 0.5],
+// which is accurate to within the tolerances our E-value ranking needs.
+KarlinParams solve_ungapped(const ScoringMatrix& scores,
+                            std::span<const double> freqs);
+
+// Gapped parameters for the canonical matrices at their default gap
+// penalties (values from the NCBI BLAST tables). Falls back to the ungapped
+// solution scaled by the conventional gapped/ungapped ratio when the matrix
+// is not tabulated.
+KarlinParams gapped_params(const ScoringMatrix& scores);
+
+// E = K * m * n * exp(-lambda * score).
+double evalue(const KarlinParams& params, double score, std::size_t query_len,
+              std::size_t database_len);
+
+// Bit score: (lambda * S - ln K) / ln 2.
+double bit_score(const KarlinParams& params, double score);
+
+}  // namespace mendel::score

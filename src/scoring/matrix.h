@@ -1,0 +1,72 @@
+// Substitution scoring matrices.
+//
+// These are the matrices used to *score alignments* (paper parameter M in
+// Table I). They are distinct from the Mendel *distance* matrices in
+// distance.h, which are derived from them but only drive the vp-tree
+// similarity search (paper §III-B: "this distance matrix is not used to
+// score the actual alignments").
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/sequence/alphabet.h"
+
+namespace mendel::score {
+
+// Affine gap penalties: opening a gap costs `open + extend`, each further
+// gapped column costs `extend`. Values are positive costs.
+struct GapPenalties {
+  int open = 11;
+  int extend = 1;
+};
+
+class ScoringMatrix {
+ public:
+  static constexpr std::size_t kMaxCodes = 24;
+
+  ScoringMatrix(std::string name, seq::Alphabet alphabet,
+                GapPenalties default_gaps);
+
+  const std::string& name() const { return name_; }
+  seq::Alphabet alphabet() const { return alphabet_; }
+  GapPenalties default_gaps() const { return default_gaps_; }
+
+  int score(seq::Code a, seq::Code b) const {
+    return cells_[a][b];
+  }
+
+  void set(seq::Code a, seq::Code b, int value) { cells_[a][b] = value; }
+
+  // Largest diagonal entry (best possible per-column score).
+  int max_match_score() const;
+  // Most negative entry.
+  int min_score() const;
+
+  // True if score(a,b) == score(b,a) for all codes of the alphabet.
+  bool is_symmetric() const;
+
+ private:
+  std::string name_;
+  seq::Alphabet alphabet_;
+  GapPenalties default_gaps_;
+  std::array<std::array<int, kMaxCodes>, kMaxCodes> cells_{};
+};
+
+// Canonical matrices (constructed once, returned by reference).
+const ScoringMatrix& blosum62();
+const ScoringMatrix& blosum80();
+const ScoringMatrix& pam250();
+
+// Simple DNA match/mismatch matrix (BLAST megablast-style defaults +2/-3);
+// N scores 0 against everything.
+ScoringMatrix dna_matrix(int match = 2, int mismatch = -3);
+
+// Lookup by the string name a query carries (paper Table I parameter M):
+// "BLOSUM62", "BLOSUM80", "PAM250", "DNA". Throws InvalidArgument for
+// unknown names.
+const ScoringMatrix& matrix_by_name(std::string_view name);
+
+}  // namespace mendel::score

@@ -1,0 +1,113 @@
+#include "src/scoring/matrix_io.h"
+
+#include <fstream>
+#include <vector>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "src/common/error.h"
+
+namespace mendel::score {
+
+namespace {
+
+std::map<std::string, ScoringMatrix, std::less<>>& registry() {
+  static std::map<std::string, ScoringMatrix, std::less<>> matrices;
+  return matrices;
+}
+
+std::mutex& registry_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+}  // namespace
+
+ScoringMatrix parse_ncbi_matrix(std::istream& in, std::string name,
+                                seq::Alphabet alphabet, GapPenalties gaps) {
+  ScoringMatrix matrix(std::move(name), alphabet, gaps);
+
+  std::vector<seq::Code> columns;
+  std::vector<bool> have_row(seq::cardinality(alphabet), false);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    // Strip comments and blank lines.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream tokens(line);
+    std::string first;
+    if (!(tokens >> first)) continue;
+
+    if (columns.empty()) {
+      // Header row: single letters naming the columns.
+      std::string token = first;
+      do {
+        if (token.size() != 1 || !seq::is_valid(alphabet, token[0])) {
+          throw ParseError("matrix line " + std::to_string(line_no) +
+                           ": bad column letter '" + token + "'");
+        }
+        columns.push_back(seq::encode(alphabet, token[0]));
+      } while (tokens >> token);
+      continue;
+    }
+
+    // Data row: letter followed by one score per column.
+    if (first.size() != 1 || !seq::is_valid(alphabet, first[0])) {
+      throw ParseError("matrix line " + std::to_string(line_no) +
+                       ": bad row letter '" + first + "'");
+    }
+    const seq::Code row = seq::encode(alphabet, first[0]);
+    for (seq::Code column : columns) {
+      int value;
+      if (!(tokens >> value)) {
+        throw ParseError("matrix line " + std::to_string(line_no) +
+                         ": expected " + std::to_string(columns.size()) +
+                         " scores");
+      }
+      matrix.set(row, column, value);
+    }
+    int extra;
+    if (tokens >> extra) {
+      throw ParseError("matrix line " + std::to_string(line_no) +
+                       ": too many scores");
+    }
+    have_row[row] = true;
+  }
+  require(!columns.empty(), "matrix file has no header row");
+
+  // All core residues must be covered.
+  for (std::size_t c = 0; c < seq::core_cardinality(alphabet); ++c) {
+    require(have_row[c],
+            std::string("matrix file missing row for residue '") +
+                seq::decode(alphabet, static_cast<seq::Code>(c)) + "'");
+  }
+  return matrix;
+}
+
+ScoringMatrix load_matrix_file(const std::string& path, std::string name,
+                               seq::Alphabet alphabet, GapPenalties gaps) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open matrix file: " + path);
+  return parse_ncbi_matrix(in, std::move(name), alphabet, gaps);
+}
+
+void register_matrix(ScoringMatrix matrix) {
+  const std::string name = matrix.name();
+  require(name != "BLOSUM62" && name != "BLOSUM80" && name != "PAM250" &&
+              name != "DNA",
+          "register_matrix: cannot shadow built-in matrix " + name);
+  std::lock_guard lock(registry_mutex());
+  registry().insert_or_assign(name, std::move(matrix));
+}
+
+const ScoringMatrix* find_registered_matrix(std::string_view name) {
+  std::lock_guard lock(registry_mutex());
+  auto it = registry().find(name);
+  return it == registry().end() ? nullptr : &it->second;
+}
+
+}  // namespace mendel::score

@@ -1,0 +1,48 @@
+// Reading substitution matrices from NCBI-format text files, plus a
+// process-wide registry so loaded matrices resolve through
+// matrix_by_name() everywhere (query parameters carry matrices by name
+// across the cluster).
+//
+// File format (the format `makeblastdb`/`blastp` ship matrices in):
+//
+//   # comments
+//      A  R  N  D  ...
+//   A  4 -1 -2 -2  ...
+//   R -1  5  0 -2  ...
+//
+// Row/column letters may appear in any order and may cover any subset of
+// the alphabet; unlisted pairs keep score 0 except that listed letters get
+// min_score against unlisted ones would be surprising — so the loader
+// requires the 20 standard residues (protein) or 4 bases (DNA) to be
+// present and fills ambiguity codes conservatively (X/N rows default to
+// -1 / 0 as in the NCBI tables) unless the file provides them.
+#pragma once
+
+#include <istream>
+#include <string>
+
+#include "src/scoring/matrix.h"
+
+namespace mendel::score {
+
+// Parses a matrix; `name` becomes its registry/lookup name. Throws
+// ParseError on malformed input, InvalidArgument on missing core residues.
+ScoringMatrix parse_ncbi_matrix(std::istream& in, std::string name,
+                                seq::Alphabet alphabet,
+                                GapPenalties gaps = {11, 1});
+
+// File wrapper; throws IoError when unreadable.
+ScoringMatrix load_matrix_file(const std::string& path, std::string name,
+                               seq::Alphabet alphabet,
+                               GapPenalties gaps = {11, 1});
+
+// Registers a matrix under its name() for matrix_by_name() lookup
+// (replaces any previous registration of the same name; the built-in
+// matrices cannot be shadowed). Thread-safe.
+void register_matrix(ScoringMatrix matrix);
+
+// Lookup hook used by matrix_by_name(): returns nullptr when not
+// registered.
+const ScoringMatrix* find_registered_matrix(std::string_view name);
+
+}  // namespace mendel::score

@@ -1,0 +1,126 @@
+#include "src/sequence/alphabet.h"
+
+#include <cctype>
+
+#include "src/common/error.h"
+
+namespace mendel::seq {
+
+namespace {
+
+// 256-entry lookup tables built once; 0xff marks an invalid character.
+struct EncodeTables {
+  std::array<Code, 256> dna;
+  std::array<Code, 256> protein;
+
+  EncodeTables() {
+    dna.fill(0xff);
+    protein.fill(0xff);
+    auto set_both_cases = [](std::array<Code, 256>& table, char c, Code code) {
+      table[static_cast<unsigned char>(std::toupper(c))] = code;
+      table[static_cast<unsigned char>(std::tolower(c))] = code;
+    };
+    set_both_cases(dna, 'A', kDnaA);
+    set_both_cases(dna, 'C', kDnaC);
+    set_both_cases(dna, 'G', kDnaG);
+    set_both_cases(dna, 'T', kDnaT);
+    set_both_cases(dna, 'U', kDnaT);  // RNA input folds onto T
+    // IUPAC ambiguity codes collapse to N.
+    for (char c : {'N', 'R', 'Y', 'S', 'W', 'K', 'M', 'B', 'D', 'H', 'V'}) {
+      set_both_cases(dna, c, kDnaN);
+    }
+    const std::string_view symbols = "ARNDCQEGHILKMFPSTWYVBZX*";
+    for (std::size_t i = 0; i < symbols.size(); ++i) {
+      // Codes 0..19 are the standard residues; 20..23 are B Z X *.
+      set_both_cases(protein, symbols[i], static_cast<Code>(i));
+    }
+    // Selenocysteine/pyrrolysine and rare codes map to X (unknown).
+    for (char c : {'U', 'O', 'J'}) {
+      set_both_cases(protein, c, 22);
+    }
+  }
+};
+
+const EncodeTables& tables() {
+  static const EncodeTables t;
+  return t;
+}
+
+constexpr char kDnaLetters[kDnaCardinality + 1] = "ACGTN";
+constexpr char kProteinLetters[kProteinCardinality + 1] =
+    "ARNDCQEGHILKMFPSTWYVBZX*";
+
+}  // namespace
+
+std::size_t cardinality(Alphabet a) {
+  return a == Alphabet::kDna ? kDnaCardinality : kProteinCardinality;
+}
+
+std::size_t core_cardinality(Alphabet a) {
+  return a == Alphabet::kDna ? 4u : 20u;
+}
+
+Code encode(Alphabet a, char c) {
+  const auto& table =
+      a == Alphabet::kDna ? tables().dna : tables().protein;
+  const Code code = table[static_cast<unsigned char>(c)];
+  if (code == 0xff) {
+    throw ParseError(std::string("invalid ") + std::string(name(a)) +
+                     " character '" + c + "'");
+  }
+  return code;
+}
+
+char decode(Alphabet a, Code code) {
+  if (code >= cardinality(a)) {
+    throw InvalidArgument("residue code " + std::to_string(code) +
+                          " out of range for alphabet " +
+                          std::string(name(a)));
+  }
+  return a == Alphabet::kDna ? kDnaLetters[code] : kProteinLetters[code];
+}
+
+bool is_valid(Alphabet a, char c) {
+  const auto& table =
+      a == Alphabet::kDna ? tables().dna : tables().protein;
+  return table[static_cast<unsigned char>(c)] != 0xff;
+}
+
+std::string_view name(Alphabet a) {
+  return a == Alphabet::kDna ? "dna" : "protein";
+}
+
+const std::array<double, 20>& protein_background_frequencies() {
+  // UniProtKB/Swiss-Prot release 2015_09 composition statistics,
+  // in BLOSUM code order A R N D C Q E G H I L K M F P S T W Y V.
+  static const std::array<double, 20> freqs = {
+      0.0826,  // A  Ala
+      0.0553,  // R  Arg
+      0.0406,  // N  Asn
+      0.0546,  // D  Asp
+      0.0137,  // C  Cys
+      0.0393,  // Q  Gln
+      0.0674,  // E  Glu
+      0.0708,  // G  Gly
+      0.0227,  // H  His
+      0.0596,  // I  Ile
+      0.0966,  // L  Leu  (most frequent, ~9x Trp — paper §III-B)
+      0.0584,  // K  Lys
+      0.0242,  // M  Met
+      0.0386,  // F  Phe
+      0.0470,  // P  Pro
+      0.0660,  // S  Ser
+      0.0535,  // T  Thr
+      0.0109,  // W  Trp  (least frequent)
+      0.0292,  // Y  Tyr
+      0.0687,  // V  Val
+  };
+  return freqs;
+}
+
+const std::array<double, 4>& dna_background_frequencies() {
+  static const std::array<double, 4> freqs = {0.25, 0.25, 0.25, 0.25};
+  return freqs;
+}
+
+}  // namespace mendel::seq

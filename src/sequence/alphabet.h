@@ -1,0 +1,66 @@
+// Biological alphabets and residue encoding.
+//
+// Mendel stores every sequence as a vector of small integer codes rather
+// than ASCII. The protein code order is the classic BLOSUM publication
+// order (A R N D C Q E G H I L K M F P S T W Y V, then the ambiguity codes
+// B Z X and the stop '*'), which lets the scoring-matrix tables in
+// src/scoring be transcribed verbatim from the literature.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mendel::seq {
+
+enum class Alphabet : std::uint8_t { kDna = 0, kProtein = 1 };
+
+// Residue codes are uint8_t indices into the alphabet's symbol table.
+using Code = std::uint8_t;
+
+// --- DNA ------------------------------------------------------------------
+// A C G T plus the ambiguity base N. Lowercase input is accepted and
+// upcased; any other IUPAC ambiguity code maps to N.
+inline constexpr std::size_t kDnaCardinality = 5;  // A C G T N
+inline constexpr Code kDnaA = 0, kDnaC = 1, kDnaG = 2, kDnaT = 3, kDnaN = 4;
+
+// --- Protein ---------------------------------------------------------------
+// 20 standard amino acids in BLOSUM order, then B (Asx), Z (Glx),
+// X (unknown), * (stop).
+inline constexpr std::size_t kProteinCardinality = 24;
+inline constexpr std::string_view kProteinSymbols = "ARNDCQEGHILKMFPSTWYVBZX*";
+
+// Number of distinct codes for an alphabet (including ambiguity codes).
+std::size_t cardinality(Alphabet a);
+
+// Number of *unambiguous* residues (4 for DNA, 20 for protein); generators
+// sample only from this prefix of the code space.
+std::size_t core_cardinality(Alphabet a);
+
+// Letter -> code. Throws mendel::ParseError for characters outside the
+// alphabet (whitespace and digits included; FASTA parsing strips those
+// before calling).
+Code encode(Alphabet a, char c);
+
+// Code -> canonical uppercase letter. Throws mendel::InvalidArgument for
+// out-of-range codes.
+char decode(Alphabet a, Code code);
+
+// True if `c` encodes successfully in alphabet `a`.
+bool is_valid(Alphabet a, char c);
+
+// Human-readable alphabet name ("dna" / "protein").
+std::string_view name(Alphabet a);
+
+// UniProtKB/Swiss-Prot September 2015 amino-acid background frequencies
+// (fractions summing to ~1), indexed by protein code 0..19. Used by the
+// workload generator (realistic composition; Leu ~9.7%, Trp ~1.1% — the
+// nine-fold spread the paper §III-B cites) and by the Karlin–Altschul
+// statistics in src/scoring.
+const std::array<double, 20>& protein_background_frequencies();
+
+// Uniform DNA background (0.25 each), indexed by DNA code 0..3.
+const std::array<double, 4>& dna_background_frequencies();
+
+}  // namespace mendel::seq

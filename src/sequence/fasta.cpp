@@ -1,0 +1,93 @@
+#include "src/sequence/fasta.h"
+
+#include <cctype>
+#include <fstream>
+
+#include "src/common/error.h"
+
+namespace mendel::seq {
+
+std::vector<Sequence> read_fasta(std::istream& in, Alphabet alphabet) {
+  std::vector<Sequence> records;
+  std::string line;
+  std::string name;
+  std::vector<Code> codes;
+  bool in_record = false;
+  std::size_t line_no = 0;
+
+  auto flush = [&]() {
+    if (!in_record) return;
+    if (codes.empty()) {
+      throw ParseError("FASTA record '" + name + "' has no residues");
+    }
+    records.emplace_back(alphabet, name, std::move(codes));
+    codes = {};
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip trailing CR from CRLF files.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line[0] == ';') continue;  // legacy comment line
+    if (line[0] == '>') {
+      flush();
+      name = line.substr(1);
+      // Trim leading whitespace of the description.
+      const auto first = name.find_first_not_of(" \t");
+      name = first == std::string::npos ? std::string() : name.substr(first);
+      in_record = true;
+      continue;
+    }
+    if (!in_record) {
+      throw ParseError("FASTA line " + std::to_string(line_no) +
+                       ": residues before first '>' header");
+    }
+    for (char c : line) {
+      if (std::isspace(static_cast<unsigned char>(c))) continue;
+      try {
+        codes.push_back(encode(alphabet, c));
+      } catch (const ParseError& e) {
+        throw ParseError("FASTA line " + std::to_string(line_no) + ": " +
+                         e.what());
+      }
+    }
+  }
+  flush();
+  return records;
+}
+
+std::vector<Sequence> read_fasta_file(const std::string& path,
+                                      Alphabet alphabet) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open FASTA file: " + path);
+  return read_fasta(in, alphabet);
+}
+
+std::size_t load_fasta(std::istream& in, SequenceStore& store) {
+  auto records = read_fasta(in, store.alphabet());
+  for (auto& record : records) store.add(std::move(record));
+  return records.size();
+}
+
+void write_fasta(std::ostream& out, const std::vector<Sequence>& sequences,
+                 std::size_t wrap) {
+  require(wrap > 0, "FASTA wrap width must be positive");
+  for (const auto& sequence : sequences) {
+    out << '>' << sequence.name() << '\n';
+    const std::string residues = sequence.to_string();
+    for (std::size_t i = 0; i < residues.size(); i += wrap) {
+      out << residues.substr(i, wrap) << '\n';
+    }
+  }
+}
+
+void write_fasta_file(const std::string& path,
+                      const std::vector<Sequence>& sequences,
+                      std::size_t wrap) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot open FASTA file for writing: " + path);
+  write_fasta(out, sequences, wrap);
+}
+
+}  // namespace mendel::seq

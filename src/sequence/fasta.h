@@ -1,0 +1,36 @@
+// FASTA reading and writing.
+//
+// Standard multi-record FASTA: '>' description lines followed by wrapped
+// residue lines. Blank lines are tolerated; ';' comment lines (legacy
+// FASTA) are skipped. The reader streams from any std::istream so tests
+// can parse from strings and the examples from files.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/sequence/sequence.h"
+
+namespace mendel::seq {
+
+// Parses every record from `in`. Throws ParseError on malformed input
+// (residues before the first header, invalid characters).
+std::vector<Sequence> read_fasta(std::istream& in, Alphabet alphabet);
+
+// Convenience file wrapper; throws IoError if the file cannot be opened.
+std::vector<Sequence> read_fasta_file(const std::string& path,
+                                      Alphabet alphabet);
+
+// Loads a FASTA stream directly into a store; returns #records added.
+std::size_t load_fasta(std::istream& in, SequenceStore& store);
+
+// Writes records with residue lines wrapped at `wrap` columns.
+void write_fasta(std::ostream& out, const std::vector<Sequence>& sequences,
+                 std::size_t wrap = 70);
+void write_fasta_file(const std::string& path,
+                      const std::vector<Sequence>& sequences,
+                      std::size_t wrap = 70);
+
+}  // namespace mendel::seq

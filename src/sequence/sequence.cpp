@@ -1,0 +1,58 @@
+#include "src/sequence/sequence.h"
+
+#include "src/common/error.h"
+
+namespace mendel::seq {
+
+Sequence Sequence::from_string(Alphabet alphabet, std::string name,
+                               std::string_view residues) {
+  return Sequence(alphabet, std::move(name),
+                  encode_string(alphabet, residues));
+}
+
+CodeSpan Sequence::window(std::size_t start, std::size_t len) const {
+  if (start + len > codes_.size()) {
+    throw InvalidArgument("sequence window [" + std::to_string(start) + ", " +
+                          std::to_string(start + len) + ") out of range for " +
+                          "length " + std::to_string(codes_.size()));
+  }
+  return CodeSpan(codes_).subspan(start, len);
+}
+
+std::string Sequence::to_string() const {
+  return seq::to_string(alphabet_, codes_);
+}
+
+std::string to_string(Alphabet alphabet, CodeSpan codes) {
+  std::string out;
+  out.reserve(codes.size());
+  for (Code c : codes) out.push_back(decode(alphabet, c));
+  return out;
+}
+
+std::vector<Code> encode_string(Alphabet alphabet,
+                                std::string_view residues) {
+  std::vector<Code> codes;
+  codes.reserve(residues.size());
+  for (char c : residues) codes.push_back(encode(alphabet, c));
+  return codes;
+}
+
+SequenceId SequenceStore::add(Sequence sequence) {
+  require(sequence.alphabet() == alphabet_,
+          "SequenceStore alphabet mismatch on add()");
+  const auto id = static_cast<SequenceId>(sequences_.size());
+  sequence.set_id(id);
+  total_residues_ += sequence.size();
+  sequences_.push_back(std::move(sequence));
+  return id;
+}
+
+const Sequence& SequenceStore::at(SequenceId id) const {
+  if (id >= sequences_.size()) {
+    throw InvalidArgument("unknown sequence id " + std::to_string(id));
+  }
+  return sequences_[id];
+}
+
+}  // namespace mendel::seq

@@ -1,0 +1,101 @@
+// Encoded biological sequences and lightweight views over them.
+//
+// A Sequence owns its residue codes; SequenceView is a non-owning window
+// (used pervasively: inverted-index blocks, subqueries, and extension
+// regions are all views). Sequences carry a numeric id assigned by the
+// SequenceStore they live in, plus the free-text FASTA description.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/sequence/alphabet.h"
+
+namespace mendel::seq {
+
+// Stable identifier of a reference sequence within one database.
+using SequenceId = std::uint32_t;
+inline constexpr SequenceId kInvalidSequenceId = 0xffffffffu;
+
+using CodeSpan = std::span<const Code>;
+
+class Sequence {
+ public:
+  Sequence() = default;
+  Sequence(Alphabet alphabet, std::string name, std::vector<Code> codes)
+      : alphabet_(alphabet), name_(std::move(name)), codes_(std::move(codes)) {}
+
+  // Parses an ASCII residue string (throws ParseError on bad characters).
+  static Sequence from_string(Alphabet alphabet, std::string name,
+                              std::string_view residues);
+
+  Alphabet alphabet() const { return alphabet_; }
+  const std::string& name() const { return name_; }
+  SequenceId id() const { return id_; }
+  void set_id(SequenceId id) { id_ = id; }
+
+  std::size_t size() const { return codes_.size(); }
+  bool empty() const { return codes_.empty(); }
+  Code operator[](std::size_t i) const { return codes_[i]; }
+  CodeSpan codes() const { return codes_; }
+  std::vector<Code>& mutable_codes() { return codes_; }
+
+  // Window [start, start+len); clamped precondition: must lie inside the
+  // sequence (throws InvalidArgument otherwise).
+  CodeSpan window(std::size_t start, std::size_t len) const;
+
+  // Renders back to uppercase ASCII letters.
+  std::string to_string() const;
+
+  bool operator==(const Sequence& other) const {
+    return alphabet_ == other.alphabet_ && codes_ == other.codes_;
+  }
+
+ private:
+  Alphabet alphabet_ = Alphabet::kProtein;
+  SequenceId id_ = kInvalidSequenceId;
+  std::string name_;
+  std::vector<Code> codes_;
+};
+
+// Renders any code span to ASCII for diagnostics.
+std::string to_string(Alphabet alphabet, CodeSpan codes);
+
+// Parses ASCII residues into codes without wrapping in a Sequence.
+std::vector<Code> encode_string(Alphabet alphabet, std::string_view residues);
+
+// An in-memory, append-only collection of reference sequences with id
+// assignment. This is the "database" handed to both Mendel and the BLAST
+// baseline; the distributed SequenceRepository in src/mendel partitions one
+// of these across storage nodes.
+class SequenceStore {
+ public:
+  explicit SequenceStore(Alphabet alphabet) : alphabet_(alphabet) {}
+
+  Alphabet alphabet() const { return alphabet_; }
+
+  // Appends and assigns the next id; returns it. Rejects sequences of a
+  // different alphabet.
+  SequenceId add(Sequence sequence);
+
+  std::size_t size() const { return sequences_.size(); }
+  const Sequence& at(SequenceId id) const;
+  bool contains(SequenceId id) const { return id < sequences_.size(); }
+
+  // Total residues across all sequences (the "database size" axis of
+  // Fig 6b).
+  std::size_t total_residues() const { return total_residues_; }
+
+  auto begin() const { return sequences_.begin(); }
+  auto end() const { return sequences_.end(); }
+
+ private:
+  Alphabet alphabet_;
+  std::vector<Sequence> sequences_;
+  std::size_t total_residues_ = 0;
+};
+
+}  // namespace mendel::seq

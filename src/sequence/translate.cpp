@@ -1,0 +1,114 @@
+#include "src/sequence/translate.h"
+
+#include <string_view>
+
+#include "src/common/error.h"
+
+namespace mendel::seq {
+
+namespace {
+
+std::array<Code, 64> build_genetic_code() {
+  // (codon, amino acid) pairs of the standard code.
+  struct Entry {
+    const char* codon;
+    char aa;
+  };
+  static constexpr Entry kTable[] = {
+      {"TTT", 'F'}, {"TTC", 'F'}, {"TTA", 'L'}, {"TTG", 'L'},
+      {"CTT", 'L'}, {"CTC", 'L'}, {"CTA", 'L'}, {"CTG", 'L'},
+      {"ATT", 'I'}, {"ATC", 'I'}, {"ATA", 'I'}, {"ATG", 'M'},
+      {"GTT", 'V'}, {"GTC", 'V'}, {"GTA", 'V'}, {"GTG", 'V'},
+      {"TCT", 'S'}, {"TCC", 'S'}, {"TCA", 'S'}, {"TCG", 'S'},
+      {"CCT", 'P'}, {"CCC", 'P'}, {"CCA", 'P'}, {"CCG", 'P'},
+      {"ACT", 'T'}, {"ACC", 'T'}, {"ACA", 'T'}, {"ACG", 'T'},
+      {"GCT", 'A'}, {"GCC", 'A'}, {"GCA", 'A'}, {"GCG", 'A'},
+      {"TAT", 'Y'}, {"TAC", 'Y'}, {"TAA", '*'}, {"TAG", '*'},
+      {"CAT", 'H'}, {"CAC", 'H'}, {"CAA", 'Q'}, {"CAG", 'Q'},
+      {"AAT", 'N'}, {"AAC", 'N'}, {"AAA", 'K'}, {"AAG", 'K'},
+      {"GAT", 'D'}, {"GAC", 'D'}, {"GAA", 'E'}, {"GAG", 'E'},
+      {"TGT", 'C'}, {"TGC", 'C'}, {"TGA", '*'}, {"TGG", 'W'},
+      {"CGT", 'R'}, {"CGC", 'R'}, {"CGA", 'R'}, {"CGG", 'R'},
+      {"AGT", 'S'}, {"AGC", 'S'}, {"AGA", 'R'}, {"AGG", 'R'},
+      {"GGT", 'G'}, {"GGC", 'G'}, {"GGA", 'G'}, {"GGG", 'G'},
+  };
+  std::array<Code, 64> code{};
+  for (const Entry& entry : kTable) {
+    const std::string_view codon(entry.codon);
+    const std::size_t index =
+        16 * encode(Alphabet::kDna, codon[0]) +
+        4 * encode(Alphabet::kDna, codon[1]) +
+        encode(Alphabet::kDna, codon[2]);
+    code[index] = encode(Alphabet::kProtein, entry.aa);
+  }
+  return code;
+}
+
+}  // namespace
+
+const std::array<Code, 64>& standard_genetic_code() {
+  static const std::array<Code, 64> code = build_genetic_code();
+  return code;
+}
+
+std::vector<Code> reverse_complement(CodeSpan dna) {
+  std::vector<Code> out;
+  out.reserve(dna.size());
+  for (std::size_t i = dna.size(); i-- > 0;) {
+    switch (dna[i]) {
+      case kDnaA:
+        out.push_back(kDnaT);
+        break;
+      case kDnaC:
+        out.push_back(kDnaG);
+        break;
+      case kDnaG:
+        out.push_back(kDnaC);
+        break;
+      case kDnaT:
+        out.push_back(kDnaA);
+        break;
+      default:
+        out.push_back(kDnaN);
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<Code> translate(CodeSpan dna, std::size_t frame) {
+  require(frame < 3, "translate: frame must be 0, 1, or 2");
+  std::vector<Code> protein;
+  if (dna.size() < frame + 3) return protein;
+  protein.reserve((dna.size() - frame) / 3);
+  const Code unknown = encode(Alphabet::kProtein, 'X');
+  for (std::size_t i = frame; i + 3 <= dna.size(); i += 3) {
+    if (dna[i] >= 4 || dna[i + 1] >= 4 || dna[i + 2] >= 4) {
+      protein.push_back(unknown);  // codon contains N
+      continue;
+    }
+    protein.push_back(
+        standard_genetic_code()[16 * dna[i] + 4 * dna[i + 1] + dna[i + 2]]);
+  }
+  return protein;
+}
+
+std::vector<TranslatedFrame> six_frame_translations(CodeSpan dna) {
+  std::vector<TranslatedFrame> frames;
+  for (std::size_t f = 0; f < 3; ++f) {
+    auto protein = translate(dna, f);
+    if (!protein.empty()) {
+      frames.push_back({static_cast<int>(f) + 1, std::move(protein)});
+    }
+  }
+  const auto rc = reverse_complement(dna);
+  for (std::size_t f = 0; f < 3; ++f) {
+    auto protein = translate(rc, f);
+    if (!protein.empty()) {
+      frames.push_back({-(static_cast<int>(f) + 1), std::move(protein)});
+    }
+  }
+  return frames;
+}
+
+}  // namespace mendel::seq

@@ -1,0 +1,36 @@
+// DNA → protein translation (standard genetic code) and six-frame
+// translation, enabling blastx-style searches: nucleotide reads matched
+// against a protein reference database (see examples/translated_search.cpp).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "src/sequence/sequence.h"
+
+namespace mendel::seq {
+
+// Reverse complement of a DNA code sequence (N maps to N).
+std::vector<Code> reverse_complement(CodeSpan dna);
+
+// Translates one reading frame (offset 0..2) of `dna`; trailing partial
+// codons are dropped. Codons containing N translate to X; stop codons
+// translate to '*'. Throws InvalidArgument for frame > 2.
+std::vector<Code> translate(CodeSpan dna, std::size_t frame);
+
+// One of the six reading frames of a nucleotide sequence.
+struct TranslatedFrame {
+  // +1, +2, +3 forward; -1, -2, -3 on the reverse complement (blastx frame
+  // numbering).
+  int frame = 1;
+  std::vector<Code> protein;
+};
+
+// All six frames (empty frames from very short inputs are omitted).
+std::vector<TranslatedFrame> six_frame_translations(CodeSpan dna);
+
+// The standard genetic code: codon index (16*b1 + 4*b2 + b3, bases in
+// A,C,G,T code order) -> protein code. Exposed for tests.
+const std::array<Code, 64>& standard_genetic_code();
+
+}  // namespace mendel::seq

@@ -1,0 +1,514 @@
+// Dynamically balanced vantage-point tree.
+//
+// The paper (§III-D) observes that the original vp-tree must be built over
+// the whole dataset at once and that naive one-at-a-time insertion degrades
+// toward a linear-time structure. Following Fu et al.'s dynamic vp-tree
+// indexing, insertion is handled by four cases:
+//
+//   1. leaf bucket has room              -> append to bucket;
+//   2. leaf full, sibling has room       -> redistribute under the parent;
+//   3. leaf+sibling full, some ancestor  -> redistribute under the lowest
+//      subtree has room                     such ancestor;
+//   4. tree completely full              -> rebuild from the root with
+//                                           grown capacity ("split root").
+//
+// Cases 2 and 3 are implemented uniformly as "rebuild the lowest ancestor
+// whose subtree has spare capacity" (case 2 is the ancestor == parent
+// special case). Each (re)build fixes per-subtree capacities, so lookups
+// stay O(log n) amortized.
+//
+// insert_batch() is the paper's "middle ground": elements are admitted in
+// bulk, leaves may temporarily overflow, and a single consolidation pass
+// rebuilds only the subtrees that ended up over capacity.
+//
+// A `rebalance = false` mode implements the naive split-in-place insertion
+// the paper warns about; bench/micro_vptree quantifies the difference.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "src/common/error.h"
+#include "src/common/rng.h"
+#include "src/vptree/vptree.h"
+
+namespace mendel::vpt {
+
+struct DynamicVpTreeOptions {
+  std::size_t bucket_capacity = 32;
+  // When false, full leaves are split in place with no redistribution —
+  // the naive scheme (paper §III-D) kept for the ablation benchmark.
+  bool rebalance = true;
+  // insert_batch() lets a leaf overflow to overflow_factor * bucket_capacity
+  // before the consolidation pass rebuilds its subtree.
+  double overflow_factor = 2.0;
+  std::uint64_t seed = 0x64796e767074ULL;
+};
+
+// Telemetry for the micro benchmarks and tests.
+struct DynamicVpTreeCounters {
+  std::size_t inserts = 0;
+  std::size_t subtree_rebuilds = 0;
+  std::size_t root_rebuilds = 0;
+  std::size_t rebuilt_elements = 0;
+};
+
+template <typename T, typename Metric>
+class DynamicVpTree {
+ public:
+  explicit DynamicVpTree(Metric metric, DynamicVpTreeOptions options = {})
+      : metric_(std::move(metric)), options_(options), rng_(options.seed) {
+    require(options_.bucket_capacity > 0, "bucket_capacity must be > 0");
+    require(options_.overflow_factor >= 1.0, "overflow_factor must be >= 1");
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t depth() const { return node_depth(root_.get()); }
+  const DynamicVpTreeCounters& counters() const { return counters_; }
+
+  // Case-directed single insertion.
+  void insert(T item) {
+    ++counters_.inserts;
+    ++size_;
+    if (!root_) {
+      root_ = make_leaf();
+      root_->bucket.push_back(std::move(item));
+      root_->size = 1;
+      return;
+    }
+    if (!options_.rebalance) {
+      naive_insert(root_.get(), std::move(item));
+      return;
+    }
+    // Walk to the destination leaf recording the path. Child distance
+    // bounds are widened along the way so search pruning stays admissible
+    // (bounds may only ever be loose, never tight, after mutation).
+    std::vector<Node*> path;
+    Node* node = root_.get();
+    for (;;) {
+      path.push_back(node);
+      if (node->is_leaf()) break;
+      const double d = metric_(item, node->vantage);
+      if (d <= node->mu) {
+        node->left_min = std::min(node->left_min, d);
+        node->left_max = std::max(node->left_max, d);
+        node = node->left.get();
+      } else {
+        node->right_min = std::min(node->right_min, d);
+        node->right_max = std::max(node->right_max, d);
+        node = node->right.get();
+      }
+    }
+    Node* leaf = path.back();
+    if (leaf->bucket.size() < options_.bucket_capacity) {
+      leaf->bucket.push_back(std::move(item));  // case 1
+      for (Node* p : path) ++p->size;
+      return;
+    }
+    // Cases 2/3: lowest ancestor with spare capacity. Its rebuilt subtree
+    // absorbs the new element.
+    for (auto it = path.rbegin(); it != path.rend(); ++it) {
+      Node* ancestor = *it;
+      if (ancestor->size < ancestor->capacity) {
+        auto items = collect(ancestor);
+        items.push_back(std::move(item));
+        ++counters_.subtree_rebuilds;
+        counters_.rebuilt_elements += items.size();
+        rebuild_in_place(*ancestor, std::move(items));
+        for (Node* p : path) {
+          if (p == ancestor) break;
+          ++p->size;
+        }
+        return;
+      }
+    }
+    // Case 4: completely full tree — rebuild from the root; capacity grows
+    // with the new structure.
+    auto items = collect(root_.get());
+    items.push_back(std::move(item));
+    ++counters_.root_rebuilds;
+    counters_.rebuilt_elements += items.size();
+    root_ = build_node(items.begin(), items.end());
+  }
+
+  // Batched insertion: admit everything with temporary leaf overflow, then
+  // consolidate over-capacity subtrees once.
+  void insert_batch(std::vector<T> items) {
+    if (items.empty()) return;
+    counters_.inserts += items.size();
+    if (!root_) {
+      size_ = items.size();
+      root_ = build_node(items.begin(), items.end());
+      return;
+    }
+    size_ += items.size();
+    if (!options_.rebalance) {
+      for (auto& item : items) naive_insert(root_.get(), std::move(item));
+      return;
+    }
+    const auto overflow_cap = static_cast<std::size_t>(
+        options_.overflow_factor *
+        static_cast<double>(options_.bucket_capacity));
+    for (auto& item : items) admit_overflowing(root_.get(), std::move(item));
+    consolidate(root_, overflow_cap);
+  }
+
+  // The n nearest neighbors of `target`. `max_distance` (optional) caps the
+  // search radius from the start: neighbors beyond it are never reported,
+  // and the cap tightens pruning before n candidates have been found.
+  std::vector<Neighbor<T>> nearest(
+      const T& target, std::size_t n,
+      double max_distance = std::numeric_limits<double>::infinity()) const {
+    std::vector<Neighbor<T>> out;
+    if (n == 0 || !root_) return out;
+    KnnState state{n, max_distance, {}};
+    search(root_.get(), target, state);
+    out.reserve(state.heap.size());
+    while (!state.heap.empty()) {
+      out.push_back(state.heap.top());
+      state.heap.pop();
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for_each_node(root_.get(), fn);
+  }
+
+  std::vector<T> collect_all() const {
+    std::vector<T> items;
+    items.reserve(size_);
+    for_each([&items](const T& item) { items.push_back(item); });
+    return items;
+  }
+
+  // Removes every element matching `pred` and returns them; the remaining
+  // elements are rebuilt into a fresh balanced tree. O(n) — removal is a
+  // rebalancing event (used by cluster rebalance, not hot paths).
+  template <typename Pred>
+  std::vector<T> remove_if(Pred&& pred) {
+    auto all = collect_all();
+    std::vector<T> removed, kept;
+    for (auto& item : all) {
+      if (pred(item)) {
+        removed.push_back(std::move(item));
+      } else {
+        kept.push_back(std::move(item));
+      }
+    }
+    if (removed.empty()) return removed;
+    root_.reset();
+    size_ = kept.size();
+    if (!kept.empty()) root_ = build_node(kept.begin(), kept.end());
+    return removed;
+  }
+
+ private:
+  struct Node {
+    bool has_vantage = false;
+    T vantage;
+    double mu = 0.0;
+    double left_min = 0.0, left_max = 0.0;
+    double right_min = 0.0, right_max = 0.0;
+    std::unique_ptr<Node> left, right;
+    std::vector<T> bucket;
+    std::size_t size = 0;      // elements in this subtree
+    std::size_t capacity = 0;  // structural capacity fixed at (re)build
+
+    bool is_leaf() const { return !has_vantage; }
+  };
+
+  struct KnnState {
+    std::size_t n;
+    double cap;  // hard search-radius ceiling (inclusive)
+    struct Farther {
+      bool operator()(const Neighbor<T>& a, const Neighbor<T>& b) const {
+        return a.distance < b.distance;
+      }
+    };
+    std::priority_queue<Neighbor<T>, std::vector<Neighbor<T>>, Farther> heap;
+
+    double tau() const {
+      return heap.size() < n ? cap : std::min(cap, heap.top().distance);
+    }
+    void offer(const T* item, double distance) {
+      if (distance > cap) return;
+      if (heap.size() < n) {
+        heap.push({item, distance});
+      } else if (distance < heap.top().distance) {
+        heap.pop();
+        heap.push({item, distance});
+      }
+    }
+  };
+
+  // Detects a Metric that offers an early-abandoning variant:
+  // bounded(a, b, bound) returning a value > bound as soon as the running
+  // distance exceeds `bound` (exact when <= bound). Used for bucket scans,
+  // where the returned distance only gates admission into the heap.
+  template <typename M>
+  static constexpr bool has_bounded_metric =
+      requires(const M& m, const T& a, const T& b, double bound) {
+        { m.bounded(a, b, bound) } -> std::convertible_to<double>;
+      };
+
+  using Iter = typename std::vector<T>::iterator;
+
+  std::unique_ptr<Node> make_leaf() {
+    auto node = std::make_unique<Node>();
+    node->capacity = options_.bucket_capacity;
+    return node;
+  }
+
+  std::unique_ptr<Node> build_node(Iter first, Iter last) {
+    auto node = std::make_unique<Node>();
+    const auto count = static_cast<std::size_t>(last - first);
+    node->size = count;
+    if (count <= options_.bucket_capacity) {
+      node->bucket.assign(std::make_move_iterator(first),
+                          std::make_move_iterator(last));
+      node->capacity = options_.bucket_capacity;
+      return node;
+    }
+    const std::size_t vp_index = rng_.below(count);
+    std::iter_swap(first, first + static_cast<std::ptrdiff_t>(vp_index));
+    node->has_vantage = true;
+    node->vantage = std::move(*first);
+    ++first;
+
+    std::vector<std::pair<double, T>> tagged;
+    tagged.reserve(static_cast<std::size_t>(last - first));
+    for (auto it = first; it != last; ++it) {
+      tagged.emplace_back(metric_(node->vantage, *it), std::move(*it));
+    }
+    const std::size_t mid = tagged.size() / 2;
+    std::nth_element(
+        tagged.begin(), tagged.begin() + static_cast<std::ptrdiff_t>(mid),
+        tagged.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    node->mu = tagged[mid].first;
+
+    std::vector<T> left_items, right_items;
+    double lmin = std::numeric_limits<double>::infinity(), lmax = 0.0;
+    double rmin = std::numeric_limits<double>::infinity(), rmax = 0.0;
+    for (auto& [d, item] : tagged) {
+      if (d <= node->mu) {
+        lmin = std::min(lmin, d);
+        lmax = std::max(lmax, d);
+        left_items.push_back(std::move(item));
+      } else {
+        rmin = std::min(rmin, d);
+        rmax = std::max(rmax, d);
+        right_items.push_back(std::move(item));
+      }
+    }
+    node->left_min = left_items.empty() ? 0.0 : lmin;
+    node->left_max = left_items.empty() ? 0.0 : lmax;
+    node->right_min = right_items.empty() ? 0.0 : rmin;
+    node->right_max = right_items.empty() ? 0.0 : rmax;
+
+    node->left = left_items.empty()
+                     ? make_leaf()
+                     : build_node(left_items.begin(), left_items.end());
+    node->right = right_items.empty()
+                      ? make_leaf()
+                      : build_node(right_items.begin(), right_items.end());
+    node->capacity = node->left->capacity + node->right->capacity + 1;
+    return node;
+  }
+
+  void rebuild_in_place(Node& node, std::vector<T> items) {
+    auto fresh = build_node(items.begin(), items.end());
+    node = std::move(*fresh);
+  }
+
+  // Naive split-in-place insertion (no redistribution): walk to the leaf;
+  // if full, promote the leaf to an internal node using its first element
+  // as vantage point and re-split the bucket. Similar elements inserted
+  // consecutively yield highly skewed trees — exactly the pathology the
+  // paper describes.
+  void naive_insert(Node* node, T item) {
+    for (;;) {
+      ++node->size;
+      if (node->is_leaf()) {
+        if (node->bucket.size() < options_.bucket_capacity) {
+          node->bucket.push_back(std::move(item));
+          return;
+        }
+        // Split: first bucket element becomes the vantage point; mu is its
+        // median distance to the rest (no sampling, no balance guarantee).
+        node->has_vantage = true;
+        node->vantage = std::move(node->bucket.front());
+        std::vector<T> rest(std::make_move_iterator(node->bucket.begin() + 1),
+                            std::make_move_iterator(node->bucket.end()));
+        rest.push_back(std::move(item));
+        node->bucket.clear();
+        std::vector<double> dists;
+        dists.reserve(rest.size());
+        for (const T& r : rest) dists.push_back(metric_(node->vantage, r));
+        std::vector<double> sorted = dists;
+        std::nth_element(sorted.begin(),
+                         sorted.begin() +
+                             static_cast<std::ptrdiff_t>(sorted.size() / 2),
+                         sorted.end());
+        node->mu = sorted[sorted.size() / 2];
+        node->left = make_leaf();
+        node->right = make_leaf();
+        double lmin = std::numeric_limits<double>::infinity(), lmax = 0.0;
+        double rmin = std::numeric_limits<double>::infinity(), rmax = 0.0;
+        for (std::size_t i = 0; i < rest.size(); ++i) {
+          Node* child =
+              dists[i] <= node->mu ? node->left.get() : node->right.get();
+          if (dists[i] <= node->mu) {
+            lmin = std::min(lmin, dists[i]);
+            lmax = std::max(lmax, dists[i]);
+          } else {
+            rmin = std::min(rmin, dists[i]);
+            rmax = std::max(rmax, dists[i]);
+          }
+          child->bucket.push_back(std::move(rest[i]));
+          ++child->size;
+        }
+        node->left_min = node->left->size != 0 ? lmin : 0.0;
+        node->left_max = node->left->size != 0 ? lmax : 0.0;
+        node->right_min = node->right->size != 0 ? rmin : 0.0;
+        node->right_max = node->right->size != 0 ? rmax : 0.0;
+        node->capacity = node->left->capacity + node->right->capacity + 1;
+        return;
+      }
+      const double d = metric_(item, node->vantage);
+      // Keep the bounds admissible as the tree mutates.
+      if (d <= node->mu) {
+        node->left_min = std::min(node->left_min, d);
+        node->left_max = std::max(node->left_max, d);
+        node = node->left.get();
+      } else {
+        node->right_min = std::min(node->right_min, d);
+        node->right_max = std::max(node->right_max, d);
+        node = node->right.get();
+      }
+    }
+  }
+
+  // Batch admission: like case 1 but a leaf may exceed bucket_capacity.
+  void admit_overflowing(Node* node, T item) {
+    for (;;) {
+      ++node->size;
+      if (node->is_leaf()) {
+        node->bucket.push_back(std::move(item));
+        return;
+      }
+      const double d = metric_(item, node->vantage);
+      if (d <= node->mu) {
+        node->left_min = std::min(node->left_min, d);
+        node->left_max = std::max(node->left_max, d);
+        node = node->left.get();
+      } else {
+        node->right_min = std::min(node->right_min, d);
+        node->right_max = std::max(node->right_max, d);
+        node = node->right.get();
+      }
+    }
+  }
+
+  // Rebuilds the smallest over-capacity subtrees after a batch.
+  void consolidate(std::unique_ptr<Node>& node, std::size_t overflow_cap) {
+    if (!node) return;
+    if (node->is_leaf()) {
+      if (node->bucket.size() > overflow_cap) {
+        auto items = collect(node.get());
+        ++counters_.subtree_rebuilds;
+        counters_.rebuilt_elements += items.size();
+        rebuild_in_place(*node, std::move(items));
+      }
+      return;
+    }
+    if (node->size > 2 * node->capacity) {
+      // Subtree badly over structural capacity: rebuild it whole rather
+      // than descending.
+      auto items = collect(node.get());
+      ++counters_.subtree_rebuilds;
+      counters_.rebuilt_elements += items.size();
+      rebuild_in_place(*node, std::move(items));
+      return;
+    }
+    consolidate(node->left, overflow_cap);
+    consolidate(node->right, overflow_cap);
+    if (node->has_vantage) {
+      node->capacity = node->left->capacity + node->right->capacity + 1;
+    }
+  }
+
+  std::vector<T> collect(const Node* node) const {
+    std::vector<T> items;
+    auto push = [&items](const T& item) { items.push_back(item); };
+    for_each_node(node, push);
+    return items;
+  }
+
+  template <typename Fn>
+  void for_each_node(const Node* node, Fn& fn) const {
+    if (node == nullptr) return;
+    if (node->has_vantage) fn(node->vantage);
+    for (const T& item : node->bucket) fn(item);
+    for_each_node(node->left.get(), fn);
+    for_each_node(node->right.get(), fn);
+  }
+
+  void search(const Node* node, const T& target, KnnState& state) const {
+    if (node == nullptr) return;
+    if (node->is_leaf()) {
+      for (const T& item : node->bucket) {
+        if constexpr (has_bounded_metric<Metric>) {
+          const double tau = state.tau();
+          const double d = metric_.bounded(target, item, tau);
+          if (d <= tau) state.offer(&item, d);
+        } else {
+          state.offer(&item, metric_(target, item));
+        }
+      }
+      return;
+    }
+    const double d = metric_(target, node->vantage);
+    state.offer(&node->vantage, d);
+    const Node* near = d <= node->mu ? node->left.get() : node->right.get();
+    const Node* far = d <= node->mu ? node->right.get() : node->left.get();
+    const bool near_is_left = d <= node->mu;
+    auto may_contain = [&](bool left_child) {
+      const double tau = state.tau();
+      const double lo = left_child ? node->left_min : node->right_min;
+      const double hi = left_child ? node->left_max : node->right_max;
+      return d - tau <= hi && d + tau >= lo;
+    };
+    if (near != nullptr && near->size > 0 && may_contain(near_is_left)) {
+      search(near, target, state);
+    }
+    if (far != nullptr && far->size > 0 && may_contain(!near_is_left)) {
+      search(far, target, state);
+    }
+  }
+
+  std::size_t node_depth(const Node* node) const {
+    if (node == nullptr) return 0;
+    return 1 + std::max(node_depth(node->left.get()),
+                        node_depth(node->right.get()));
+  }
+
+  Metric metric_;
+  DynamicVpTreeOptions options_;
+  Rng rng_;
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+  DynamicVpTreeCounters counters_;
+};
+
+}  // namespace mendel::vpt

@@ -1,0 +1,182 @@
+#include "src/vptree/prefix_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.h"
+#include "src/common/rng.h"
+
+namespace mendel::vpt {
+
+VpPrefixTree::VpPrefixTree(const score::DistanceMatrix* distance,
+                           PrefixTreeOptions options)
+    : distance_(distance), options_(options) {
+  require(distance_ != nullptr, "VpPrefixTree requires a distance matrix");
+  require(options_.cutoff_depth >= 1, "cutoff_depth must be >= 1");
+  require(options_.cutoff_depth <= 40,
+          "cutoff_depth too deep for 64-bit prefixes");
+  require(options_.min_partition >= 2, "min_partition must be >= 2");
+}
+
+void VpPrefixTree::build(std::vector<Window> sample) {
+  require(!sample.empty(), "VpPrefixTree: empty build sample");
+  window_length_ = sample.front().size();
+  require(window_length_ > 0, "VpPrefixTree: zero-length windows");
+  for (const auto& w : sample) {
+    require(w.size() == window_length_, "VpPrefixTree: ragged sample");
+  }
+  Rng rng(options_.seed);
+  leaf_prefixes_.clear();
+  root_ = build_node(std::move(sample), 1, 1, rng);
+  built_ = true;
+  std::sort(leaf_prefixes_.begin(), leaf_prefixes_.end());
+  leaf_prefixes_.erase(
+      std::unique(leaf_prefixes_.begin(), leaf_prefixes_.end()),
+      leaf_prefixes_.end());
+}
+
+std::unique_ptr<VpPrefixTree::Node> VpPrefixTree::build_node(
+    std::vector<Window> sample, std::size_t depth, std::uint64_t prefix,
+    Rng& rng) {
+  // Stop descending at the cutoff or when the partition is too small to
+  // estimate a meaningful median radius.
+  if (depth >= options_.cutoff_depth || sample.size() < options_.min_partition) {
+    leaf_prefixes_.push_back(prefix);
+    return nullptr;
+  }
+
+  auto node = std::make_unique<Node>();
+  const std::size_t vp_index = rng.below(sample.size());
+  std::swap(sample[vp_index], sample.back());
+  node->vantage = std::move(sample.back());
+  sample.pop_back();
+
+  std::vector<std::pair<double, Window>> tagged;
+  tagged.reserve(sample.size());
+  for (auto& w : sample) {
+    tagged.emplace_back(score::window_distance(*distance_, node->vantage, w),
+                        std::move(w));
+  }
+  const std::size_t mid = tagged.size() / 2;
+  std::nth_element(
+      tagged.begin(), tagged.begin() + static_cast<std::ptrdiff_t>(mid),
+      tagged.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  node->mu = tagged[mid].first;
+
+  std::vector<Window> left_sample, right_sample;
+  for (auto& [d, w] : tagged) {
+    (d <= node->mu ? left_sample : right_sample).push_back(std::move(w));
+  }
+
+  node->left =
+      build_node(std::move(left_sample), depth + 1, prefix << 1, rng);
+  node->right =
+      build_node(std::move(right_sample), depth + 1, (prefix << 1) | 1, rng);
+  return node;
+}
+
+std::uint64_t VpPrefixTree::hash(seq::CodeSpan window) const {
+  require(built(), "VpPrefixTree::hash before build()");
+  require(window.size() == window_length_,
+          "VpPrefixTree::hash window length mismatch");
+  const Node* node = root_.get();  // may be null: degenerate one-prefix tree
+  std::uint64_t prefix = 1;
+  while (node != nullptr) {
+    const double d =
+        score::window_distance(*distance_, window, node->vantage);
+    if (d <= node->mu) {
+      prefix = prefix << 1;
+      node = node->left.get();
+    } else {
+      prefix = (prefix << 1) | 1;
+      node = node->right.get();
+    }
+  }
+  return prefix;
+}
+
+std::vector<std::uint64_t> VpPrefixTree::hash_multi(seq::CodeSpan window,
+                                                    double epsilon) const {
+  require(built(), "VpPrefixTree::hash_multi before build()");
+  require(window.size() == window_length_,
+          "VpPrefixTree::hash_multi window length mismatch");
+  std::vector<std::uint64_t> out;
+  hash_multi_walk(root_.get(), window, 1, epsilon, out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void VpPrefixTree::hash_multi_walk(const Node* node, seq::CodeSpan window,
+                                   std::uint64_t prefix, double epsilon,
+                                   std::vector<std::uint64_t>& out) const {
+  if (node == nullptr) {
+    out.push_back(prefix);
+    return;
+  }
+  const double d = score::window_distance(*distance_, window, node->vantage);
+  const bool go_left = d <= node->mu;
+  // Strict comparison: epsilon = 0 reproduces exactly the single hash()
+  // path (window distances are integer-valued, so ties are common).
+  const bool branch = std::abs(d - node->mu) < epsilon;
+  if (go_left || branch) {
+    hash_multi_walk(node->left.get(), window, prefix << 1, epsilon, out);
+  }
+  if (!go_left || branch) {
+    hash_multi_walk(node->right.get(), window, (prefix << 1) | 1, epsilon,
+                    out);
+  }
+}
+
+void VpPrefixTree::encode(CodecWriter& writer) const {
+  require(built(), "VpPrefixTree::encode before build()");
+  writer.u32(static_cast<std::uint32_t>(options_.cutoff_depth));
+  writer.u32(static_cast<std::uint32_t>(options_.min_partition));
+  writer.u64(options_.seed);
+  writer.u32(static_cast<std::uint32_t>(window_length_));
+  writer.vec(leaf_prefixes_,
+             [](CodecWriter& w, std::uint64_t p) { w.u64(p); });
+  encode_node(writer, root_.get());
+}
+
+void VpPrefixTree::encode_node(CodecWriter& writer, const Node* node) {
+  if (node == nullptr) {
+    writer.boolean(false);
+    return;
+  }
+  writer.boolean(true);
+  writer.bytes(std::span<const std::uint8_t>(node->vantage.data(),
+                                             node->vantage.size()));
+  writer.f64(node->mu);
+  encode_node(writer, node->left.get());
+  encode_node(writer, node->right.get());
+}
+
+VpPrefixTree VpPrefixTree::decode(CodecReader& reader,
+                                  const score::DistanceMatrix* distance) {
+  PrefixTreeOptions options;
+  options.cutoff_depth = reader.u32();
+  options.min_partition = reader.u32();
+  options.seed = reader.u64();
+  VpPrefixTree tree(distance, options);
+  tree.window_length_ = reader.u32();
+  tree.leaf_prefixes_ = reader.vec<std::uint64_t>(
+      [](CodecReader& r) { return r.u64(); });
+  tree.root_ = decode_node(reader);
+  tree.built_ = true;
+  return tree;
+}
+
+std::unique_ptr<VpPrefixTree::Node> VpPrefixTree::decode_node(
+    CodecReader& reader) {
+  if (!reader.boolean()) return nullptr;
+  auto node = std::make_unique<Node>();
+  node->vantage = reader.bytes();
+  node->mu = reader.f64();
+  node->left = decode_node(reader);
+  node->right = decode_node(reader);
+  return node;
+}
+
+}  // namespace mendel::vpt

@@ -1,0 +1,109 @@
+// Vantage-point prefix tree: the locality-sensitive group hash (paper §III-E
+// / §III-F).
+//
+// A vp-tree is built over a *sample* of inverted-index windows. Every vertex
+// carries a binary prefix: the root's prefix is 1 and a child's prefix is
+// its parent's shifted left by one, with the low bit set for right children.
+// Hashing an arbitrary window traverses from the root — left when
+// d(window, vantage) <= mu, right otherwise — and stops at the cutoff depth
+// threshold; the prefix reached is the hash. Similar windows collide, which
+// the two-tier DHT exploits to group similar data (Figure 2 of the paper).
+//
+// For queries, hash_multi() follows both children whenever the traversal
+// cannot confidently pick a side (|d - mu| <= epsilon), reproducing the
+// paper's "multiple groups can be selected from the vp-hash tree if the
+// path branches" behaviour.
+//
+// The tree is immutable after build() and serializable, because every node
+// of a Mendel cluster must hold an identical copy (it is part of the
+// routing state of the zero-hop DHT).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/codec.h"
+#include "src/common/rng.h"
+#include "src/scoring/distance.h"
+#include "src/sequence/sequence.h"
+
+namespace mendel::vpt {
+
+// A fixed-length residue window (one inverted-index block's payload).
+using Window = std::vector<seq::Code>;
+
+struct PrefixTreeOptions {
+  // Depth threshold at which traversal stops and the prefix is emitted.
+  // The paper sets this to half the (conceptual) full tree depth; Mendel
+  // exposes it directly. Depth 1 is just the root; cutoff_depth d yields at
+  // most 2^(d-1) distinct prefixes.
+  std::size_t cutoff_depth = 6;
+  // Partitions with fewer sample windows than this become leaves early
+  // (their prefix is then shorter than the cutoff prefix).
+  std::size_t min_partition = 4;
+  std::uint64_t seed = 0x707265666978ULL;
+};
+
+class VpPrefixTree {
+ public:
+  // `distance` must outlive the tree (typically a default_distance()
+  // singleton or a matrix owned by the cluster config).
+  VpPrefixTree(const score::DistanceMatrix* distance,
+               PrefixTreeOptions options);
+
+  // Builds from a sample of windows; all must share one length. Throws
+  // InvalidArgument on an empty or ragged sample.
+  void build(std::vector<Window> sample);
+
+  bool built() const { return built_; }
+  std::size_t window_length() const { return window_length_; }
+  std::size_t cutoff_depth() const { return options_.cutoff_depth; }
+
+  // Single-path hash — used for data placement.
+  std::uint64_t hash(seq::CodeSpan window) const;
+
+  // Multi-path hash — used for query routing; follows both subtrees when
+  // |d - mu| <= epsilon. Results are deduplicated, deterministic order.
+  std::vector<std::uint64_t> hash_multi(seq::CodeSpan window,
+                                        double epsilon) const;
+
+  // Every prefix that hash() can emit (leaves at or above the cutoff),
+  // sorted ascending. The cluster topology maps these onto storage groups.
+  const std::vector<std::uint64_t>& leaf_prefixes() const {
+    return leaf_prefixes_;
+  }
+
+  // Wire format for distribution to cluster nodes / index persistence.
+  void encode(CodecWriter& writer) const;
+  static VpPrefixTree decode(CodecReader& reader,
+                             const score::DistanceMatrix* distance);
+
+ private:
+  struct Node {
+    Window vantage;
+    double mu = 0.0;
+    std::unique_ptr<Node> left, right;
+
+    bool is_leaf() const { return !left && !right; }
+  };
+
+  std::unique_ptr<Node> build_node(std::vector<Window> sample,
+                                   std::size_t depth, std::uint64_t prefix,
+                                   Rng& rng);
+  void hash_multi_walk(const Node* node, seq::CodeSpan window,
+                       std::uint64_t prefix, double epsilon,
+                       std::vector<std::uint64_t>& out) const;
+
+  static void encode_node(CodecWriter& writer, const Node* node);
+  static std::unique_ptr<Node> decode_node(CodecReader& reader);
+
+  const score::DistanceMatrix* distance_;
+  PrefixTreeOptions options_;
+  std::unique_ptr<Node> root_;
+  bool built_ = false;
+  std::size_t window_length_ = 0;
+  std::vector<std::uint64_t> leaf_prefixes_;
+};
+
+}  // namespace mendel::vpt

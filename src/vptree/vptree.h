@@ -1,0 +1,321 @@
+// Bucketed vantage-point tree (Yianilos 1993) with the two optimizations the
+// paper adopts in §III-D: leaf buckets and per-child distance bounds.
+//
+// The tree is a binary partition over a metric space: each internal node
+// holds a vantage point and a radius mu; elements closer than mu to the
+// vantage point go left, the rest go right. k-NN search walks root to leaf
+// shrinking a candidate radius tau and prunes subtrees whose stored
+// [min,max] distance interval cannot intersect the tau-ball.
+//
+// This class is the *bulk-built* tree; see dynamic_vptree.h for the
+// insertion-capable wrapper used by storage nodes.
+//
+// Metric must be callable as double(const T&, const T&) and satisfy the
+// metric axioms for search to be exact (tests/vptree_test.cpp checks
+// exactness against brute force).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "src/common/error.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+
+namespace mendel::vpt {
+
+struct VpTreeOptions {
+  // Max elements stored in one leaf bucket (paper §III-D optimization (1)).
+  std::size_t bucket_capacity = 32;
+  // Vantage-point selection samples this many candidates and keeps the one
+  // with the widest distance spread (variance) over a probe sample; 1 means
+  // "pick the first", which is cheaper but yields worse balance.
+  std::size_t vantage_candidates = 5;
+  std::size_t vantage_probes = 24;
+  std::uint64_t seed = 0x76707472656531ULL;
+};
+
+template <typename T>
+struct Neighbor {
+  const T* item = nullptr;
+  double distance = 0.0;
+};
+
+template <typename T, typename Metric>
+class VpTree {
+ public:
+  explicit VpTree(Metric metric, VpTreeOptions options = {})
+      : metric_(std::move(metric)), options_(options) {
+    require(options_.bucket_capacity > 0, "bucket_capacity must be > 0");
+  }
+
+  // Builds the tree over `items` (replacing any previous contents).
+  void build(std::vector<T> items) {
+    root_.reset();
+    size_ = items.size();
+    Rng rng(options_.seed);
+    if (!items.empty()) {
+      root_ = build_node(items.begin(), items.end(), rng);
+    }
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Number of tree vertices (internal + leaf).
+  std::size_t node_count() const { return count_nodes(root_.get()); }
+  std::size_t depth() const { return node_depth(root_.get()); }
+
+  // The n nearest neighbors of `target`, closest first. Fewer than n are
+  // returned when the tree holds fewer elements.
+  std::vector<Neighbor<T>> nearest(const T& target, std::size_t n) const {
+    std::vector<Neighbor<T>> out;
+    if (n == 0 || !root_) return out;
+    KnnState state{n, {}};
+    search(root_.get(), target, state);
+    out.reserve(state.heap.size());
+    while (!state.heap.empty()) {
+      out.push_back(state.heap.top());
+      state.heap.pop();
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+  }
+
+  // All elements within `radius` of target (inclusive), closest first.
+  std::vector<Neighbor<T>> within(const T& target, double radius) const {
+    std::vector<Neighbor<T>> out;
+    if (root_) range_search(root_.get(), target, radius, out);
+    std::sort(out.begin(), out.end(),
+              [](const Neighbor<T>& a, const Neighbor<T>& b) {
+                return a.distance < b.distance;
+              });
+    return out;
+  }
+
+  // Visits every stored element (vantage points and bucket members).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for_each_node(root_.get(), fn);
+  }
+
+  // Collects copies of all elements (used by the dynamic tree's rebuilds).
+  std::vector<T> collect() const {
+    std::vector<T> items;
+    items.reserve(size_);
+    for_each([&items](const T& item) { items.push_back(item); });
+    return items;
+  }
+
+ private:
+  struct Node {
+    // Internal nodes: vantage point + mu + children. Leaves: bucket only
+    // (has_vantage false).
+    bool has_vantage = false;
+    T vantage;
+    double mu = 0.0;
+    // Distance bounds of each child's elements to *this* vantage point
+    // (paper §III-D optimization (2)).
+    double left_min = 0.0, left_max = 0.0;
+    double right_min = 0.0, right_max = 0.0;
+    std::unique_ptr<Node> left, right;
+    std::vector<T> bucket;
+  };
+
+  struct KnnState {
+    std::size_t n;
+    struct Farther {
+      bool operator()(const Neighbor<T>& a, const Neighbor<T>& b) const {
+        return a.distance < b.distance;
+      }
+    };
+    std::priority_queue<Neighbor<T>, std::vector<Neighbor<T>>, Farther> heap;
+
+    double tau() const {
+      return heap.size() < n ? std::numeric_limits<double>::infinity()
+                             : heap.top().distance;
+    }
+    void offer(const T* item, double distance) {
+      if (heap.size() < n) {
+        heap.push({item, distance});
+      } else if (distance < heap.top().distance) {
+        heap.pop();
+        heap.push({item, distance});
+      }
+    }
+  };
+
+  using Iter = typename std::vector<T>::iterator;
+
+  std::unique_ptr<Node> build_node(Iter first, Iter last, Rng& rng) {
+    auto node = std::make_unique<Node>();
+    const auto count = static_cast<std::size_t>(last - first);
+    if (count <= options_.bucket_capacity) {
+      node->bucket.assign(std::make_move_iterator(first),
+                          std::make_move_iterator(last));
+      return node;
+    }
+
+    // Select the vantage point: sample candidates, keep the one whose
+    // distances to a probe subset have the largest spread.
+    const std::size_t vp_index = select_vantage(first, last, rng);
+    std::iter_swap(first, first + static_cast<std::ptrdiff_t>(vp_index));
+    node->has_vantage = true;
+    node->vantage = std::move(*first);
+    ++first;
+
+    // Order the remainder by distance to the vantage point; mu = median.
+    std::vector<std::pair<double, T>> tagged;
+    tagged.reserve(static_cast<std::size_t>(last - first));
+    for (auto it = first; it != last; ++it) {
+      tagged.emplace_back(metric_(node->vantage, *it), std::move(*it));
+    }
+    const std::size_t mid = tagged.size() / 2;
+    std::nth_element(tagged.begin(),
+                     tagged.begin() + static_cast<std::ptrdiff_t>(mid),
+                     tagged.end(), [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    node->mu = tagged[mid].first;
+
+    std::vector<T> left_items, right_items;
+    left_items.reserve(mid + 1);
+    right_items.reserve(tagged.size() - mid);
+    double lmin = std::numeric_limits<double>::infinity(), lmax = 0.0;
+    double rmin = std::numeric_limits<double>::infinity(), rmax = 0.0;
+    for (auto& [d, item] : tagged) {
+      if (d <= node->mu) {
+        lmin = std::min(lmin, d);
+        lmax = std::max(lmax, d);
+        left_items.push_back(std::move(item));
+      } else {
+        rmin = std::min(rmin, d);
+        rmax = std::max(rmax, d);
+        right_items.push_back(std::move(item));
+      }
+    }
+    node->left_min = left_items.empty() ? 0.0 : lmin;
+    node->left_max = left_items.empty() ? 0.0 : lmax;
+    node->right_min = right_items.empty() ? 0.0 : rmin;
+    node->right_max = right_items.empty() ? 0.0 : rmax;
+
+    if (!left_items.empty()) {
+      node->left = build_node(left_items.begin(), left_items.end(), rng);
+    }
+    if (!right_items.empty()) {
+      node->right = build_node(right_items.begin(), right_items.end(), rng);
+    }
+    return node;
+  }
+
+  std::size_t select_vantage(Iter first, Iter last, Rng& rng) {
+    const auto count = static_cast<std::size_t>(last - first);
+    if (options_.vantage_candidates <= 1) return rng.below(count);
+    double best_spread = -1.0;
+    std::size_t best_index = 0;
+    const std::size_t probes = std::min(options_.vantage_probes, count);
+    for (std::size_t c = 0; c < options_.vantage_candidates; ++c) {
+      const std::size_t candidate = rng.below(count);
+      RunningStats spread;
+      for (std::size_t p = 0; p < probes; ++p) {
+        const std::size_t probe = rng.below(count);
+        spread.add(metric_(*(first + static_cast<std::ptrdiff_t>(candidate)),
+                           *(first + static_cast<std::ptrdiff_t>(probe))));
+      }
+      if (spread.variance() > best_spread) {
+        best_spread = spread.variance();
+        best_index = candidate;
+      }
+    }
+    return best_index;
+  }
+
+  void search(const Node* node, const T& target, KnnState& state) const {
+    if (node == nullptr) return;
+    if (!node->has_vantage) {
+      for (const T& item : node->bucket) {
+        state.offer(&item, metric_(target, item));
+      }
+      return;
+    }
+    const double d = metric_(target, node->vantage);
+    state.offer(&node->vantage, d);
+
+    // Visit the child on the target's side of mu first; it is more likely
+    // to shrink tau before the other side is considered.
+    const Node* near = d <= node->mu ? node->left.get() : node->right.get();
+    const Node* far = d <= node->mu ? node->right.get() : node->left.get();
+    const bool near_is_left = d <= node->mu;
+
+    auto child_may_contain = [&](bool left_child) {
+      const double tau = state.tau();
+      const double lo = left_child ? node->left_min : node->right_min;
+      const double hi = left_child ? node->left_max : node->right_max;
+      // The tau-ball around the target, seen from the vantage point, spans
+      // [d - tau, d + tau]; the child's elements span [lo, hi].
+      return d - tau <= hi && d + tau >= lo;
+    };
+
+    if (near != nullptr && child_may_contain(near_is_left)) {
+      search(near, target, state);
+    }
+    if (far != nullptr && child_may_contain(!near_is_left)) {
+      search(far, target, state);
+    }
+  }
+
+  void range_search(const Node* node, const T& target, double radius,
+                    std::vector<Neighbor<T>>& out) const {
+    if (node == nullptr) return;
+    if (!node->has_vantage) {
+      for (const T& item : node->bucket) {
+        const double d = metric_(target, item);
+        if (d <= radius) out.push_back({&item, d});
+      }
+      return;
+    }
+    const double d = metric_(target, node->vantage);
+    if (d <= radius) out.push_back({&node->vantage, d});
+    if (node->left != nullptr && d - radius <= node->left_max &&
+        d + radius >= node->left_min) {
+      range_search(node->left.get(), target, radius, out);
+    }
+    if (node->right != nullptr && d - radius <= node->right_max &&
+        d + radius >= node->right_min) {
+      range_search(node->right.get(), target, radius, out);
+    }
+  }
+
+  template <typename Fn>
+  void for_each_node(const Node* node, Fn& fn) const {
+    if (node == nullptr) return;
+    if (node->has_vantage) fn(node->vantage);
+    for (const T& item : node->bucket) fn(item);
+    for_each_node(node->left.get(), fn);
+    for_each_node(node->right.get(), fn);
+  }
+
+  std::size_t count_nodes(const Node* node) const {
+    if (node == nullptr) return 0;
+    return 1 + count_nodes(node->left.get()) + count_nodes(node->right.get());
+  }
+
+  std::size_t node_depth(const Node* node) const {
+    if (node == nullptr) return 0;
+    return 1 + std::max(node_depth(node->left.get()),
+                        node_depth(node->right.get()));
+  }
+
+  Metric metric_;
+  VpTreeOptions options_;
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace mendel::vpt

@@ -1,0 +1,194 @@
+#include "src/workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/common/error.h"
+
+namespace mendel::workload {
+
+namespace {
+
+// Cumulative background distribution for O(log n) sampling.
+std::vector<double> cumulative(seq::Alphabet alphabet) {
+  std::vector<double> cdf;
+  if (alphabet == seq::Alphabet::kProtein) {
+    const auto& f = seq::protein_background_frequencies();
+    cdf.assign(f.begin(), f.end());
+  } else {
+    const auto& f = seq::dna_background_frequencies();
+    cdf.assign(f.begin(), f.end());
+  }
+  std::partial_sum(cdf.begin(), cdf.end(), cdf.begin());
+  // Guard against rounding: force the last bucket to cover 1.0.
+  cdf.back() = 1.0;
+  return cdf;
+}
+
+seq::Code sample_residue(const std::vector<double>& cdf, Rng& rng) {
+  const double r = rng.uniform();
+  const auto it = std::lower_bound(cdf.begin(), cdf.end(), r);
+  return static_cast<seq::Code>(it - cdf.begin());
+}
+
+// A substitution that is guaranteed to change the residue.
+seq::Code substitute(seq::Code original, const std::vector<double>& cdf,
+                     Rng& rng) {
+  for (;;) {
+    const seq::Code replacement = sample_residue(cdf, rng);
+    if (replacement != original) return replacement;
+  }
+}
+
+}  // namespace
+
+seq::Sequence random_sequence(seq::Alphabet alphabet, std::size_t length,
+                              std::string name, Rng& rng) {
+  const auto cdf = cumulative(alphabet);
+  std::vector<seq::Code> codes;
+  codes.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    codes.push_back(sample_residue(cdf, rng));
+  }
+  return seq::Sequence(alphabet, std::move(name), std::move(codes));
+}
+
+seq::Sequence mutate(const seq::Sequence& original, const MutationModel& model,
+                     std::string name, Rng& rng) {
+  const auto cdf = cumulative(original.alphabet());
+  std::vector<seq::Code> codes;
+  codes.reserve(original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    if (model.indel_rate > 0.0 && rng.chance(model.indel_rate)) {
+      // Geometric indel length.
+      std::size_t len = 1;
+      while (rng.chance(model.indel_extend)) ++len;
+      if (rng.chance(0.5)) {
+        // Deletion: skip `len` residues of the original.
+        i += len - 1;  // the loop's ++i consumes the first deleted residue
+        continue;
+      }
+      // Insertion: emit `len` random residues, then the original one.
+      for (std::size_t j = 0; j < len; ++j) {
+        codes.push_back(sample_residue(cdf, rng));
+      }
+    }
+    if (rng.chance(model.substitution_rate)) {
+      codes.push_back(substitute(original[i], cdf, rng));
+    } else {
+      codes.push_back(original[i]);
+    }
+  }
+  if (codes.empty()) codes.push_back(sample_residue(cdf, rng));
+  return seq::Sequence(original.alphabet(), std::move(name),
+                       std::move(codes));
+}
+
+seq::Sequence mutate_to_similarity(const seq::Sequence& original,
+                                   double similarity, std::string name,
+                                   Rng& rng) {
+  require(similarity >= 0.0 && similarity <= 1.0,
+          "mutate_to_similarity: similarity must be in [0,1]");
+  const auto cdf = cumulative(original.alphabet());
+  std::vector<seq::Code> codes(original.codes().begin(),
+                               original.codes().end());
+  const auto mutations = static_cast<std::size_t>(
+      (1.0 - similarity) * static_cast<double>(codes.size()));
+  // Choose `mutations` distinct positions via partial Fisher–Yates.
+  std::vector<std::size_t> positions(codes.size());
+  std::iota(positions.begin(), positions.end(), 0);
+  for (std::size_t i = 0; i < mutations && i < positions.size(); ++i) {
+    const std::size_t j =
+        i + rng.below(positions.size() - i);
+    std::swap(positions[i], positions[j]);
+    codes[positions[i]] = substitute(codes[positions[i]], cdf, rng);
+  }
+  return seq::Sequence(original.alphabet(), std::move(name),
+                       std::move(codes));
+}
+
+std::size_t sample_trace_query_length(Rng& rng, std::size_t min_length,
+                                      std::size_t max_length) {
+  require(min_length > 0 && min_length <= max_length,
+          "sample_trace_query_length: bad clamp range");
+  // Lognormal with median 330 and p90 1000: sigma = ln(1000/330)/1.2816.
+  const double mu = std::log(330.0);
+  const double sigma = std::log(1000.0 / 330.0) / 1.2816;
+  // Box-Muller from two uniforms.
+  const double u1 = std::max(rng.uniform(), 1e-12);
+  const double u2 = rng.uniform();
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * 3.14159265358979 * u2);
+  const double length = std::exp(mu + sigma * z);
+  return std::clamp(static_cast<std::size_t>(length), min_length,
+                    max_length);
+}
+
+seq::SequenceStore generate_database(const DatabaseSpec& spec) {
+  require(spec.min_length > 0 && spec.min_length <= spec.max_length,
+          "generate_database: bad length range");
+  Rng rng(spec.seed);
+  seq::SequenceStore store(spec.alphabet);
+
+  for (std::size_t f = 0; f < spec.families; ++f) {
+    const auto length = static_cast<std::size_t>(rng.between(
+        static_cast<std::int64_t>(spec.min_length),
+        static_cast<std::int64_t>(spec.max_length)));
+    const seq::Sequence ancestor = random_sequence(
+        spec.alphabet, length, "family" + std::to_string(f) + "/ancestor",
+        rng);
+    store.add(ancestor);
+    for (std::size_t m = 1; m < spec.members_per_family; ++m) {
+      store.add(mutate(ancestor, spec.family_divergence,
+                       "family" + std::to_string(f) + "/member" +
+                           std::to_string(m),
+                       rng));
+    }
+  }
+  for (std::size_t b = 0; b < spec.background_sequences; ++b) {
+    const auto length = static_cast<std::size_t>(rng.between(
+        static_cast<std::int64_t>(spec.min_length),
+        static_cast<std::int64_t>(spec.max_length)));
+    store.add(random_sequence(spec.alphabet, length,
+                              "background" + std::to_string(b), rng));
+  }
+  return store;
+}
+
+std::vector<seq::Sequence> sample_queries(const seq::SequenceStore& store,
+                                          const QuerySetSpec& spec) {
+  require(store.size() > 0, "sample_queries: empty store");
+  require(spec.length > 0, "sample_queries: zero query length");
+  Rng rng(spec.seed);
+
+  // Origins must be long enough to donate a full-length region.
+  std::vector<seq::SequenceId> eligible;
+  for (const auto& sequence : store) {
+    if (sequence.size() >= spec.length) eligible.push_back(sequence.id());
+  }
+  require(!eligible.empty(),
+          "sample_queries: no database sequence is >= query length");
+
+  std::vector<seq::Sequence> queries;
+  queries.reserve(spec.count);
+  for (std::size_t i = 0; i < spec.count; ++i) {
+    const seq::SequenceId origin =
+        eligible[rng.below(eligible.size())];
+    const auto& donor = store.at(origin);
+    const std::size_t offset =
+        donor.size() == spec.length
+            ? 0
+            : rng.below(donor.size() - spec.length + 1);
+    auto window = donor.window(offset, spec.length);
+    seq::Sequence raw(store.alphabet(), "", {window.begin(), window.end()});
+    queries.push_back(mutate(raw, spec.noise,
+                             "query" + std::to_string(i) + " from=" +
+                                 std::to_string(origin) + " at=" +
+                                 std::to_string(offset),
+                             rng));
+  }
+  return queries;
+}
+
+}  // namespace mendel::workload

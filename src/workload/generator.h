@@ -1,0 +1,89 @@
+// Synthetic sequence workload generation.
+//
+// Stands in for the paper's NCBI datasets (nr reference database, s_aureus
+// and e_coli query sets) — see DESIGN.md §2 for the substitution rationale.
+// The generator produces:
+//   * background sequences drawn from realistic residue frequencies
+//     (UniProtKB/Swiss-Prot 2015 composition for protein, uniform for DNA);
+//   * homologous *families*: a random ancestor evolved into members by a
+//     substitution + indel model, so the database has genuine similarity
+//     structure for Mendel's LSH grouping to exploit;
+//   * query sets sampled from database sequences with controlled mutation
+//     (reads that should map back to their origin);
+//   * similarity-level cohorts for the Figure 6d sensitivity sweep.
+//
+// Everything is seeded and deterministic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/sequence/sequence.h"
+
+namespace mendel::workload {
+
+// A random sequence of `length` residues from the alphabet's background
+// distribution (core residues only — no ambiguity codes).
+seq::Sequence random_sequence(seq::Alphabet alphabet, std::size_t length,
+                              std::string name, Rng& rng);
+
+struct MutationModel {
+  // Per-residue probability of substitution to a different residue.
+  double substitution_rate = 0.1;
+  // Per-residue probability of starting an indel.
+  double indel_rate = 0.0;
+  // Indel lengths are geometric with this continuation probability.
+  double indel_extend = 0.3;
+};
+
+// Applies the mutation model; returns the mutated copy.
+seq::Sequence mutate(const seq::Sequence& original, const MutationModel& model,
+                     std::string name, Rng& rng);
+
+// Mutates by substitutions only until exactly floor((1-similarity)*len)
+// positions differ — the Figure 6d protocol ("randomly mutating residues
+// from the original sequence corresponding to the desired similarity
+// level").
+seq::Sequence mutate_to_similarity(const seq::Sequence& original,
+                                   double similarity, std::string name,
+                                   Rng& rng);
+
+struct DatabaseSpec {
+  seq::Alphabet alphabet = seq::Alphabet::kProtein;
+  // Families of homologous sequences + unrelated background sequences.
+  std::size_t families = 40;
+  std::size_t members_per_family = 8;
+  std::size_t background_sequences = 80;
+  std::size_t min_length = 200;
+  std::size_t max_length = 1200;
+  MutationModel family_divergence{0.15, 0.01, 0.3};
+  std::uint64_t seed = 0x6d656e64656cULL;
+};
+
+seq::SequenceStore generate_database(const DatabaseSpec& spec);
+
+struct QuerySetSpec {
+  std::size_t count = 20;
+  std::size_t length = 1000;
+  // Mutation applied to the sampled region (models sequencing error +
+  // strain divergence).
+  MutationModel noise{0.05, 0.002, 0.3};
+  std::uint64_t seed = 0x717565727953ULL;
+};
+
+// Samples a realistic protein-query length from a lognormal fit to the
+// NIH BLAST trace statistic the paper cites (§VI-C: "90% of BLAST protein
+// sequence queries are less than 1000 amino acid residues"): median ~330
+// residues, p90 ~1000, clamped to [min_length, max_length].
+std::size_t sample_trace_query_length(Rng& rng, std::size_t min_length = 50,
+                                      std::size_t max_length = 5000);
+
+// Samples regions of database sequences and perturbs them; each query's
+// name records its origin ("query<i> from=<seq id> at=<offset>") so
+// sensitivity benches can check recovery. Sequences shorter than
+// spec.length are skipped as origins.
+std::vector<seq::Sequence> sample_queries(const seq::SequenceStore& store,
+                                          const QuerySetSpec& spec);
+
+}  // namespace mendel::workload

@@ -1,0 +1,230 @@
+// Unit tests for the indexing pipeline (src/mendel/indexer.*): prefix-tree
+// construction, two-tier placement, batching, and replication.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/common/error.h"
+#include "src/cluster/telemetry.h"
+#include "src/mendel/indexer.h"
+#include "src/mendel/protocol.h"
+#include "src/net/sim_transport.h"
+#include "src/workload/generator.h"
+
+namespace mendel::core {
+namespace {
+
+seq::SequenceStore small_store() {
+  workload::DatabaseSpec spec;
+  spec.families = 4;
+  spec.members_per_family = 3;
+  spec.background_sequences = 6;
+  spec.min_length = 100;
+  spec.max_length = 300;
+  spec.seed = 7;
+  return workload::generate_database(spec);
+}
+
+struct Fixture {
+  cluster::Topology topology;
+  const score::DistanceMatrix& distance;
+  Indexer indexer;
+  seq::SequenceStore store;
+  vpt::VpPrefixTree prefix_tree;
+
+  explicit Fixture(IndexingOptions options = make_options())
+      : topology(make_topology()),
+        distance(score::default_distance(seq::Alphabet::kProtein)),
+        indexer(&topology, &distance, options),
+        store(small_store()),
+        prefix_tree(indexer.build_prefix_tree(store, {.cutoff_depth = 4})) {
+    topology.bind_prefixes(prefix_tree.leaf_prefixes());
+  }
+
+  static cluster::TopologyConfig make_topology_config() {
+    cluster::TopologyConfig config;
+    config.num_groups = 3;
+    config.nodes_per_group = 2;
+    return config;
+  }
+  static cluster::Topology make_topology() {
+    return cluster::Topology(make_topology_config());
+  }
+  static IndexingOptions make_options() {
+    IndexingOptions options;
+    options.window_length = 8;
+    options.sample_size = 256;
+    options.batch_size = 64;
+    return options;
+  }
+};
+
+TEST(Indexer, PrefixTreeSampleWindowLength) {
+  Fixture f;
+  EXPECT_TRUE(f.prefix_tree.built());
+  EXPECT_EQ(f.prefix_tree.window_length(), 8u);
+  EXPECT_FALSE(f.prefix_tree.leaf_prefixes().empty());
+}
+
+TEST(Indexer, PlacementCountsCoverAllBlocks) {
+  Fixture f;
+  const auto counts = f.indexer.placement_counts(f.store, f.prefix_tree);
+  ASSERT_EQ(counts.size(), 6u);
+  std::uint64_t total = 0;
+  for (auto c : counts) total += c;
+  std::uint64_t expected = 0;
+  for (const auto& s : f.store) {
+    if (s.size() >= 8) expected += s.size() - 8 + 1;
+  }
+  EXPECT_EQ(total, expected);
+}
+
+TEST(Indexer, FlatPlacementIsMoreEvenThanSimilarityOnly) {
+  Fixture f;
+  const auto flat = f.indexer.flat_placement_counts(f.store);
+  const auto sim =
+      f.indexer.similarity_only_placement_counts(f.store, f.prefix_tree);
+  const auto flat_report = cluster::analyze_load(flat);
+  const auto sim_report = cluster::analyze_load(sim);
+  EXPECT_LT(flat_report.cov, sim_report.cov);
+}
+
+TEST(Indexer, IndexStoreDeliversEverythingOnce) {
+  Fixture f;
+  net::SimTransport transport({.measured_cpu = false});
+  // Count deliveries per node and type with probe actors.
+  std::map<net::NodeId, std::size_t> blocks_received, sequences_received;
+  std::vector<std::unique_ptr<net::FunctionActor>> actors;
+  for (net::NodeId id = 0; id < f.topology.total_nodes(); ++id) {
+    actors.push_back(std::make_unique<net::FunctionActor>(
+        [&, id](const net::Message& m, net::Context&) {
+          if (m.type == kInsertBlocks) {
+            blocks_received[id] +=
+                decode_payload<InsertBlocksPayload>(m.payload).blocks.size();
+          } else if (m.type == kStoreSequence) {
+            sequences_received[id] += 1;
+          }
+        }));
+    transport.register_actor(id, actors.back().get());
+  }
+  const auto report =
+      f.indexer.index_store(f.store, f.prefix_tree, transport,
+                            net::kClientNode);
+  transport.run_until_idle();
+
+  EXPECT_EQ(report.sequences, f.store.size());
+  std::uint64_t blocks_total = 0;
+  for (const auto& [id, count] : blocks_received) blocks_total += count;
+  EXPECT_EQ(blocks_total, report.blocks);
+  std::uint64_t sequences_total = 0;
+  for (const auto& [id, count] : sequences_received) {
+    sequences_total += count;
+  }
+  EXPECT_EQ(sequences_total, f.store.size());  // replication 1
+}
+
+TEST(Indexer, PlacementMatchesMessageDelivery) {
+  // The pure placement computation must agree with what index_store
+  // actually ships (replication 1, primary owners only).
+  Fixture f;
+  const auto expected = f.indexer.placement_counts(f.store, f.prefix_tree);
+
+  net::SimTransport transport({.measured_cpu = false});
+  std::vector<std::uint64_t> received(f.topology.total_nodes(), 0);
+  std::vector<std::unique_ptr<net::FunctionActor>> actors;
+  for (net::NodeId id = 0; id < f.topology.total_nodes(); ++id) {
+    actors.push_back(std::make_unique<net::FunctionActor>(
+        [&received, id](const net::Message& m, net::Context&) {
+          if (m.type == kInsertBlocks) {
+            received[id] +=
+                decode_payload<InsertBlocksPayload>(m.payload).blocks.size();
+          }
+        }));
+    transport.register_actor(id, actors.back().get());
+  }
+  f.indexer.index_store(f.store, f.prefix_tree, transport, net::kClientNode);
+  transport.run_until_idle();
+  EXPECT_EQ(received, expected);
+}
+
+TEST(Indexer, ReplicationMultipliesDeliveries) {
+  auto config = Fixture::make_topology_config();
+  config.replication = 2;
+  config.sequence_replication = 2;
+  cluster::Topology topology(config);
+  const auto& distance =
+      score::default_distance(seq::Alphabet::kProtein);
+  Indexer indexer(&topology, &distance, Fixture::make_options());
+  const auto store = small_store();
+  const auto tree = indexer.build_prefix_tree(store, {.cutoff_depth = 4});
+  topology.bind_prefixes(tree.leaf_prefixes());
+
+  net::SimTransport transport({.measured_cpu = false});
+  std::uint64_t blocks = 0, sequences = 0;
+  std::vector<std::unique_ptr<net::FunctionActor>> actors;
+  for (net::NodeId id = 0; id < topology.total_nodes(); ++id) {
+    actors.push_back(std::make_unique<net::FunctionActor>(
+        [&](const net::Message& m, net::Context&) {
+          if (m.type == kInsertBlocks) {
+            blocks += decode_payload<InsertBlocksPayload>(m.payload)
+                          .blocks.size();
+          } else if (m.type == kStoreSequence) {
+            ++sequences;
+          }
+        }));
+    transport.register_actor(id, actors.back().get());
+  }
+  const auto report =
+      indexer.index_store(store, tree, transport, net::kClientNode);
+  transport.run_until_idle();
+  EXPECT_EQ(blocks, 2 * report.blocks);
+  EXPECT_EQ(sequences, 2 * store.size());
+}
+
+TEST(Indexer, BatchSizeBoundsMessagePayloads) {
+  IndexingOptions options = Fixture::make_options();
+  options.batch_size = 16;
+  Fixture f(options);
+  net::SimTransport transport({.measured_cpu = false});
+  std::size_t oversized = 0;
+  std::vector<std::unique_ptr<net::FunctionActor>> actors;
+  for (net::NodeId id = 0; id < f.topology.total_nodes(); ++id) {
+    actors.push_back(std::make_unique<net::FunctionActor>(
+        [&](const net::Message& m, net::Context&) {
+          if (m.type == kInsertBlocks) {
+            const auto batch =
+                decode_payload<InsertBlocksPayload>(m.payload);
+            if (batch.blocks.size() > 16) ++oversized;
+          }
+        }));
+    transport.register_actor(id, actors.back().get());
+  }
+  f.indexer.index_store(f.store, f.prefix_tree, transport, net::kClientNode);
+  transport.run_until_idle();
+  EXPECT_EQ(oversized, 0u);
+}
+
+TEST(Indexer, RejectsBadOptions) {
+  auto topology = Fixture::make_topology();
+  const auto& distance =
+      score::default_distance(seq::Alphabet::kProtein);
+  IndexingOptions bad;
+  bad.window_length = 2;
+  EXPECT_THROW(Indexer(&topology, &distance, bad), InvalidArgument);
+  bad = Fixture::make_options();
+  bad.batch_size = 0;
+  EXPECT_THROW(Indexer(&topology, &distance, bad), InvalidArgument);
+}
+
+TEST(Indexer, EmptyStoreRejectedAtTreeBuild) {
+  auto topology = Fixture::make_topology();
+  const auto& distance =
+      score::default_distance(seq::Alphabet::kProtein);
+  Indexer indexer(&topology, &distance, Fixture::make_options());
+  seq::SequenceStore empty(seq::Alphabet::kProtein);
+  EXPECT_THROW(indexer.build_prefix_tree(empty, {.cutoff_depth = 4}),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mendel::core

@@ -1,0 +1,99 @@
+// End-to-end integration tests: index a synthetic database into a simulated
+// cluster, run queries through the full distributed pipeline, and check the
+// planted homologies come back.
+#include <gtest/gtest.h>
+
+#include "src/mendel/client.h"
+#include "src/workload/generator.h"
+
+namespace mendel {
+namespace {
+
+core::ClientOptions small_cluster_options() {
+  core::ClientOptions options;
+  options.topology.num_groups = 4;
+  options.topology.nodes_per_group = 3;
+  options.indexing.window_length = 8;
+  options.indexing.sample_size = 512;
+  options.prefix_tree.cutoff_depth = 4;
+  options.cost.measured_cpu = false;  // deterministic timing in tests
+  return options;
+}
+
+workload::DatabaseSpec small_database_spec() {
+  workload::DatabaseSpec spec;
+  spec.families = 6;
+  spec.members_per_family = 4;
+  spec.background_sequences = 10;
+  spec.min_length = 150;
+  spec.max_length = 400;
+  spec.seed = 42;
+  return spec;
+}
+
+TEST(Integration, IndexThenExactRegionQueryFindsOrigin) {
+  const auto store = workload::generate_database(small_database_spec());
+  core::Client client(small_cluster_options());
+  const auto report = client.index(store);
+  EXPECT_EQ(report.sequences, store.size());
+  EXPECT_GT(report.blocks, 0u);
+
+  // Query = exact region of a known database sequence.
+  const auto& donor = store.at(3);
+  const auto window = donor.window(10, 120);
+  const seq::Sequence query(store.alphabet(), "probe",
+                            {window.begin(), window.end()});
+  const auto outcome = client.query(query);
+  ASSERT_FALSE(outcome.hits.empty());
+  // The donor itself must be among the hits, with a high-identity
+  // alignment covering most of the query.
+  bool found = false;
+  for (const auto& hit : outcome.hits) {
+    if (hit.subject_id != donor.id()) continue;
+    found = true;
+    EXPECT_GT(hit.alignment.percent_identity(), 0.95);
+    EXPECT_GT(hit.alignment.columns, 100u);
+    EXPECT_LT(hit.evalue, 1e-10);
+  }
+  EXPECT_TRUE(found) << "donor sequence not found in results";
+  EXPECT_GT(outcome.turnaround, 0.0);
+  EXPECT_GT(outcome.traffic.messages, 0u);
+}
+
+TEST(Integration, MutatedQueryStillFindsOrigin) {
+  const auto store = workload::generate_database(small_database_spec());
+  core::Client client(small_cluster_options());
+  client.index(store);
+
+  Rng rng(7);
+  const auto& donor = store.at(8);
+  const auto window = donor.window(5, 150);
+  seq::Sequence clean(store.alphabet(), "clean",
+                      {window.begin(), window.end()});
+  const auto query =
+      workload::mutate_to_similarity(clean, 0.85, "mutated", rng);
+
+  const auto outcome = client.query(query);
+  bool found = false;
+  for (const auto& hit : outcome.hits) {
+    found = found || hit.subject_id == donor.id();
+  }
+  EXPECT_TRUE(found) << "mutated query lost its origin";
+}
+
+TEST(Integration, UnrelatedQueryReturnsNoStrongHits) {
+  const auto store = workload::generate_database(small_database_spec());
+  core::Client client(small_cluster_options());
+  client.index(store);
+
+  Rng rng(99);
+  const auto query =
+      workload::random_sequence(store.alphabet(), 200, "noise", rng);
+  core::QueryParams params;
+  params.evalue = 1e-6;  // strict threshold: random noise must not pass
+  const auto outcome = client.query(query, params);
+  EXPECT_TRUE(outcome.hits.empty());
+}
+
+}  // namespace
+}  // namespace mendel

@@ -1,0 +1,130 @@
+// Tests for the NCBI matrix-file loader and the runtime matrix registry
+// (src/scoring/matrix_io.*).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/common/error.h"
+#include "src/scoring/matrix_io.h"
+
+namespace mendel::score {
+namespace {
+
+using seq::Alphabet;
+
+// A tiny but complete DNA matrix in NCBI text format.
+constexpr const char* kDnaMatrixText = R"(# test matrix
+   A  C  G  T  N
+A  5 -4 -4 -4  0
+C -4  5 -4 -4  0
+G -4 -4  5 -4  0
+T -4 -4 -4  5  0
+N  0  0  0  0  0
+)";
+
+TEST(MatrixIo, ParsesDnaMatrix) {
+  std::istringstream in(kDnaMatrixText);
+  const auto m = parse_ncbi_matrix(in, "TEST-DNA", Alphabet::kDna, {4, 2});
+  EXPECT_EQ(m.name(), "TEST-DNA");
+  EXPECT_EQ(m.score(seq::kDnaA, seq::kDnaA), 5);
+  EXPECT_EQ(m.score(seq::kDnaA, seq::kDnaC), -4);
+  EXPECT_EQ(m.score(seq::kDnaN, seq::kDnaT), 0);
+  EXPECT_TRUE(m.is_symmetric());
+  EXPECT_EQ(m.default_gaps().open, 4);
+}
+
+TEST(MatrixIo, ParsesFullProteinMatrixRoundTrip) {
+  // Render BLOSUM62 to text and parse it back: must be identical.
+  std::ostringstream text;
+  const std::string letters = "ARNDCQEGHILKMFPSTWYVBZX*";
+  text << " ";
+  for (char c : letters) text << "  " << c;
+  text << "\n";
+  for (char row : letters) {
+    text << row;
+    for (char col : letters) {
+      text << "  "
+           << blosum62().score(seq::encode(Alphabet::kProtein, row),
+                               seq::encode(Alphabet::kProtein, col));
+    }
+    text << "\n";
+  }
+  std::istringstream in(text.str());
+  const auto m = parse_ncbi_matrix(in, "B62-COPY", Alphabet::kProtein);
+  for (seq::Code a = 0; a < 24; ++a) {
+    for (seq::Code b = 0; b < 24; ++b) {
+      ASSERT_EQ(m.score(a, b), blosum62().score(a, b))
+          << int(a) << "," << int(b);
+    }
+  }
+}
+
+TEST(MatrixIo, CommentsAndBlankLinesIgnored) {
+  std::istringstream in(
+      "# header comment\n\n   A  C  G  T\n# mid comment\nA 1 -1 -1 -1\n"
+      "C -1 1 -1 -1\nG -1 -1 1 -1\nT -1 -1 -1 1 # trailing\n");
+  const auto m = parse_ncbi_matrix(in, "X", Alphabet::kDna);
+  EXPECT_EQ(m.score(seq::kDnaT, seq::kDnaT), 1);
+}
+
+TEST(MatrixIo, RejectsBadColumnLetter) {
+  std::istringstream in("   A  J!  G\nA 1 2 3\n");
+  EXPECT_THROW(parse_ncbi_matrix(in, "X", Alphabet::kDna), ParseError);
+}
+
+TEST(MatrixIo, RejectsShortRow) {
+  std::istringstream in("   A  C  G  T\nA 1 -1 -1\n");
+  EXPECT_THROW(parse_ncbi_matrix(in, "X", Alphabet::kDna), ParseError);
+}
+
+TEST(MatrixIo, RejectsLongRow) {
+  std::istringstream in("   A  C\nA 1 -1 7\nC -1 1 7\nG 0 0 0\nT 0 0\n");
+  EXPECT_THROW(parse_ncbi_matrix(in, "X", Alphabet::kDna), ParseError);
+}
+
+TEST(MatrixIo, RejectsMissingCoreResidue) {
+  std::istringstream in("   A  C  G\nA 1 -1 -1\nC -1 1 -1\nG -1 -1 1\n");
+  // T is missing.
+  EXPECT_THROW(parse_ncbi_matrix(in, "X", Alphabet::kDna), InvalidArgument);
+}
+
+TEST(MatrixIo, EmptyFileRejected) {
+  std::istringstream in("# only comments\n");
+  EXPECT_THROW(parse_ncbi_matrix(in, "X", Alphabet::kDna), InvalidArgument);
+}
+
+TEST(MatrixIo, MissingFileThrowsIoError) {
+  EXPECT_THROW(load_matrix_file("/nonexistent/matrix.txt", "X",
+                                Alphabet::kDna),
+               IoError);
+}
+
+TEST(MatrixIo, RegistryResolvesThroughMatrixByName) {
+  std::istringstream in(kDnaMatrixText);
+  auto m = parse_ncbi_matrix(in, "REGISTERED-DNA", Alphabet::kDna);
+  register_matrix(std::move(m));
+  const auto& resolved = matrix_by_name("REGISTERED-DNA");
+  EXPECT_EQ(resolved.score(seq::kDnaG, seq::kDnaG), 5);
+  EXPECT_NE(find_registered_matrix("REGISTERED-DNA"), nullptr);
+  EXPECT_EQ(find_registered_matrix("NEVER-REGISTERED"), nullptr);
+}
+
+TEST(MatrixIo, BuiltinsCannotBeShadowed) {
+  std::istringstream in(kDnaMatrixText);
+  auto m = parse_ncbi_matrix(in, "BLOSUM62", Alphabet::kDna);
+  EXPECT_THROW(register_matrix(std::move(m)), InvalidArgument);
+}
+
+TEST(MatrixIo, ReRegistrationReplaces) {
+  {
+    std::istringstream in(kDnaMatrixText);
+    register_matrix(parse_ncbi_matrix(in, "REPLACEABLE", Alphabet::kDna));
+  }
+  std::istringstream in(
+      "   A  C  G  T\nA 9 0 0 0\nC 0 9 0 0\nG 0 0 9 0\nT 0 0 0 9\n");
+  register_matrix(parse_ncbi_matrix(in, "REPLACEABLE", Alphabet::kDna));
+  EXPECT_EQ(matrix_by_name("REPLACEABLE").score(seq::kDnaA, seq::kDnaA), 9);
+}
+
+}  // namespace
+}  // namespace mendel::score

@@ -1,0 +1,119 @@
+// Unit tests for the alignment renderers (src/align/render.*).
+#include <gtest/gtest.h>
+
+#include "src/align/render.h"
+#include "src/align/smith_waterman.h"
+#include "src/common/error.h"
+
+namespace mendel::align {
+namespace {
+
+using seq::Alphabet;
+
+AlignmentHit hit_from_sw(const std::vector<seq::Code>& query,
+                         const std::vector<seq::Code>& subject,
+                         const score::ScoringMatrix& m) {
+  AlignmentHit hit;
+  hit.subject_name = "subject-1";
+  hit.alignment = smith_waterman(query, subject, m, m.default_gaps());
+  hit.bit_score = 42.0;
+  hit.evalue = 1e-9;
+  hit.subject_segment.assign(
+      subject.begin() +
+          static_cast<std::ptrdiff_t>(hit.alignment.hsp.s_begin),
+      subject.begin() + static_cast<std::ptrdiff_t>(hit.alignment.hsp.s_end));
+  return hit;
+}
+
+TEST(Render, IdenticalSequencesAllMatchLine) {
+  const auto q = seq::encode_string(Alphabet::kProtein, "MKVLAWHH");
+  const auto hit = hit_from_sw(q, q, score::blosum62());
+  const auto text = render_alignment(hit, q, hit.subject_segment,
+                                     Alphabet::kProtein, score::blosum62());
+  EXPECT_NE(text.find("Query  1\tMKVLAWHH\t8"), std::string::npos) << text;
+  EXPECT_NE(text.find("Sbjct  1\tMKVLAWHH\t8"), std::string::npos);
+  // Match line repeats the residues for identities.
+  EXPECT_NE(text.find("\tMKVLAWHH\n"), std::string::npos);
+  EXPECT_NE(text.find("> subject-1"), std::string::npos);
+}
+
+TEST(Render, PositiveSubstitutionMarkedPlus) {
+  // I vs L scores +2 under BLOSUM62 -> '+' in the match line.
+  const auto q = seq::encode_string(Alphabet::kProtein, "MKIKKKKW");
+  const auto s = seq::encode_string(Alphabet::kProtein, "MKLKKKKW");
+  const auto hit = hit_from_sw(q, s, score::blosum62());
+  const auto text = render_alignment(hit, q, hit.subject_segment,
+                                     Alphabet::kProtein, score::blosum62());
+  EXPECT_NE(text.find("MK+KKKKW"), std::string::npos) << text;
+}
+
+TEST(Render, GapsRenderedAsDashes) {
+  const auto m = score::dna_matrix(2, -3);
+  const auto q = seq::encode_string(Alphabet::kDna, "ACGTACGTACGT");
+  const auto s = seq::encode_string(Alphabet::kDna, "ACGTAGTACGT");
+  const auto hit = hit_from_sw(q, s, m);
+  ASSERT_GT(hit.alignment.gap_columns, 0u);
+  const auto text = render_alignment(hit, q, hit.subject_segment,
+                                     Alphabet::kDna, m);
+  EXPECT_NE(text.find('-'), std::string::npos) << text;
+}
+
+TEST(Render, WrapsLongAlignments) {
+  std::string residues(150, 'K');
+  const auto q = seq::encode_string(Alphabet::kProtein, residues);
+  const auto hit = hit_from_sw(q, q, score::blosum62());
+  RenderOptions options;
+  options.width = 60;
+  const auto text = render_alignment(hit, q, hit.subject_segment,
+                                     Alphabet::kProtein, score::blosum62(),
+                                     options);
+  // Three blocks: 60 + 60 + 30, with running coordinates.
+  EXPECT_NE(text.find("Query  1\t"), std::string::npos);
+  EXPECT_NE(text.find("Query  61\t"), std::string::npos);
+  EXPECT_NE(text.find("Query  121\t"), std::string::npos);
+  EXPECT_NE(text.find("\t150\n"), std::string::npos);
+}
+
+TEST(Render, HeaderOptional) {
+  const auto q = seq::encode_string(Alphabet::kProtein, "MKVLAWHH");
+  const auto hit = hit_from_sw(q, q, score::blosum62());
+  RenderOptions options;
+  options.show_header = false;
+  const auto text = render_alignment(hit, q, hit.subject_segment,
+                                     Alphabet::kProtein, score::blosum62(),
+                                     options);
+  EXPECT_EQ(text.find("> subject-1"), std::string::npos);
+}
+
+TEST(Render, RejectsWrongSegmentLength) {
+  const auto q = seq::encode_string(Alphabet::kProtein, "MKVLAWHH");
+  auto hit = hit_from_sw(q, q, score::blosum62());
+  hit.subject_segment.pop_back();
+  EXPECT_THROW(render_alignment(hit, q, hit.subject_segment,
+                                Alphabet::kProtein, score::blosum62()),
+               InvalidArgument);
+}
+
+TEST(Render, RejectsMalformedCigar) {
+  const auto q = seq::encode_string(Alphabet::kProtein, "MKVLAWHH");
+  auto hit = hit_from_sw(q, q, score::blosum62());
+  hit.alignment.cigar = "8Q";
+  EXPECT_THROW(render_alignment(hit, q, hit.subject_segment,
+                                Alphabet::kProtein, score::blosum62()),
+               InvalidArgument);
+}
+
+TEST(RenderTabular, FieldsInOrder) {
+  const auto q = seq::encode_string(Alphabet::kProtein, "MKVLAWHHMKVLAWHH");
+  auto hit = hit_from_sw(q, q, score::blosum62());
+  hit.subject_name = "subj";
+  hit.evalue = 0.001;
+  const auto line = render_tabular("my query", hit);
+  // query, subject, identity, columns, mismatches, gaps, coords, e, bits.
+  EXPECT_NE(line.find("my query\tsubj\t100.0\t16\t0\t0\t1\t16\t1\t16\t"),
+            std::string::npos)
+      << line;
+}
+
+}  // namespace
+}  // namespace mendel::align

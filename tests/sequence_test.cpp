@@ -1,0 +1,236 @@
+// Unit tests for src/sequence: alphabets, sequences, stores, FASTA I/O.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/common/error.h"
+#include "src/sequence/alphabet.h"
+#include "src/sequence/fasta.h"
+#include "src/sequence/sequence.h"
+
+namespace mendel::seq {
+namespace {
+
+// ---------- Alphabet ----------
+
+TEST(Alphabet, DnaEncodeDecodeRoundTrip) {
+  for (char c : {'A', 'C', 'G', 'T', 'N'}) {
+    EXPECT_EQ(decode(Alphabet::kDna, encode(Alphabet::kDna, c)), c);
+  }
+}
+
+TEST(Alphabet, DnaLowercaseAccepted) {
+  EXPECT_EQ(encode(Alphabet::kDna, 'a'), kDnaA);
+  EXPECT_EQ(encode(Alphabet::kDna, 't'), kDnaT);
+}
+
+TEST(Alphabet, RnaUracilFoldsToT) {
+  EXPECT_EQ(encode(Alphabet::kDna, 'U'), kDnaT);
+}
+
+TEST(Alphabet, DnaAmbiguityCodesMapToN) {
+  for (char c : {'R', 'Y', 'S', 'W', 'K', 'M', 'B', 'D', 'H', 'V', 'N'}) {
+    EXPECT_EQ(encode(Alphabet::kDna, c), kDnaN) << c;
+  }
+}
+
+TEST(Alphabet, DnaRejectsInvalid) {
+  EXPECT_THROW(encode(Alphabet::kDna, 'Z'), ParseError);
+  EXPECT_THROW(encode(Alphabet::kDna, '1'), ParseError);
+  EXPECT_THROW(encode(Alphabet::kDna, ' '), ParseError);
+}
+
+TEST(Alphabet, ProteinRoundTripAllSymbols) {
+  for (char c : std::string(kProteinSymbols)) {
+    EXPECT_EQ(decode(Alphabet::kProtein, encode(Alphabet::kProtein, c)), c);
+  }
+}
+
+TEST(Alphabet, ProteinCodeOrderIsBlosumOrder) {
+  EXPECT_EQ(encode(Alphabet::kProtein, 'A'), 0);
+  EXPECT_EQ(encode(Alphabet::kProtein, 'R'), 1);
+  EXPECT_EQ(encode(Alphabet::kProtein, 'V'), 19);
+  EXPECT_EQ(encode(Alphabet::kProtein, 'B'), 20);
+  EXPECT_EQ(encode(Alphabet::kProtein, 'Z'), 21);
+  EXPECT_EQ(encode(Alphabet::kProtein, 'X'), 22);
+  EXPECT_EQ(encode(Alphabet::kProtein, '*'), 23);
+}
+
+TEST(Alphabet, RareAminoAcidsMapToX) {
+  EXPECT_EQ(encode(Alphabet::kProtein, 'U'), 22);  // selenocysteine
+  EXPECT_EQ(encode(Alphabet::kProtein, 'O'), 22);  // pyrrolysine
+  EXPECT_EQ(encode(Alphabet::kProtein, 'J'), 22);
+}
+
+TEST(Alphabet, Cardinalities) {
+  EXPECT_EQ(cardinality(Alphabet::kDna), 5u);
+  EXPECT_EQ(cardinality(Alphabet::kProtein), 24u);
+  EXPECT_EQ(core_cardinality(Alphabet::kDna), 4u);
+  EXPECT_EQ(core_cardinality(Alphabet::kProtein), 20u);
+}
+
+TEST(Alphabet, DecodeRejectsOutOfRange) {
+  EXPECT_THROW(decode(Alphabet::kDna, 5), InvalidArgument);
+  EXPECT_THROW(decode(Alphabet::kProtein, 24), InvalidArgument);
+}
+
+TEST(Alphabet, IsValid) {
+  EXPECT_TRUE(is_valid(Alphabet::kDna, 'a'));
+  EXPECT_FALSE(is_valid(Alphabet::kDna, 'q'));
+  EXPECT_TRUE(is_valid(Alphabet::kProtein, 'w'));
+  EXPECT_FALSE(is_valid(Alphabet::kProtein, '!'));
+}
+
+TEST(Alphabet, ProteinBackgroundFrequenciesSane) {
+  const auto& f = protein_background_frequencies();
+  double sum = 0;
+  for (double p : f) {
+    EXPECT_GT(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 0.02);
+  // Leu is most frequent, Trp least (paper §III-B cites the ~9x spread).
+  const auto leu = f[encode(Alphabet::kProtein, 'L')];
+  const auto trp = f[encode(Alphabet::kProtein, 'W')];
+  for (double p : f) {
+    EXPECT_LE(p, leu);
+    EXPECT_GE(p, trp);
+  }
+  EXPECT_GT(leu / trp, 8.0);
+}
+
+// ---------- Sequence ----------
+
+TEST(Sequence, FromStringRoundTrip) {
+  const auto s = Sequence::from_string(Alphabet::kProtein, "p1", "MKVLAW");
+  EXPECT_EQ(s.size(), 6u);
+  EXPECT_EQ(s.to_string(), "MKVLAW");
+  EXPECT_EQ(s.name(), "p1");
+}
+
+TEST(Sequence, WindowBoundsChecked) {
+  const auto s = Sequence::from_string(Alphabet::kDna, "d", "ACGTACGT");
+  const auto w = s.window(2, 4);
+  EXPECT_EQ(to_string(Alphabet::kDna, w), "GTAC");
+  EXPECT_THROW(s.window(6, 4), InvalidArgument);
+  EXPECT_NO_THROW(s.window(4, 4));
+  EXPECT_NO_THROW(s.window(8, 0));
+}
+
+TEST(Sequence, EqualityIgnoresName) {
+  const auto a = Sequence::from_string(Alphabet::kDna, "x", "ACGT");
+  const auto b = Sequence::from_string(Alphabet::kDna, "y", "ACGT");
+  EXPECT_EQ(a, b);
+}
+
+TEST(Sequence, EncodeStringRejectsBadChars) {
+  EXPECT_THROW(encode_string(Alphabet::kProtein, "MK!L"), ParseError);
+}
+
+// ---------- SequenceStore ----------
+
+TEST(SequenceStore, AssignsSequentialIds) {
+  SequenceStore store(Alphabet::kDna);
+  const auto id0 =
+      store.add(Sequence::from_string(Alphabet::kDna, "a", "ACGT"));
+  const auto id1 =
+      store.add(Sequence::from_string(Alphabet::kDna, "b", "GGCC"));
+  EXPECT_EQ(id0, 0u);
+  EXPECT_EQ(id1, 1u);
+  EXPECT_EQ(store.at(1).name(), "b");
+  EXPECT_EQ(store.at(1).id(), 1u);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.total_residues(), 8u);
+}
+
+TEST(SequenceStore, RejectsAlphabetMismatch) {
+  SequenceStore store(Alphabet::kDna);
+  EXPECT_THROW(
+      store.add(Sequence::from_string(Alphabet::kProtein, "p", "MKV")),
+      InvalidArgument);
+}
+
+TEST(SequenceStore, AtRejectsUnknownId) {
+  SequenceStore store(Alphabet::kDna);
+  EXPECT_THROW(store.at(0), InvalidArgument);
+  EXPECT_FALSE(store.contains(0));
+}
+
+// ---------- FASTA ----------
+
+TEST(Fasta, ParsesMultiRecord) {
+  std::istringstream in(
+      ">seq1 first protein\n"
+      "MKVL\n"
+      "AWHH\n"
+      "\n"
+      ">seq2\n"
+      "GGGG\n");
+  const auto records = read_fasta(in, Alphabet::kProtein);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].name(), "seq1 first protein");
+  EXPECT_EQ(records[0].to_string(), "MKVLAWHH");
+  EXPECT_EQ(records[1].to_string(), "GGGG");
+}
+
+TEST(Fasta, HandlesCrlfAndComments) {
+  std::istringstream in(
+      "; legacy comment\r\n"
+      ">d\r\n"
+      "ACGT\r\n");
+  const auto records = read_fasta(in, Alphabet::kDna);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].to_string(), "ACGT");
+}
+
+TEST(Fasta, RejectsResiduesBeforeHeader) {
+  std::istringstream in("ACGT\n>x\nACGT\n");
+  EXPECT_THROW(read_fasta(in, Alphabet::kDna), ParseError);
+}
+
+TEST(Fasta, RejectsEmptyRecord) {
+  std::istringstream in(">only-header\n>second\nACGT\n");
+  EXPECT_THROW(read_fasta(in, Alphabet::kDna), ParseError);
+}
+
+TEST(Fasta, ReportsLineOfBadResidue) {
+  std::istringstream in(">x\nAC!T\n");
+  try {
+    read_fasta(in, Alphabet::kDna);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Fasta, WriteReadRoundTrip) {
+  std::vector<Sequence> originals;
+  originals.push_back(
+      Sequence::from_string(Alphabet::kProtein, "alpha", "MKVLAWHHRR"));
+  originals.push_back(Sequence::from_string(
+      Alphabet::kProtein, "beta desc",
+      std::string(200, 'K')));  // forces wrapping
+  std::ostringstream out;
+  write_fasta(out, originals, 70);
+  std::istringstream in(out.str());
+  const auto parsed = read_fasta(in, Alphabet::kProtein);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0], originals[0]);
+  EXPECT_EQ(parsed[1], originals[1]);
+  EXPECT_EQ(parsed[1].name(), "beta desc");
+}
+
+TEST(Fasta, LoadIntoStore) {
+  std::istringstream in(">a\nACGT\n>b\nGGTT\n");
+  SequenceStore store(Alphabet::kDna);
+  EXPECT_EQ(load_fasta(in, store), 2u);
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(Fasta, MissingFileThrows) {
+  EXPECT_THROW(read_fasta_file("/nonexistent/file.fa", Alphabet::kDna),
+               IoError);
+}
+
+}  // namespace
+}  // namespace mendel::seq

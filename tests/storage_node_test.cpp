@@ -1,0 +1,332 @@
+// Message-level unit tests of the StorageNode actor: each server-side role
+// exercised in isolation with hand-crafted protocol messages over a
+// deterministic SimTransport.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/common/error.h"
+#include "src/mendel/indexer.h"
+#include "src/mendel/protocol.h"
+#include "src/mendel/storage_node.h"
+#include "src/net/sim_transport.h"
+#include "src/workload/generator.h"
+
+namespace mendel::core {
+namespace {
+
+// A tiny single-group cluster whose internals the tests can poke directly.
+struct MiniCluster {
+  cluster::Topology topology;
+  const score::DistanceMatrix& distance;
+  seq::SequenceStore store;
+  vpt::VpPrefixTree prefix_tree;
+  net::SimTransport transport;
+  std::vector<std::unique_ptr<StorageNode>> nodes;
+  std::vector<net::Message> client_inbox;
+  std::unique_ptr<net::FunctionActor> client;
+
+  MiniCluster()
+      : topology(make_config()),
+        distance(score::default_distance(seq::Alphabet::kProtein)),
+        store(make_store()),
+        prefix_tree(make_tree()),
+        transport(net::CostModel{.measured_cpu = false}) {
+    topology.bind_prefixes(prefix_tree.leaf_prefixes());
+    StorageNodeConfig config;
+    config.topology = &topology;
+    config.prefix_tree = &prefix_tree;
+    config.distance = &distance;
+    config.alphabet = seq::Alphabet::kProtein;
+    config.database_residues = store.total_residues();
+    for (net::NodeId id = 0; id < topology.total_nodes(); ++id) {
+      nodes.push_back(std::make_unique<StorageNode>(id, config));
+      transport.register_actor(id, nodes.back().get());
+    }
+    client = std::make_unique<net::FunctionActor>(
+        [this](const net::Message& m, net::Context&) {
+          client_inbox.push_back(m);
+        });
+    transport.register_actor(net::kClientNode, client.get());
+  }
+
+  static cluster::TopologyConfig make_config() {
+    cluster::TopologyConfig config;
+    config.num_groups = 2;
+    config.nodes_per_group = 2;
+    return config;
+  }
+
+  static seq::SequenceStore make_store() {
+    workload::DatabaseSpec spec;
+    spec.families = 3;
+    spec.members_per_family = 3;
+    spec.background_sequences = 4;
+    spec.min_length = 120;
+    spec.max_length = 250;
+    spec.seed = 11;
+    return workload::generate_database(spec);
+  }
+
+  vpt::VpPrefixTree make_tree() {
+    IndexingOptions options;
+    options.window_length = 8;
+    options.sample_size = 128;
+    Indexer indexer(&topology, &distance, options);
+    return indexer.build_prefix_tree(store, {.cutoff_depth = 3});
+  }
+
+  void index_everything() {
+    IndexingOptions options;
+    options.window_length = 8;
+    options.sample_size = 128;
+    Indexer indexer(&topology, &distance, options);
+    indexer.index_store(store, prefix_tree, transport, net::kClientNode);
+    transport.run_until_idle();
+  }
+
+  void send(net::NodeId to, std::uint32_t type, std::uint64_t request_id,
+            std::vector<std::uint8_t> payload) {
+    net::Message m;
+    m.from = net::kClientNode;
+    m.to = to;
+    m.type = type;
+    m.request_id = request_id;
+    m.payload = std::move(payload);
+    transport.send(std::move(m));
+  }
+};
+
+TEST(StorageNode, StoreSequenceAndFetchRange) {
+  MiniCluster mini;
+  StoreSequencePayload stored;
+  stored.sequence = 3;
+  stored.name = "probe sequence";
+  stored.codes = seq::encode_string(seq::Alphabet::kProtein,
+                                    "MKVLAWHHRRMKVLAWHHRR");
+  mini.send(1, kStoreSequence, 0, encode_payload(stored));
+  mini.transport.run_until_idle();
+  EXPECT_EQ(mini.nodes[1]->sequence_count(), 1u);
+
+  FetchRangePayload fetch;
+  fetch.purpose = 0;
+  fetch.token = 9;
+  fetch.sequence = 3;
+  fetch.start = 5;
+  fetch.length = 8;
+  mini.send(1, kFetchRange, 77, encode_payload(fetch));
+  mini.transport.run_until_idle();
+  ASSERT_EQ(mini.client_inbox.size(), 1u);
+  const auto reply = decode_payload<FetchRangeResultPayload>(
+      mini.client_inbox[0].payload);
+  EXPECT_EQ(reply.token, 9u);
+  EXPECT_EQ(reply.start, 5u);
+  EXPECT_EQ(reply.sequence_length, 20u);
+  EXPECT_EQ(reply.sequence_name, "probe sequence");
+  EXPECT_EQ(seq::to_string(seq::Alphabet::kProtein, reply.codes),
+            "WHHRRMKV");
+  EXPECT_EQ(mini.client_inbox[0].request_id, 77u);
+}
+
+TEST(StorageNode, FetchRangeClampsToSequenceEnd) {
+  MiniCluster mini;
+  StoreSequencePayload stored;
+  stored.sequence = 1;
+  stored.name = "short";
+  stored.codes = seq::encode_string(seq::Alphabet::kProtein, "MKVLAW");
+  mini.send(0, kStoreSequence, 0, encode_payload(stored));
+  // Drain before fetching: the smaller fetch message would otherwise pay
+  // less transfer delay and overtake the store.
+  mini.transport.run_until_idle();
+  FetchRangePayload fetch;
+  fetch.sequence = 1;
+  fetch.start = 4;
+  fetch.length = 100;
+  mini.send(0, kFetchRange, 1, encode_payload(fetch));
+  mini.transport.run_until_idle();
+  const auto reply = decode_payload<FetchRangeResultPayload>(
+      mini.client_inbox[0].payload);
+  EXPECT_EQ(seq::to_string(seq::Alphabet::kProtein, reply.codes), "AW");
+}
+
+TEST(StorageNode, FetchUnknownSequenceReturnsEmpty) {
+  MiniCluster mini;
+  FetchRangePayload fetch;
+  fetch.sequence = 999;
+  fetch.start = 0;
+  fetch.length = 10;
+  mini.send(0, kFetchRange, 1, encode_payload(fetch));
+  mini.transport.run_until_idle();
+  const auto reply = decode_payload<FetchRangeResultPayload>(
+      mini.client_inbox[0].payload);
+  EXPECT_TRUE(reply.codes.empty());
+  EXPECT_EQ(reply.sequence_length, 0u);
+}
+
+TEST(StorageNode, InsertBlocksGrowLocalTree) {
+  MiniCluster mini;
+  InsertBlocksPayload payload;
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    Block block;
+    block.sequence = 1;
+    block.start = static_cast<std::uint32_t>(i);
+    const auto s = workload::random_sequence(seq::Alphabet::kProtein, 8,
+                                             "w", rng);
+    block.window.assign(s.codes().begin(), s.codes().end());
+    payload.blocks.push_back(std::move(block));
+  }
+  mini.send(2, kInsertBlocks, 0, encode_payload(payload));
+  mini.transport.run_until_idle();
+  EXPECT_EQ(mini.nodes[2]->block_count(), 100u);
+  EXPECT_EQ(mini.nodes[2]->counters().blocks_inserted, 100u);
+}
+
+TEST(StorageNode, NodeSearchAppliesFilters) {
+  MiniCluster mini;
+  // Plant one block; search with its exact window and with thresholds that
+  // cannot pass.
+  InsertBlocksPayload payload;
+  Block block;
+  block.sequence = 7;
+  block.start = 42;
+  block.window =
+      seq::encode_string(seq::Alphabet::kProtein, "MKVLAWHH");
+  payload.blocks.push_back(block);
+  mini.send(3, kInsertBlocks, 0, encode_payload(payload));
+  mini.transport.run_until_idle();
+
+  NodeSearchPayload search;
+  search.params.n = 4;
+  search.params.identity = 0.9;
+  search.params.c_score = 0.9;
+  Subquery sub;
+  sub.query_offset = 16;
+  sub.window = block.window;
+  search.subqueries.push_back(sub);
+  mini.send(3, kNodeSearch, 5, encode_payload(search));
+  mini.transport.run_until_idle();
+  ASSERT_EQ(mini.client_inbox.size(), 1u);
+  auto reply = decode_payload<NodeSearchResultPayload>(
+      mini.client_inbox[0].payload);
+  ASSERT_EQ(reply.seeds.size(), 1u);
+  EXPECT_EQ(reply.seeds[0].sequence, 7u);
+  EXPECT_EQ(reply.seeds[0].subject_start, 42u);
+  EXPECT_EQ(reply.seeds[0].query_offset, 16u);
+  EXPECT_DOUBLE_EQ(reply.seeds[0].identity, 1.0);
+
+  // Impossible identity threshold: no seeds.
+  mini.client_inbox.clear();
+  search.params.identity = 1.1;
+  mini.send(3, kNodeSearch, 6, encode_payload(search));
+  mini.transport.run_until_idle();
+  reply = decode_payload<NodeSearchResultPayload>(
+      mini.client_inbox[0].payload);
+  EXPECT_TRUE(reply.seeds.empty());
+}
+
+TEST(StorageNode, QueryRequestTooShortAnswersEmptyImmediately) {
+  MiniCluster mini;
+  mini.index_everything();
+  QueryRequestPayload request;
+  request.query = seq::encode_string(seq::Alphabet::kProtein, "MKV");
+  mini.send(0, kQueryRequest, 50, encode_payload(request));
+  mini.transport.run_until_idle();
+  ASSERT_EQ(mini.client_inbox.size(), 1u);
+  EXPECT_EQ(mini.client_inbox[0].type,
+            static_cast<std::uint32_t>(kQueryResult));
+  const auto reply =
+      decode_payload<QueryResultPayload>(mini.client_inbox[0].payload);
+  EXPECT_TRUE(reply.hits.empty());
+}
+
+TEST(StorageNode, FullQueryThroughHandCraftedMessages) {
+  MiniCluster mini;
+  mini.index_everything();
+  const auto& donor = mini.store.at(2);
+  const auto window = donor.window(10, 100);
+  QueryRequestPayload request;
+  request.query.assign(window.begin(), window.end());
+  mini.send(1, kQueryRequest, 99, encode_payload(request));
+  mini.transport.run_until_idle();
+  ASSERT_EQ(mini.client_inbox.size(), 1u);
+  const auto reply =
+      decode_payload<QueryResultPayload>(mini.client_inbox[0].payload);
+  ASSERT_FALSE(reply.hits.empty());
+  bool found = false;
+  for (const auto& hit : reply.hits) found = found || hit.subject_id == 2;
+  EXPECT_TRUE(found);
+}
+
+TEST(StorageNode, UnknownMessageTypeThrows) {
+  MiniCluster mini;
+  mini.send(0, 0xdead, 0, {});
+  EXPECT_THROW(mini.transport.run_until_idle(), ProtocolError);
+}
+
+TEST(StorageNode, StaleResponsesAreIgnored) {
+  MiniCluster mini;
+  mini.index_everything();
+  // A NodeSearchResult / GroupResult / FetchRangeResult for an unknown
+  // query id must be dropped silently (stale after completion).
+  NodeSearchResultPayload stale_seeds;
+  mini.send(0, kNodeSearchResult, 12345, encode_payload(stale_seeds));
+  GroupResultPayload stale_group;
+  mini.send(0, kGroupResult, 12345, encode_payload(stale_group));
+  FetchRangeResultPayload stale_fetch;
+  mini.send(0, kFetchRangeResult, 12345, encode_payload(stale_fetch));
+  EXPECT_NO_THROW(mini.transport.run_until_idle());
+  EXPECT_TRUE(mini.client_inbox.empty());
+}
+
+TEST(StorageNode, SaveLoadRoundTripPreservesState) {
+  MiniCluster mini;
+  mini.index_everything();
+  const auto& node = *mini.nodes[1];
+  CodecWriter writer;
+  node.save(writer);
+
+  StorageNodeConfig config;
+  config.topology = &mini.topology;
+  config.prefix_tree = &mini.prefix_tree;
+  config.distance = &mini.distance;
+  config.alphabet = seq::Alphabet::kProtein;
+  StorageNode restored(1, config);
+  CodecReader reader(writer.data());
+  restored.load(reader);
+  EXPECT_EQ(restored.block_count(), node.block_count());
+  EXPECT_EQ(restored.sequence_count(), node.sequence_count());
+}
+
+TEST(StorageNode, LoadRejectsWrongNodeId) {
+  MiniCluster mini;
+  mini.index_everything();
+  CodecWriter writer;
+  mini.nodes[1]->save(writer);
+  StorageNodeConfig config;
+  config.topology = &mini.topology;
+  config.prefix_tree = &mini.prefix_tree;
+  config.distance = &mini.distance;
+  StorageNode other(2, config);
+  CodecReader reader(writer.data());
+  EXPECT_THROW(other.load(reader), InvalidArgument);
+}
+
+TEST(StorageNode, DownNodesExcludedFromFanOut) {
+  MiniCluster mini;
+  mini.index_everything();
+  // Mark node 1 down everywhere (and drop its traffic).
+  for (auto& node : mini.nodes) node->set_down(1, true);
+  mini.transport.fail_node(1);
+  const auto& donor = mini.store.at(0);
+  const auto window = donor.window(0, 100);
+  QueryRequestPayload request;
+  request.query.assign(window.begin(), window.end());
+  mini.send(0, kQueryRequest, 7, encode_payload(request));
+  // Must complete without stalling (no response from node 1 is awaited).
+  mini.transport.run_until_idle();
+  ASSERT_EQ(mini.client_inbox.size(), 1u);
+}
+
+}  // namespace
+}  // namespace mendel::core

@@ -1,0 +1,102 @@
+// Tests for DNA translation (src/sequence/translate.*).
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+#include "src/sequence/translate.h"
+
+namespace mendel::seq {
+namespace {
+
+std::vector<Code> dna(const std::string& s) {
+  return encode_string(Alphabet::kDna, s);
+}
+
+std::string aa(const std::vector<Code>& codes) {
+  return to_string(Alphabet::kProtein, codes);
+}
+
+TEST(Translate, KnownCodons) {
+  EXPECT_EQ(aa(translate(dna("ATG"), 0)), "M");
+  EXPECT_EQ(aa(translate(dna("TGG"), 0)), "W");
+  EXPECT_EQ(aa(translate(dna("TAA"), 0)), "*");
+  EXPECT_EQ(aa(translate(dna("TGA"), 0)), "*");
+  EXPECT_EQ(aa(translate(dna("TAG"), 0)), "*");
+  EXPECT_EQ(aa(translate(dna("ATGGCCAAA"), 0)), "MAK");
+}
+
+TEST(Translate, GeneticCodeHasAllCodonsAndThreeStops) {
+  const auto& code = standard_genetic_code();
+  int stops = 0, met = 0, trp = 0;
+  for (Code c : code) {
+    EXPECT_LT(c, kProteinCardinality);
+    if (decode(Alphabet::kProtein, c) == '*') ++stops;
+    if (decode(Alphabet::kProtein, c) == 'M') ++met;
+    if (decode(Alphabet::kProtein, c) == 'W') ++trp;
+  }
+  EXPECT_EQ(stops, 3);
+  EXPECT_EQ(met, 1);  // ATG only
+  EXPECT_EQ(trp, 1);  // TGG only
+}
+
+TEST(Translate, LeucineHasSixCodons) {
+  int leucine = 0;
+  for (Code c : standard_genetic_code()) {
+    if (decode(Alphabet::kProtein, c) == 'L') ++leucine;
+  }
+  EXPECT_EQ(leucine, 6);
+}
+
+TEST(Translate, FramesShiftTheRead) {
+  const auto d = dna("AATGGCC");  // frame 1: ATG GCC -> MA
+  EXPECT_EQ(aa(translate(d, 1)), "MA");
+  EXPECT_EQ(aa(translate(d, 0)), "NG");  // AAT GGC
+  EXPECT_EQ(aa(translate(d, 2)), "W");   // TGG (CC dropped)
+}
+
+TEST(Translate, PartialCodonsDropped) {
+  EXPECT_TRUE(translate(dna("AT"), 0).empty());
+  EXPECT_EQ(translate(dna("ATGA"), 0).size(), 1u);
+}
+
+TEST(Translate, AmbiguousCodonsBecomeX) {
+  EXPECT_EQ(aa(translate(dna("ATNGCC"), 0)), "XA");
+}
+
+TEST(Translate, FrameOutOfRangeThrows) {
+  EXPECT_THROW(translate(dna("ATG"), 3), InvalidArgument);
+}
+
+TEST(ReverseComplement, BasicAndInvolution) {
+  EXPECT_EQ(to_string(Alphabet::kDna, reverse_complement(dna("ACGT"))),
+            "ACGT");  // palindrome
+  EXPECT_EQ(to_string(Alphabet::kDna, reverse_complement(dna("AACGN"))),
+            "NCGTT");
+  const auto original = dna("ATTGCCGTAGGTTCA");
+  EXPECT_EQ(reverse_complement(reverse_complement(original)), original);
+}
+
+TEST(SixFrames, CountsAndNumbering) {
+  const auto frames = six_frame_translations(dna("ATGGCCAAATTTGGG"));
+  ASSERT_EQ(frames.size(), 6u);
+  EXPECT_EQ(frames[0].frame, 1);
+  EXPECT_EQ(frames[3].frame, -1);
+  EXPECT_EQ(aa(frames[0].protein), "MAKFG");
+}
+
+TEST(SixFrames, ShortInputOmitsEmptyFrames) {
+  // 3 bases: only frame +1 and -1 yield a codon.
+  const auto frames = six_frame_translations(dna("ATG"));
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].frame, 1);
+  EXPECT_EQ(frames[1].frame, -1);
+}
+
+TEST(SixFrames, ReverseFramesTranslateTheComplement) {
+  // ATG on the reverse strand of CAT.
+  const auto frames = six_frame_translations(dna("CAT"));
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(aa(frames[1].protein), "M");
+}
+
+}  // namespace
+}  // namespace mendel::seq

@@ -1,0 +1,225 @@
+// Unit tests for src/workload: generators, mutation models, query sampling.
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+#include "src/scoring/distance.h"
+#include "src/common/stats.h"
+#include "src/workload/generator.h"
+
+namespace mendel::workload {
+namespace {
+
+using seq::Alphabet;
+
+TEST(RandomSequence, LengthAndAlphabet) {
+  Rng rng(1);
+  const auto s = random_sequence(Alphabet::kProtein, 500, "p", rng);
+  EXPECT_EQ(s.size(), 500u);
+  EXPECT_EQ(s.alphabet(), Alphabet::kProtein);
+  for (std::size_t i = 0; i < s.size(); ++i) EXPECT_LT(s[i], 20);
+  const auto d = random_sequence(Alphabet::kDna, 100, "d", rng);
+  for (std::size_t i = 0; i < d.size(); ++i) EXPECT_LT(d[i], 4);
+}
+
+TEST(RandomSequence, Deterministic) {
+  Rng a(9), b(9);
+  EXPECT_EQ(random_sequence(Alphabet::kProtein, 50, "x", a),
+            random_sequence(Alphabet::kProtein, 50, "x", b));
+}
+
+TEST(RandomSequence, MatchesBackgroundComposition) {
+  Rng rng(5);
+  const auto s = random_sequence(Alphabet::kProtein, 100000, "big", rng);
+  std::array<std::size_t, 20> counts{};
+  for (std::size_t i = 0; i < s.size(); ++i) ++counts[s[i]];
+  const auto& freqs = seq::protein_background_frequencies();
+  for (std::size_t c = 0; c < 20; ++c) {
+    EXPECT_NEAR(static_cast<double>(counts[c]) / 100000.0, freqs[c],
+                0.01)
+        << "residue code " << c;
+  }
+  // Leucine should dominate tryptophan heavily.
+  EXPECT_GT(counts[10], counts[17] * 5);
+}
+
+TEST(Mutate, SubstitutionRateApproximate) {
+  Rng rng(11);
+  const auto base = random_sequence(Alphabet::kProtein, 20000, "b", rng);
+  const auto mutated = mutate(base, {0.2, 0.0, 0.0}, "m", rng);
+  ASSERT_EQ(mutated.size(), base.size());
+  const auto mutations =
+      score::hamming_distance(base.codes(), mutated.codes());
+  EXPECT_NEAR(static_cast<double>(mutations) / 20000.0, 0.2, 0.02);
+}
+
+TEST(Mutate, ZeroRatesIsIdentity) {
+  Rng rng(12);
+  const auto base = random_sequence(Alphabet::kDna, 500, "b", rng);
+  const auto copy = mutate(base, {0.0, 0.0, 0.0}, "c", rng);
+  EXPECT_EQ(base, copy);
+}
+
+TEST(Mutate, IndelsChangeLength) {
+  Rng rng(13);
+  const auto base = random_sequence(Alphabet::kProtein, 5000, "b", rng);
+  const auto mutated = mutate(base, {0.0, 0.05, 0.5}, "m", rng);
+  EXPECT_NE(mutated.size(), base.size());
+  // Insertions and deletions are symmetric: the length drift stays small.
+  EXPECT_NEAR(static_cast<double>(mutated.size()), 5000.0, 700.0);
+}
+
+TEST(MutateToSimilarity, ExactHammingFraction) {
+  Rng rng(14);
+  const auto base = random_sequence(Alphabet::kProtein, 1000, "b", rng);
+  for (double similarity : {0.9, 0.7, 0.5, 0.3}) {
+    const auto mutated =
+        mutate_to_similarity(base, similarity, "m", rng);
+    const auto diffs =
+        score::hamming_distance(base.codes(), mutated.codes());
+    EXPECT_EQ(diffs, static_cast<std::size_t>((1.0 - similarity) * 1000))
+        << "similarity " << similarity;
+  }
+}
+
+TEST(MutateToSimilarity, BoundsChecked) {
+  Rng rng(15);
+  const auto base = random_sequence(Alphabet::kDna, 100, "b", rng);
+  EXPECT_THROW(mutate_to_similarity(base, -0.1, "m", rng), InvalidArgument);
+  EXPECT_THROW(mutate_to_similarity(base, 1.5, "m", rng), InvalidArgument);
+  const auto identical = mutate_to_similarity(base, 1.0, "m", rng);
+  EXPECT_EQ(identical, base);
+}
+
+TEST(GenerateDatabase, ShapeMatchesSpec) {
+  DatabaseSpec spec;
+  spec.families = 5;
+  spec.members_per_family = 4;
+  spec.background_sequences = 7;
+  spec.min_length = 100;
+  spec.max_length = 200;
+  const auto store = generate_database(spec);
+  EXPECT_EQ(store.size(), 5 * 4 + 7u);
+  for (const auto& s : store) {
+    EXPECT_GE(s.size(), 50u);  // indels may shrink members slightly
+    EXPECT_LE(s.size(), 260u);
+  }
+}
+
+TEST(GenerateDatabase, FamilyMembersResembleAncestor) {
+  DatabaseSpec spec;
+  spec.families = 2;
+  spec.members_per_family = 5;
+  spec.background_sequences = 2;
+  spec.min_length = 300;
+  spec.max_length = 300;
+  spec.family_divergence = {0.1, 0.0, 0.0};  // substitutions only
+  const auto store = generate_database(spec);
+  // Family 0: ids 0..4 with id 0 the ancestor.
+  const auto& ancestor = store.at(0);
+  for (seq::SequenceId m = 1; m < 5; ++m) {
+    const auto& member = store.at(m);
+    ASSERT_EQ(member.size(), ancestor.size());
+    const auto identity =
+        score::percent_identity(ancestor.codes(), member.codes());
+    EXPECT_GT(identity, 0.85);
+    EXPECT_LT(identity, 0.97);
+  }
+  // Background sequence is unrelated.
+  const auto& background = store.at(10);
+  if (background.size() == ancestor.size()) {
+    EXPECT_LT(score::percent_identity(ancestor.codes(), background.codes()),
+              0.2);
+  }
+}
+
+TEST(GenerateDatabase, DeterministicForSeed) {
+  DatabaseSpec spec;
+  spec.families = 2;
+  spec.members_per_family = 2;
+  spec.background_sequences = 2;
+  const auto a = generate_database(spec);
+  const auto b = generate_database(spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (seq::SequenceId i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.at(i), b.at(i));
+  }
+}
+
+TEST(SampleQueries, CountLengthAndOriginNames) {
+  DatabaseSpec db_spec;
+  db_spec.min_length = 400;
+  db_spec.max_length = 800;
+  const auto store = generate_database(db_spec);
+  QuerySetSpec spec;
+  spec.count = 15;
+  spec.length = 300;
+  const auto queries = sample_queries(store, spec);
+  ASSERT_EQ(queries.size(), 15u);
+  for (const auto& q : queries) {
+    // Indel noise may shift length slightly.
+    EXPECT_NEAR(static_cast<double>(q.size()), 300.0, 40.0);
+    EXPECT_NE(q.name().find("from="), std::string::npos);
+    EXPECT_NE(q.name().find("at="), std::string::npos);
+  }
+}
+
+TEST(SampleQueries, QueriesResembleTheirOrigins) {
+  DatabaseSpec db_spec;
+  db_spec.min_length = 500;
+  db_spec.max_length = 500;
+  const auto store = generate_database(db_spec);
+  QuerySetSpec spec;
+  spec.count = 5;
+  spec.length = 200;
+  spec.noise = {0.05, 0.0, 0.0};  // substitutions only: alignable 1:1
+  const auto queries = sample_queries(store, spec);
+  for (const auto& q : queries) {
+    const auto from_pos = q.name().find("from=") + 5;
+    const auto at_pos = q.name().find("at=") + 3;
+    const auto origin = static_cast<seq::SequenceId>(
+        std::stoul(q.name().substr(from_pos)));
+    const auto offset = std::stoul(q.name().substr(at_pos));
+    const auto original = store.at(origin).window(offset, 200);
+    EXPECT_GT(score::percent_identity(original, q.codes()), 0.9);
+  }
+}
+
+TEST(TraceQueryLength, MatchesNihStatistic) {
+  Rng rng(2024);
+  std::size_t below_1000 = 0;
+  RunningStats lengths;
+  const int samples = 20000;
+  for (int i = 0; i < samples; ++i) {
+    const auto length = sample_trace_query_length(rng, 1, 100000);
+    lengths.add(static_cast<double>(length));
+    below_1000 += length < 1000 ? 1 : 0;
+  }
+  // The paper's §VI-C statistic: ~90% of protein queries are < 1000.
+  EXPECT_NEAR(static_cast<double>(below_1000) / samples, 0.9, 0.03);
+  EXPECT_GT(lengths.mean(), 250);
+  EXPECT_LT(lengths.mean(), 650);
+}
+
+TEST(TraceQueryLength, RespectsClamp) {
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const auto length = sample_trace_query_length(rng, 100, 400);
+    EXPECT_GE(length, 100u);
+    EXPECT_LE(length, 400u);
+  }
+  EXPECT_THROW(sample_trace_query_length(rng, 10, 5), InvalidArgument);
+  EXPECT_THROW(sample_trace_query_length(rng, 0, 5), InvalidArgument);
+}
+
+TEST(SampleQueries, RejectsImpossibleLength) {
+  DatabaseSpec db_spec;
+  db_spec.min_length = 100;
+  db_spec.max_length = 150;
+  const auto store = generate_database(db_spec);
+  QuerySetSpec spec;
+  spec.length = 10000;
+  EXPECT_THROW(sample_queries(store, spec), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mendel::workload

@@ -1,0 +1,125 @@
+// Tests for the X-drop gapped extension (src/align/xdrop.*), pinned against
+// full Smith–Waterman as the oracle.
+#include <gtest/gtest.h>
+
+#include "src/align/smith_waterman.h"
+#include "src/align/xdrop.h"
+#include "src/common/error.h"
+#include "src/common/rng.h"
+#include "src/workload/generator.h"
+
+namespace mendel::align {
+namespace {
+
+using seq::Alphabet;
+
+std::vector<seq::Code> dna(const std::string& s) {
+  return seq::encode_string(Alphabet::kDna, s);
+}
+
+TEST(XDrop, IdenticalSequencesFullScore) {
+  const auto m = score::dna_matrix(2, -3);
+  const auto q = dna("ACGTACGTACGT");
+  const auto hsp = xdrop_gapped_extend(q, q, 6, 6, m, {5, 2});
+  EXPECT_EQ(hsp.score, 24);
+  EXPECT_EQ(hsp.q_begin, 0u);
+  EXPECT_EQ(hsp.q_end, q.size());
+  EXPECT_EQ(hsp.s_begin, 0u);
+  EXPECT_EQ(hsp.s_end, q.size());
+}
+
+TEST(XDrop, AnchorPairAlwaysIncluded) {
+  const auto m = score::dna_matrix(2, -3);
+  // The anchor pair itself mismatches: the extension still reports an
+  // alignment through it (possibly just the anchor with negative score).
+  const auto q = dna("AAAA");
+  const auto s = dna("CCCC");
+  const auto hsp = xdrop_gapped_extend(q, s, 1, 1, m, {5, 2});
+  EXPECT_EQ(hsp.q_begin, 1u);
+  EXPECT_EQ(hsp.q_end, 2u);
+  EXPECT_EQ(hsp.score, -3);
+}
+
+TEST(XDrop, CrossesSingleGap) {
+  const auto m = score::dna_matrix(2, -3);
+  const auto q = dna("ACGTACGTACGT");
+  const auto s = dna("ACGTAGTACGT");  // one deletion
+  const auto hsp = xdrop_gapped_extend(q, s, 0, 0, m, {5, 2});
+  const auto sw = smith_waterman(q, s, m, {5, 2});
+  EXPECT_EQ(hsp.score, sw.hsp.score);
+}
+
+TEST(XDrop, RejectsBadAnchors) {
+  const auto m = score::dna_matrix();
+  const auto q = dna("ACGT");
+  EXPECT_THROW(xdrop_gapped_extend(q, q, 4, 0, m, {5, 2}), InvalidArgument);
+  EXPECT_THROW(xdrop_gapped_extend(q, q, 0, 0, m, {5, 2}, {0}),
+               InvalidArgument);
+}
+
+// Property: with an anchor inside the true alignment and a generous X, the
+// X-drop score matches full Smith–Waterman on homologous pairs; with any X
+// it never exceeds it.
+class XDropOracleTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(XDropOracleTest, MatchesSmithWatermanThroughTrueAnchor) {
+  Rng rng(GetParam());
+  const auto& m = score::blosum62();
+  const auto base =
+      workload::random_sequence(Alphabet::kProtein, 150, "b", rng);
+  const auto mutated = workload::mutate(base, {0.12, 0.02, 0.4}, "m", rng);
+  const auto sw =
+      smith_waterman(base.codes(), mutated.codes(), m, m.default_gaps());
+  if (sw.hsp.score == 0) GTEST_SKIP() << "no alignment for this seed";
+
+  // Find an anchor: an identical residue pair inside the SW alignment by
+  // scanning the middle diagonal region.
+  std::size_t q0 = sw.hsp.q_begin, s0 = sw.hsp.s_begin;
+  bool found = false;
+  for (std::size_t d = 0; d < std::min(sw.hsp.q_len(), sw.hsp.s_len());
+       ++d) {
+    if (base.codes()[sw.hsp.q_begin + d] ==
+        mutated.codes()[sw.hsp.s_begin + d]) {
+      q0 = sw.hsp.q_begin + d;
+      s0 = sw.hsp.s_begin + d;
+      found = true;
+      break;
+    }
+  }
+  if (!found) GTEST_SKIP() << "no on-diagonal identity anchor";
+
+  const auto generous = xdrop_gapped_extend(
+      base.codes(), mutated.codes(), q0, s0, m, m.default_gaps(), {1000});
+  EXPECT_GE(generous.score, sw.hsp.score * 9 / 10)
+      << "x-drop through an in-alignment anchor should recover ~the SW "
+         "score";
+  EXPECT_LE(generous.score, sw.hsp.score);
+
+  for (int x : {10, 30, 60}) {
+    const auto bounded = xdrop_gapped_extend(
+        base.codes(), mutated.codes(), q0, s0, m, m.default_gaps(), {x});
+    EXPECT_LE(bounded.score, sw.hsp.score) << "x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPairs, XDropOracleTest,
+                         ::testing::Values(11, 12, 13, 14, 15, 16, 17, 18));
+
+TEST(XDrop, ExploredRegionShrinksWithX) {
+  // Indirect cost check: tiny X must stop early on a diverged pair, giving
+  // a shorter span than a generous X.
+  Rng rng(99);
+  const auto base =
+      workload::random_sequence(Alphabet::kProtein, 400, "b", rng);
+  const auto mutated = workload::mutate_to_similarity(base, 0.55, "m", rng);
+  const auto& m = score::blosum62();
+  const auto tight = xdrop_gapped_extend(base.codes(), mutated.codes(), 200,
+                                         200, m, m.default_gaps(), {5});
+  const auto loose = xdrop_gapped_extend(base.codes(), mutated.codes(), 200,
+                                         200, m, m.default_gaps(), {200});
+  EXPECT_LE(tight.q_len(), loose.q_len());
+  EXPECT_LE(tight.score, loose.score);
+}
+
+}  // namespace
+}  // namespace mendel::align

@@ -1,0 +1,10 @@
+// Entry point of the `mendel` command-line tool; all logic lives in
+// src/cli so it can be unit tested (see tests/cli_test.cpp).
+#include <iostream>
+
+#include "src/cli/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return mendel::cli::run_cli(args, std::cout, std::cerr);
+}
