@@ -8,6 +8,9 @@
 //   * vp-prefix hash throughput (the tier-1 routing cost).
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <memory>
+
 #include "src/mendel/block.h"
 #include "src/scoring/distance.h"
 #include "src/vptree/dynamic_vptree.h"
@@ -23,6 +26,24 @@ struct WindowMetric {
   const score::DistanceMatrix* distance;
   double operator()(const vpt::Window& a, const vpt::Window& b) const {
     return score::window_distance(*distance, a, b);
+  }
+};
+
+// WindowMetric plus a shared call counter, so search benchmarks can report
+// distance evaluations alongside wall time. Exposes bounded() so the trees'
+// early-abandon path (the production hot path) is what gets measured;
+// abandoned calls still count as one evaluation.
+struct CountingMetric {
+  const score::DistanceMatrix* distance;
+  std::shared_ptr<std::uint64_t> evals;
+  double operator()(const vpt::Window& a, const vpt::Window& b) const {
+    ++*evals;
+    return score::window_distance(*distance, a, b);
+  }
+  double bounded(const vpt::Window& a, const vpt::Window& b,
+                 double bound) const {
+    ++*evals;
+    return score::window_distance_bounded(*distance, a, b, bound);
   }
 };
 
@@ -63,16 +84,20 @@ BENCHMARK(BM_VpTreeBuild)
 void BM_VpTreeKnnSearch(benchmark::State& state) {
   const auto windows = make_windows(static_cast<std::size_t>(state.range(0)),
                                     43);
-  vpt::VpTree<vpt::Window, WindowMetric> tree(WindowMetric{&dist()},
-                                              {.bucket_capacity = 32});
+  auto evals = std::make_shared<std::uint64_t>(0);
+  vpt::VpTree<vpt::Window, CountingMetric> tree(CountingMetric{&dist(), evals},
+                                                {.bucket_capacity = 32});
   tree.build(windows);
   const auto probes = make_windows(64, 44);
   std::size_t p = 0;
+  *evals = 0;  // drop the build-phase evaluations
   for (auto _ : state) {
     const auto neighbors = tree.nearest(probes[p++ % probes.size()], 16);
     benchmark::DoNotOptimize(neighbors.size());
   }
   state.SetItemsProcessed(state.iterations());
+  state.counters["dist_evals"] = benchmark::Counter(
+      static_cast<double>(*evals), benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_VpTreeKnnSearch)->Arg(1000)->Arg(10000)->Arg(100000);
 
@@ -129,8 +154,10 @@ void BM_SearchAfterAdversarialInserts(benchmark::State& state) {
   Rng rng(47);
   const auto base =
       workload::random_sequence(seq::Alphabet::kProtein, 8, "b", rng);
-  vpt::DynamicVpTree<vpt::Window, WindowMetric> tree(
-      WindowMetric{&dist()}, {.bucket_capacity = 32, .rebalance = rebalance});
+  auto evals = std::make_shared<std::uint64_t>(0);
+  vpt::DynamicVpTree<vpt::Window, CountingMetric> tree(
+      CountingMetric{&dist(), evals},
+      {.bucket_capacity = 32, .rebalance = rebalance});
   // Insert 4000 windows in waves of increasing divergence from one base —
   // strongly correlated insertion order.
   for (int wave = 0; wave < 40; ++wave) {
@@ -142,11 +169,14 @@ void BM_SearchAfterAdversarialInserts(benchmark::State& state) {
   }
   const auto probes = make_windows(64, 48);
   std::size_t p = 0;
+  *evals = 0;  // drop the insert-phase evaluations
   for (auto _ : state) {
     const auto neighbors = tree.nearest(probes[p++ % probes.size()], 16);
     benchmark::DoNotOptimize(neighbors.size());
   }
   state.SetLabel(rebalance ? "rebalanced" : "naive");
+  state.counters["dist_evals"] = benchmark::Counter(
+      static_cast<double>(*evals), benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_SearchAfterAdversarialInserts)->Arg(0)->Arg(1);
 

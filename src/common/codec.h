@@ -44,6 +44,12 @@ class CodecWriter {
     buf_.insert(buf_.end(), data.begin(), data.end());
   }
 
+  // Appends pre-encoded bytes verbatim (no length prefix) — splices a
+  // shared encoded fragment into a larger message.
+  void raw(std::span<const std::uint8_t> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
   void str(std::string_view s) {
     u32(static_cast<std::uint32_t>(s.size()));
     buf_.insert(buf_.end(), s.begin(), s.end());

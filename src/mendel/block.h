@@ -49,22 +49,29 @@ struct Block {
 };
 
 // Tier-2 placement key: SHA-1 over the block's identity and payload
-// (paper §V-A2 — flat hash dispersal within the group).
-inline std::uint64_t block_placement_key(const Block& block) {
+// (paper §V-A2 — flat hash dispersal within the group). The span overload
+// lets a storage node hash arena-resident windows without materializing a
+// Block.
+inline std::uint64_t block_placement_key(seq::SequenceId sequence,
+                                         std::uint32_t start,
+                                         seq::CodeSpan window) {
   hashing::Sha1 hasher;
   CodecWriter header;
-  header.u32(block.sequence);
-  header.u32(block.start);
+  header.u32(sequence);
+  header.u32(start);
   hasher.update(std::span<const std::uint8_t>(header.data().data(),
                                               header.data().size()));
-  hasher.update(std::span<const std::uint8_t>(block.window.data(),
-                                              block.window.size()));
+  hasher.update(std::span<const std::uint8_t>(window.data(), window.size()));
   const auto digest = hasher.finish();
   std::uint64_t value = 0;
   for (int i = 0; i < 8; ++i) {
     value = (value << 8) | digest[static_cast<std::size_t>(i)];
   }
   return value;
+}
+
+inline std::uint64_t block_placement_key(const Block& block) {
+  return block_placement_key(block.sequence, block.start, block.window);
 }
 
 // Placement key of a reference sequence in the cluster-wide repository

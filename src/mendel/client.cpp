@@ -205,6 +205,8 @@ NodeCounters Client::total_counters() const {
     const NodeCounters& c = node->counters();
     total.blocks_inserted += c.blocks_inserted;
     total.sequences_stored += c.sequences_stored;
+    total.blocks_restored += c.blocks_restored;
+    total.sequences_restored += c.sequences_restored;
     total.nn_searches += c.nn_searches;
     total.seeds_emitted += c.seeds_emitted;
     total.fetches_served += c.fetches_served;

@@ -1,12 +1,42 @@
 #include "src/mendel/indexer.h"
 
+#include <algorithm>
 #include <map>
 
 #include "src/common/error.h"
 #include "src/common/rng.h"
+#include "src/common/thread_pool.h"
 #include "src/mendel/protocol.h"
 
 namespace mendel::core {
+
+namespace {
+
+// Sampling priority of one window position: a SplitMix64 hash of
+// (seed, sequence, start). The prefix-tree sample is the sample_size
+// windows with the smallest (priority, sequence, start) tuples — a
+// uniform draw that any partitioning of the work selects identically.
+struct SampleKey {
+  std::uint64_t priority = 0;
+  std::uint32_t sequence = 0;
+  std::uint32_t start = 0;
+};
+
+bool sample_key_less(const SampleKey& a, const SampleKey& b) {
+  if (a.priority != b.priority) return a.priority < b.priority;
+  if (a.sequence != b.sequence) return a.sequence < b.sequence;
+  return a.start < b.start;
+}
+
+std::uint64_t window_priority(std::uint64_t seed, std::uint32_t sequence,
+                              std::uint32_t start) {
+  SplitMix64 mix(seed ^ (static_cast<std::uint64_t>(sequence) *
+                         0x9e3779b97f4a7c15ULL) ^
+                 (static_cast<std::uint64_t>(start) * 0xbf58476d1ce4e5b9ULL));
+  return mix.next();
+}
+
+}  // namespace
 
 Indexer::Indexer(const cluster::Topology* topology,
                  const score::DistanceMatrix* distance,
@@ -22,26 +52,52 @@ Indexer::Indexer(const cluster::Topology* topology,
 vpt::VpPrefixTree Indexer::build_prefix_tree(
     const seq::SequenceStore& store,
     vpt::PrefixTreeOptions tree_options) const {
-  // Reservoir-sample windows uniformly over all block positions.
-  Rng rng(options_.seed);
-  std::vector<vpt::Window> sample;
-  sample.reserve(options_.sample_size);
-  std::size_t seen = 0;
-  for (const auto& sequence : store) {
-    if (sequence.size() < options_.window_length) continue;
-    for (std::size_t start = 0;
-         start + options_.window_length <= sequence.size(); ++start) {
-      ++seen;
-      const auto window = sequence.window(start, options_.window_length);
-      if (sample.size() < options_.sample_size) {
-        sample.emplace_back(window.begin(), window.end());
-      } else {
-        const std::size_t j = rng.below(seen);
-        if (j < sample.size()) {
-          sample[j].assign(window.begin(), window.end());
-        }
-      }
+  // Sample windows uniformly over all block positions. Each position gets a
+  // deterministic hash priority; the sample is the global bottom-k. Every
+  // sequence can be scanned independently (bottom-k per sequence, then a
+  // serial merge), so the parallel build selects exactly the serial sample.
+  ThreadPool pool(options_.threads);
+  std::vector<std::vector<SampleKey>> per_sequence(store.size());
+  pool.parallel_for(store.size(), [&](std::size_t i) {
+    const auto& sequence = store.at(static_cast<seq::SequenceId>(i));
+    if (sequence.size() < options_.window_length) return;
+    std::vector<SampleKey>& keys = per_sequence[i];
+    const std::size_t count = sequence.size() - options_.window_length + 1;
+    keys.reserve(count);
+    for (std::size_t start = 0; start < count; ++start) {
+      keys.push_back(SampleKey{
+          window_priority(options_.seed, static_cast<std::uint32_t>(i),
+                          static_cast<std::uint32_t>(start)),
+          static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(start)});
     }
+    if (keys.size() > options_.sample_size) {
+      std::nth_element(
+          keys.begin(),
+          keys.begin() + static_cast<std::ptrdiff_t>(options_.sample_size),
+          keys.end(), sample_key_less);
+      keys.resize(options_.sample_size);
+    }
+  });
+
+  std::vector<SampleKey> merged;
+  for (auto& keys : per_sequence) {
+    merged.insert(merged.end(), keys.begin(), keys.end());
+  }
+  if (merged.size() > options_.sample_size) {
+    std::nth_element(
+        merged.begin(),
+        merged.begin() + static_cast<std::ptrdiff_t>(options_.sample_size),
+        merged.end(), sample_key_less);
+    merged.resize(options_.sample_size);
+  }
+  std::sort(merged.begin(), merged.end(), sample_key_less);
+
+  std::vector<vpt::Window> sample;
+  sample.reserve(merged.size());
+  for (const SampleKey& key : merged) {
+    const auto window =
+        store.at(key.sequence).window(key.start, options_.window_length);
+    sample.emplace_back(window.begin(), window.end());
   }
   require(!sample.empty(),
           "Indexer: store has no sequence long enough for one block");
@@ -73,39 +129,76 @@ IndexReport Indexer::index_store(const seq::SequenceStore& store,
     ++report.messages;
   };
 
-  for (const auto& sequence : store) {
-    // Sequence repository: ship the full sequence to its home node(s).
-    StoreSequencePayload stored;
-    stored.sequence = sequence.id() + id_offset;
-    stored.name = sequence.name();
-    stored.alphabet = static_cast<std::uint8_t>(sequence.alphabet());
-    stored.codes.assign(sequence.codes().begin(), sequence.codes().end());
-    for (net::NodeId home : topology_->sequence_homes(
-             sequence_placement_key(sequence.id() + id_offset))) {
-      net::Message message;
-      message.from = sender;
-      message.to = home;
-      message.type = kStoreSequence;
-      message.request_id = 0;
-      message.payload = encode_payload(stored);
-      transport.send(std::move(message));
-      ++report.messages;
-    }
-    ++report.sequences;
+  // Phase 1 (parallel): per-sequence plans — the sequence payload encoded
+  // once, its home nodes, and every block's owner list. Phase 2 (serial):
+  // replay the plans in sequence order, so the message stream is
+  // byte-identical for any thread count. Plans are built chunk-by-chunk to
+  // bound memory: only `chunk` sequences worth of blocks are resident.
+  struct BlockPlan {
+    std::vector<net::NodeId> owners;
+    Block block;
+  };
+  struct SequencePlan {
+    std::vector<std::uint8_t> stored_payload;
+    std::vector<net::NodeId> homes;
+    std::vector<BlockPlan> blocks;
+  };
 
-    // Inverted-index blocks: tier-1 group via the vp-prefix LSH, tier-2
-    // node via the group's SHA-1 ring.
-    for (Block& block : make_blocks(sequence, options_.window_length)) {
-      block.sequence += id_offset;
-      const std::uint64_t prefix = prefix_tree.hash(block.window);
-      const std::uint32_t group = topology_->group_for_prefix(prefix);
-      const std::uint64_t key = block_placement_key(block);
-      for (net::NodeId node : topology_->nodes_for_key(group, key)) {
-        auto& batch = batches[node];
-        batch.push_back(block);
-        if (batch.size() >= options_.batch_size) flush(node, batch);
+  ThreadPool pool(options_.threads);
+  const std::size_t chunk =
+      std::max<std::size_t>(std::size_t{4} * pool.size(), 16);
+  std::vector<SequencePlan> plans;
+  for (std::size_t base = 0; base < store.size(); base += chunk) {
+    const std::size_t count = std::min(chunk, store.size() - base);
+    plans.assign(count, SequencePlan{});
+    pool.parallel_for(count, [&](std::size_t i) {
+      const auto& sequence =
+          store.at(static_cast<seq::SequenceId>(base + i));
+      SequencePlan& plan = plans[i];
+
+      // Sequence repository: ship the full sequence to its home node(s),
+      // encoding the payload once no matter how many homes receive it.
+      StoreSequencePayload stored;
+      stored.sequence = sequence.id() + id_offset;
+      stored.name = sequence.name();
+      stored.alphabet = static_cast<std::uint8_t>(sequence.alphabet());
+      stored.codes.assign(sequence.codes().begin(), sequence.codes().end());
+      plan.stored_payload = encode_payload(stored);
+      plan.homes =
+          topology_->sequence_homes(sequence_placement_key(stored.sequence));
+
+      // Inverted-index blocks: tier-1 group via the vp-prefix LSH, tier-2
+      // node via the group's SHA-1 ring.
+      for (Block& block : make_blocks(sequence, options_.window_length)) {
+        block.sequence += id_offset;
+        const std::uint64_t prefix = prefix_tree.hash(block.window);
+        const std::uint32_t group = topology_->group_for_prefix(prefix);
+        const std::uint64_t key = block_placement_key(block);
+        plan.blocks.push_back(
+            BlockPlan{topology_->nodes_for_key(group, key), std::move(block)});
       }
-      ++report.blocks;
+    });
+
+    for (SequencePlan& plan : plans) {
+      for (net::NodeId home : plan.homes) {
+        net::Message message;
+        message.from = sender;
+        message.to = home;
+        message.type = kStoreSequence;
+        message.request_id = 0;
+        message.payload = plan.stored_payload;
+        transport.send(std::move(message));
+        ++report.messages;
+      }
+      ++report.sequences;
+      for (BlockPlan& planned : plan.blocks) {
+        for (net::NodeId node : planned.owners) {
+          auto& batch = batches[node];
+          batch.push_back(planned.block);
+          if (batch.size() >= options_.batch_size) flush(node, batch);
+        }
+        ++report.blocks;
+      }
     }
   }
   for (auto& [node, batch] : batches) flush(node, batch);

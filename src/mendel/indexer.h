@@ -19,12 +19,19 @@ struct IndexingOptions {
   // Block length k of the inverted index (cluster-wide property; every
   // query subquery window has this length too).
   std::size_t window_length = 8;
-  // Reservoir-sample size for building the vp-prefix tree.
+  // Sample size for building the vp-prefix tree (hash-priority bottom-k
+  // over all block positions — uniform, deterministic, and independent of
+  // visit order, so serial and parallel builds select the same sample).
   std::size_t sample_size = 2000;
   // Blocks per kInsertBlocks message ("batches of inverted indexing blocks
   // are accumulated ... and submitted in sets", §V-A1).
   std::size_t batch_size = 512;
   std::uint64_t seed = 0x696e646578ULL;
+  // Worker threads for sampling and placement planning (0 = hardware
+  // concurrency). Results are byte-identical for every thread count:
+  // per-sequence work is computed in parallel but merged and shipped in
+  // sequence order.
+  unsigned threads = 0;
 };
 
 struct IndexReport {

@@ -78,6 +78,24 @@ GroupQueryPayload GroupQueryPayload::decode(CodecReader& r) {
   return p;
 }
 
+std::vector<std::uint8_t> encode_group_query_prefix(
+    const QueryParams& params, const std::vector<seq::Code>& query) {
+  CodecWriter w;
+  params.encode(w);
+  encode_codes(w, query);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_group_query(
+    const std::vector<std::uint8_t>& prefix,
+    const std::vector<Subquery>& subqueries) {
+  CodecWriter w;
+  w.raw(prefix);
+  w.vec(subqueries,
+        [](CodecWriter& ww, const Subquery& s) { s.encode(ww); });
+  return w.take();
+}
+
 void NodeSearchPayload::encode(CodecWriter& w) const {
   params.encode(w);
   w.vec(subqueries,

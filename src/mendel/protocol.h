@@ -101,6 +101,17 @@ struct GroupQueryPayload {
   static GroupQueryPayload decode(CodecReader& r);
 };
 
+// Split GroupQueryPayload encoding: the coordinator serializes the
+// params+query prefix once and appends each group's subquery set, instead
+// of copying the full query into a payload struct per selected group.
+// encode_group_query(prefix, subs) yields byte-identical output to
+// GroupQueryPayload{params, query, subs}.encode().
+std::vector<std::uint8_t> encode_group_query_prefix(
+    const QueryParams& params, const std::vector<seq::Code>& query);
+std::vector<std::uint8_t> encode_group_query(
+    const std::vector<std::uint8_t>& prefix,
+    const std::vector<Subquery>& subqueries);
+
 struct NodeSearchPayload {
   QueryParams params;
   std::vector<Subquery> subqueries;

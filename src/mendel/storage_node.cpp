@@ -13,13 +13,36 @@ namespace mendel::core {
 StorageNode::StorageNode(net::NodeId id, StorageNodeConfig config)
     : id_(id),
       config_(config),
-      tree_(BlockMetric{config.distance},
+      tree_(BlockRefMetric{config.distance, &arena_, &probe_},
             vpt::DynamicVpTreeOptions{config.bucket_capacity, true, 2.0,
                                       0x6e6f6465ULL + id}) {
   require(config_.topology != nullptr, "StorageNode: null topology");
   require(config_.prefix_tree != nullptr, "StorageNode: null prefix tree");
   require(config_.distance != nullptr, "StorageNode: null distance matrix");
   max_residue_distance_ = config_.distance->max_entry();
+}
+
+std::vector<StorageNode::BlockRef> StorageNode::admit_blocks(
+    std::vector<Block> blocks) {
+  std::vector<BlockRef> fresh;
+  fresh.reserve(blocks.size());
+  for (const Block& block : blocks) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(block.sequence) << 32) | block.start;
+    if (!block_keys_.insert(key).second) continue;
+    const std::uint32_t slot = arena_.append(block.window);
+    fresh.push_back({block.sequence, block.start, slot});
+  }
+  return fresh;
+}
+
+Block StorageNode::materialize(const BlockRef& ref) const {
+  Block block;
+  block.sequence = ref.sequence;
+  block.start = ref.start;
+  const auto span = arena_.span(ref.slot);
+  block.window.assign(span.begin(), span.end());
+  return block;
 }
 
 void StorageNode::set_down(net::NodeId node, bool down) {
@@ -112,13 +135,7 @@ void StorageNode::on_insert_blocks(const net::Message& message) {
   auto payload = decode_payload<InsertBlocksPayload>(message.payload);
   // Deduplicate: replication and rebalance may redeliver blocks this node
   // already stores.
-  std::vector<Block> fresh;
-  fresh.reserve(payload.blocks.size());
-  for (Block& block : payload.blocks) {
-    const std::uint64_t key =
-        (static_cast<std::uint64_t>(block.sequence) << 32) | block.start;
-    if (block_keys_.insert(key).second) fresh.push_back(std::move(block));
-  }
+  auto fresh = admit_blocks(std::move(payload.blocks));
   counters_.blocks_inserted += fresh.size();
   if (!fresh.empty()) tree_.insert_batch(std::move(fresh));
 }
@@ -214,17 +231,17 @@ void StorageNode::on_query_request(const net::Message& message,
   }
 
   // Dispatch one GroupQuery per selected group to an alive entry node.
+  // The params+query prefix is serialized once; only each group's
+  // subquery set differs per message.
+  const auto prefix =
+      encode_group_query_prefix(request.params, request.query);
   std::size_t dispatched = 0;
   for (auto& [group, subs] : per_group) {
     const auto alive = alive_group_members(group);
     if (alive.empty()) continue;
     const net::NodeId entry =
         alive[(query_id + group) % alive.size()];
-    GroupQueryPayload group_query;
-    group_query.params = request.params;
-    group_query.query = request.query;
-    group_query.subqueries = std::move(subs);
-    ctx.send(entry, kGroupQuery, query_id, encode_payload(group_query));
+    ctx.send(entry, kGroupQuery, query_id, encode_group_query(prefix, subs));
     ++dispatched;
   }
 
@@ -278,10 +295,15 @@ void StorageNode::on_node_search(const net::Message& message,
   const auto& matrix = score::matrix_by_name(request.params.matrix);
 
   NodeSearchResultPayload reply;
+  const BlockRef probe_ref{0, 0, BlockRef::kProbeSlot};
   for (const Subquery& sub : request.subqueries) {
     ++counters_.nn_searches;
-    Block probe;
-    probe.window = sub.window;
+    if (tree_.empty()) continue;
+    // Lengths are checked once here; the metric then runs unchecked
+    // kernels for every distance evaluation of the search.
+    require(sub.window.size() == arena_.window_length(),
+            "on_node_search: subquery window length mismatch");
+    probe_ = seq::CodeSpan(sub.window);
     // Exact radius cap from the identity filter: a candidate passing
     // identity >= i differs in at most (1-i)*k positions, each costing at
     // most max_entry — anything farther is filtered later anyway, so the
@@ -289,25 +311,26 @@ void StorageNode::on_node_search(const net::Message& message,
     const double cap = (1.0 - request.params.identity) *
                        static_cast<double>(sub.window.size()) *
                        max_residue_distance_;
-    const auto neighbors = tree_.nearest(probe, request.params.n, cap);
+    const auto neighbors = tree_.nearest(probe_ref, request.params.n, cap);
     for (const auto& neighbor : neighbors) {
-      const Block& block = *neighbor.item;
-      const double identity =
-          score::percent_identity(sub.window, block.window);
+      const BlockRef& block = *neighbor.item;
+      const auto window = arena_.span(block.slot);
+      const double identity = score::percent_identity(sub.window, window);
       if (identity < request.params.identity) continue;
       const double c =
-          score::consecutivity_score(sub.window, block.window, matrix);
+          score::consecutivity_score(sub.window, window, matrix);
       if (c < request.params.c_score) continue;
       Seed seed;
       seed.sequence = block.sequence;
       seed.subject_start = block.start;
       seed.query_offset = sub.query_offset;
-      seed.length = static_cast<std::uint32_t>(block.window.size());
+      seed.length = static_cast<std::uint32_t>(window.size());
       seed.identity = identity;
       seed.c_score = c;
       reply.seeds.push_back(seed);
     }
   }
+  probe_ = {};
   counters_.seeds_emitted += reply.seeds.size();
   ctx.send(message.from, kNodeSearchResult, message.request_id,
            encode_payload(reply));
@@ -694,21 +717,37 @@ void StorageNode::on_fetch_range_result(const net::Message& message,
 void StorageNode::on_rebalance(net::Context& ctx) {
   const std::uint32_t group = config_.topology->address(id_).group;
 
-  // Blocks: ship everything whose owner set no longer includes this node.
-  auto moved = tree_.remove_if([&](const Block& block) {
-    const auto owners = config_.topology->nodes_for_key(
-        group, block_placement_key(block));
-    return std::find(owners.begin(), owners.end(), id_) == owners.end();
-  });
+  // Blocks: ship everything whose owner set no longer includes this node,
+  // then compact the survivors into a fresh arena + tree (slots are
+  // append-only, so eviction is a rebuild).
+  const auto refs = tree_.collect_all();
+  std::vector<Block> kept;
   std::map<net::NodeId, InsertBlocksPayload> outgoing;
-  for (Block& block : moved) {
-    const std::uint64_t key =
-        (static_cast<std::uint64_t>(block.sequence) << 32) | block.start;
-    block_keys_.erase(key);
-    for (net::NodeId owner : config_.topology->nodes_for_key(
-             group, block_placement_key(block))) {
-      outgoing[owner].blocks.push_back(block);
+  for (const BlockRef& ref : refs) {
+    const auto owners = config_.topology->nodes_for_key(
+        group,
+        block_placement_key(ref.sequence, ref.start, arena_.span(ref.slot)));
+    if (std::find(owners.begin(), owners.end(), id_) != owners.end()) {
+      kept.push_back(materialize(ref));
+      continue;
     }
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(ref.sequence) << 32) | ref.start;
+    block_keys_.erase(key);
+    Block moved = materialize(ref);
+    for (net::NodeId owner : owners) {
+      outgoing[owner].blocks.push_back(moved);
+    }
+  }
+  if (!outgoing.empty()) {
+    block_keys_.clear();
+    arena_.clear();
+    tree_ = vpt::DynamicVpTree<BlockRef, BlockRefMetric>(
+        BlockRefMetric{config_.distance, &arena_, &probe_},
+        vpt::DynamicVpTreeOptions{config_.bucket_capacity, true, 2.0,
+                                  0x6e6f6465ULL + id_});
+    auto fresh = admit_blocks(std::move(kept));
+    if (!fresh.empty()) tree_.insert_batch(std::move(fresh));
   }
   for (auto& [owner, payload] : outgoing) {
     ctx.send(owner, kInsertBlocks, 0, encode_payload(payload));
@@ -738,8 +777,11 @@ void StorageNode::on_rebalance(net::Context& ctx) {
 void StorageNode::save(CodecWriter& writer) const {
   writer.str("mendel-node-v1");
   writer.u32(id_);
-  const auto blocks = tree_.collect_all();
-  writer.vec(blocks, [](CodecWriter& w, const Block& b) { b.encode(w); });
+  // Wire format unchanged: refs materialize back into full Blocks.
+  const auto refs = tree_.collect_all();
+  writer.vec(refs, [this](CodecWriter& w, const BlockRef& ref) {
+    materialize(ref).encode(w);
+  });
   writer.u32(static_cast<std::uint32_t>(sequences_.size()));
   // Deterministic order for byte-stable snapshots.
   std::vector<std::uint32_t> ids;
@@ -764,12 +806,11 @@ void StorageNode::load(CodecReader& reader) {
                                std::to_string(saved_id));
   auto blocks =
       reader.vec<Block>([](CodecReader& r) { return Block::decode(r); });
-  counters_.blocks_inserted += blocks.size();
-  for (const Block& block : blocks) {
-    block_keys_.insert(
-        (static_cast<std::uint64_t>(block.sequence) << 32) | block.start);
-  }
-  tree_.insert_batch(std::move(blocks));
+  // Restored items count separately from this session's insertions (the
+  // inserted/stored counters track work done since startup).
+  auto fresh = admit_blocks(std::move(blocks));
+  counters_.blocks_restored += fresh.size();
+  if (!fresh.empty()) tree_.insert_batch(std::move(fresh));
   const std::uint32_t count = reader.u32();
   for (std::uint32_t i = 0; i < count; ++i) {
     const std::uint32_t sid = reader.u32();
@@ -777,7 +818,7 @@ void StorageNode::load(CodecReader& reader) {
     stored.name = reader.str();
     stored.codes = reader.bytes();
     sequences_[sid] = std::move(stored);
-    ++counters_.sequences_stored;
+    ++counters_.sequences_restored;
   }
 }
 

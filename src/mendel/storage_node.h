@@ -38,6 +38,7 @@
 #include "src/scoring/karlin.h"
 #include "src/vptree/dynamic_vptree.h"
 #include "src/vptree/prefix_tree.h"
+#include "src/vptree/window_arena.h"
 
 namespace mendel::core {
 
@@ -56,6 +57,10 @@ struct StorageNodeConfig {
 struct NodeCounters {
   std::uint64_t blocks_inserted = 0;
   std::uint64_t sequences_stored = 0;
+  // Items restored from a snapshot via load(), counted separately so the
+  // inserted/stored counters keep reporting only this session's work.
+  std::uint64_t blocks_restored = 0;
+  std::uint64_t sequences_restored = 0;
   std::uint64_t nn_searches = 0;
   std::uint64_t seeds_emitted = 0;
   std::uint64_t fetches_served = 0;
@@ -100,16 +105,41 @@ class StorageNode final : public net::Actor {
     std::vector<seq::Code> codes;
   };
 
-  // Metric adapter: L1 window distance between block payloads, with the
-  // early-abandoning variant the vp-tree uses for bucket scans.
-  struct BlockMetric {
+  // What the local vp-tree stores: block identity plus the slot of its
+  // window payload in the node's SoA arena. 12 bytes instead of a Block
+  // with a heap-allocated window, so tree rebuilds shuffle indices and
+  // bucket scans read one contiguous code buffer.
+  struct BlockRef {
+    // Sentinel slot marking a search probe; its codes live in the node's
+    // `probe_` span rather than the arena.
+    static constexpr std::uint32_t kProbeSlot = 0xffffffffu;
+
+    seq::SequenceId sequence = seq::kInvalidSequenceId;
+    std::uint32_t start = 0;
+    std::uint32_t slot = 0;
+  };
+
+  // Metric adapter: L1 window distance between arena-resident windows,
+  // with the early-abandoning variant the vp-tree uses for bucket scans
+  // and vantage pruning. Lengths are validated once at admission (arena
+  // append) and search entry, so the kernels skip the per-call check.
+  struct BlockRefMetric {
     const score::DistanceMatrix* distance;
-    double operator()(const Block& a, const Block& b) const {
-      return score::window_distance(*distance, a.window, b.window);
+    const vpt::WindowArena* arena;
+    const seq::CodeSpan* probe;
+
+    const seq::Code* codes(const BlockRef& ref) const {
+      return ref.slot == BlockRef::kProbeSlot ? probe->data()
+                                              : arena->at(ref.slot);
     }
-    double bounded(const Block& a, const Block& b, double bound) const {
-      return score::window_distance_bounded(*distance, a.window, b.window,
-                                            bound);
+    double operator()(const BlockRef& a, const BlockRef& b) const {
+      return score::window_distance_unchecked(*distance, codes(a), codes(b),
+                                              arena->window_length());
+    }
+    double bounded(const BlockRef& a, const BlockRef& b,
+                   double bound) const {
+      return score::window_distance_bounded_unchecked(
+          *distance, codes(a), codes(b), arena->window_length(), bound);
     }
   };
 
@@ -191,10 +221,20 @@ class StorageNode final : public net::Actor {
   }
   std::vector<net::NodeId> alive_group_members(std::uint32_t group) const;
 
+  // Admits blocks this node does not yet store: dedups against
+  // block_keys_, appends windows to the arena, returns the new refs.
+  std::vector<BlockRef> admit_blocks(std::vector<Block> blocks);
+  // Reconstitutes the wire-format Block of a stored ref (codec paths).
+  Block materialize(const BlockRef& ref) const;
+
   net::NodeId id_;
   StorageNodeConfig config_;
   double max_residue_distance_ = 0.0;  // cached distance->max_entry()
-  vpt::DynamicVpTree<Block, BlockMetric> tree_;
+  // SoA payload store + current probe window; both must outlive (and are
+  // declared before) the tree whose metric points at them.
+  vpt::WindowArena arena_;
+  seq::CodeSpan probe_;
+  vpt::DynamicVpTree<BlockRef, BlockRefMetric> tree_;
   // Identities of stored blocks ((sequence << 32) | start) so re-deliveries
   // during replication and rebalance stay idempotent.
   std::unordered_set<std::uint64_t> block_keys_;

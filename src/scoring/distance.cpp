@@ -8,7 +8,7 @@
 namespace mendel::score {
 
 DistanceMatrix::DistanceMatrix(seq::Alphabet alphabet) : alphabet_(alphabet) {
-  for (auto& row : cells_) row.fill(0.0);
+  cells_.fill(0.0);
 }
 
 DistanceMatrix DistanceMatrix::hamming(seq::Alphabet alphabet) {
@@ -16,7 +16,7 @@ DistanceMatrix DistanceMatrix::hamming(seq::Alphabet alphabet) {
   const std::size_t n = seq::cardinality(alphabet);
   for (std::size_t a = 0; a < n; ++a) {
     for (std::size_t b = 0; b < n; ++b) {
-      d.cells_[a][b] = a == b ? 0.0 : 1.0;
+      d.cells_[a * kMaxCodes + b] = a == b ? 0.0 : 1.0;
     }
   }
   return d;
@@ -27,7 +27,7 @@ DistanceMatrix DistanceMatrix::paper_from_scores(const ScoringMatrix& scores) {
   const std::size_t n = seq::cardinality(scores.alphabet());
   for (std::size_t a = 0; a < n; ++a) {
     for (std::size_t b = 0; b < n; ++b) {
-      d.cells_[a][b] = std::abs(
+      d.cells_[a * kMaxCodes + b] = std::abs(
           static_cast<double>(scores.score(static_cast<seq::Code>(a),
                                            static_cast<seq::Code>(b)) -
                               scores.score(static_cast<seq::Code>(a),
@@ -51,7 +51,7 @@ DistanceMatrix DistanceMatrix::metric_from_scores(
       const double value =
           0.5 * (scores.score(ca, ca) + scores.score(cb, cb)) -
           scores.score(ca, cb);
-      d.cells_[a][b] = std::max(0.0, value);
+      d.cells_[a * kMaxCodes + b] = std::max(0.0, value);
     }
   }
   d.repair_triangle_inequality();
@@ -61,7 +61,7 @@ DistanceMatrix DistanceMatrix::metric_from_scores(
 bool DistanceMatrix::zero_diagonal() const {
   const std::size_t n = seq::cardinality(alphabet_);
   for (std::size_t a = 0; a < n; ++a) {
-    if (cells_[a][a] != 0.0) return false;
+    if (cells_[a * kMaxCodes + a] != 0.0) return false;
   }
   return true;
 }
@@ -70,7 +70,9 @@ bool DistanceMatrix::is_symmetric() const {
   const std::size_t n = seq::cardinality(alphabet_);
   for (std::size_t a = 0; a < n; ++a) {
     for (std::size_t b = 0; b < n; ++b) {
-      if (cells_[a][b] != cells_[b][a]) return false;
+      if (cells_[a * kMaxCodes + b] != cells_[b * kMaxCodes + a]) {
+        return false;
+      }
     }
   }
   return true;
@@ -81,7 +83,10 @@ bool DistanceMatrix::satisfies_triangle_inequality() const {
   for (std::size_t a = 0; a < n; ++a) {
     for (std::size_t b = 0; b < n; ++b) {
       for (std::size_t c = 0; c < n; ++c) {
-        if (cells_[a][c] > cells_[a][b] + cells_[b][c] + 1e-12) return false;
+        if (cells_[a * kMaxCodes + c] >
+            cells_[a * kMaxCodes + b] + cells_[b * kMaxCodes + c] + 1e-12) {
+          return false;
+        }
       }
     }
   }
@@ -93,7 +98,9 @@ void DistanceMatrix::repair_triangle_inequality() {
   for (std::size_t k = 0; k < n; ++k) {
     for (std::size_t a = 0; a < n; ++a) {
       for (std::size_t b = 0; b < n; ++b) {
-        cells_[a][b] = std::min(cells_[a][b], cells_[a][k] + cells_[k][b]);
+        cells_[a * kMaxCodes + b] =
+            std::min(cells_[a * kMaxCodes + b],
+                     cells_[a * kMaxCodes + k] + cells_[k * kMaxCodes + b]);
       }
     }
   }
@@ -104,29 +111,10 @@ double DistanceMatrix::max_entry() const {
   const std::size_t n = seq::cardinality(alphabet_);
   for (std::size_t a = 0; a < n; ++a) {
     for (std::size_t b = 0; b < n; ++b) {
-      worst = std::max(worst, cells_[a][b]);
+      worst = std::max(worst, cells_[a * kMaxCodes + b]);
     }
   }
   return worst;
-}
-
-double window_distance(const DistanceMatrix& d, seq::CodeSpan a,
-                       seq::CodeSpan b) {
-  require(a.size() == b.size(), "window_distance: length mismatch");
-  double total = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) total += d.at(a[i], b[i]);
-  return total;
-}
-
-double window_distance_bounded(const DistanceMatrix& d, seq::CodeSpan a,
-                               seq::CodeSpan b, double bound) {
-  require(a.size() == b.size(), "window_distance_bounded: length mismatch");
-  double total = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    total += d.at(a[i], b[i]);
-    if (total > bound) return total;
-  }
-  return total;
 }
 
 std::size_t hamming_distance(seq::CodeSpan a, seq::CodeSpan b) {

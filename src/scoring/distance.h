@@ -21,6 +21,7 @@
 #include <array>
 #include <cstdint>
 
+#include "src/common/error.h"
 #include "src/scoring/matrix.h"
 #include "src/sequence/sequence.h"
 
@@ -44,8 +45,16 @@ class DistanceMatrix {
 
   seq::Alphabet alphabet() const { return alphabet_; }
 
-  double at(seq::Code a, seq::Code b) const { return cells_[a][b]; }
-  void set(seq::Code a, seq::Code b, double value) { cells_[a][b] = value; }
+  double at(seq::Code a, seq::Code b) const {
+    return cells_[a * kMaxCodes + b];
+  }
+  void set(seq::Code a, seq::Code b, double value) {
+    cells_[a * kMaxCodes + b] = value;
+  }
+
+  // Contiguous row of per-residue distances from code `a` — the window
+  // kernels walk these so one row stays hot in cache across a scan.
+  const double* row(seq::Code a) const { return &cells_[a * kMaxCodes]; }
 
   // Metric-axiom checks over all codes of the alphabet.
   bool zero_diagonal() const;
@@ -67,19 +76,55 @@ class DistanceMatrix {
 
  private:
   seq::Alphabet alphabet_;
-  std::array<std::array<double, kMaxCodes>, kMaxCodes> cells_{};
+  // Flattened row-major LUT: cells_[a * kMaxCodes + b] == d(a, b).
+  std::array<double, kMaxCodes * kMaxCodes> cells_{};
 };
+
+// Unchecked hot-path kernels: the caller guarantees equal lengths (vp-tree
+// metrics validate once per structure, not once per distance call). Both
+// variants accumulate in ascending index order, so for any bound the
+// bounded kernel returns exactly the unbounded sum whenever that sum is
+// <= bound.
+inline double window_distance_unchecked(const DistanceMatrix& d,
+                                        const seq::Code* a,
+                                        const seq::Code* b,
+                                        std::size_t length) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < length; ++i) total += d.row(a[i])[b[i]];
+  return total;
+}
+
+inline double window_distance_bounded_unchecked(const DistanceMatrix& d,
+                                                const seq::Code* a,
+                                                const seq::Code* b,
+                                                std::size_t length,
+                                                double bound) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < length; ++i) {
+    total += d.row(a[i])[b[i]];
+    if (total > bound) return total;
+  }
+  return total;
+}
 
 // L1 window distance: sum of per-residue distances over two equal-length
 // windows. Throws InvalidArgument on length mismatch.
-double window_distance(const DistanceMatrix& d, seq::CodeSpan a,
-                       seq::CodeSpan b);
+inline double window_distance(const DistanceMatrix& d, seq::CodeSpan a,
+                              seq::CodeSpan b) {
+  require(a.size() == b.size(), "window_distance: length mismatch");
+  return window_distance_unchecked(d, a.data(), b.data(), a.size());
+}
 
 // Early-exit variant: returns an arbitrary value > bound as soon as the
 // running sum exceeds `bound`. Exact when the true distance <= bound. Used
 // inside vp-tree searches where candidates beyond tau are discarded anyway.
-double window_distance_bounded(const DistanceMatrix& d, seq::CodeSpan a,
-                               seq::CodeSpan b, double bound);
+inline double window_distance_bounded(const DistanceMatrix& d,
+                                      seq::CodeSpan a, seq::CodeSpan b,
+                                      double bound) {
+  require(a.size() == b.size(), "window_distance_bounded: length mismatch");
+  return window_distance_bounded_unchecked(d, a.data(), b.data(), a.size(),
+                                           bound);
+}
 
 // Plain Hamming distance between equal-length windows (count of differing
 // positions); the DNA metric of the paper.

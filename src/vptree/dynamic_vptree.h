@@ -478,7 +478,20 @@ class DynamicVpTree {
       }
       return;
     }
-    const double d = metric_(target, node->vantage);
+    double d;
+    if constexpr (has_bounded_metric<Metric>) {
+      // A vantage point farther than max(mu, child maxima) + tau offers
+      // nothing: it is outside tau itself and the tau-ball cannot reach
+      // either child's [*, max] interval, so the whole subtree is pruned
+      // and the bounded metric may abandon mid-window.
+      const double bound =
+          std::max(node->mu, std::max(node->left_max, node->right_max)) +
+          state.tau();
+      d = metric_.bounded(target, node->vantage, bound);
+      if (d > bound) return;
+    } else {
+      d = metric_(target, node->vantage);
+    }
     state.offer(&node->vantage, d);
     const Node* near = d <= node->mu ? node->left.get() : node->right.get();
     const Node* far = d <= node->mu ? node->right.get() : node->left.get();

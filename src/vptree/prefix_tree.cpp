@@ -83,8 +83,9 @@ std::uint64_t VpPrefixTree::hash(seq::CodeSpan window) const {
   const Node* node = root_.get();  // may be null: degenerate one-prefix tree
   std::uint64_t prefix = 1;
   while (node != nullptr) {
-    const double d =
-        score::window_distance(*distance_, window, node->vantage);
+    // Lengths were validated above; vantage windows share window_length_.
+    const double d = score::window_distance_unchecked(
+        *distance_, window.data(), node->vantage.data(), window.size());
     if (d <= node->mu) {
       prefix = prefix << 1;
       node = node->left.get();
@@ -115,7 +116,8 @@ void VpPrefixTree::hash_multi_walk(const Node* node, seq::CodeSpan window,
     out.push_back(prefix);
     return;
   }
-  const double d = score::window_distance(*distance_, window, node->vantage);
+  const double d = score::window_distance_unchecked(
+      *distance_, window.data(), node->vantage.data(), window.size());
   const bool go_left = d <= node->mu;
   // Strict comparison: epsilon = 0 reproduces exactly the single hash()
   // path (window distances are integer-valued, so ties are common).

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <algorithm>
+#include <concepts>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
@@ -151,6 +152,25 @@ class VpTree {
     }
   };
 
+  // Detects a Metric with an early-abandoning variant bounded(a, b, bound):
+  // it may return any value > bound once the running distance exceeds
+  // `bound`, and is exact whenever the true distance is <= bound.
+  template <typename M>
+  static constexpr bool has_bounded_metric =
+      requires(const M& m, const T& a, const T& b, double bound) {
+        { m.bounded(a, b, bound) } -> std::convertible_to<double>;
+      };
+
+  // Largest distance-to-vantage at which `node` still has anything to
+  // offer a search with radius `tau`: the vantage itself matters up to
+  // tau, and a child can intersect the tau-ball only while
+  // d(target, vantage) <= child_max + tau. Beyond this bound the exact
+  // distance is irrelevant — the node and both subtrees are pruned — so
+  // the bounded metric may abandon mid-window.
+  static double vantage_abandon_bound(const Node& node, double tau) {
+    return std::max(node.mu, std::max(node.left_max, node.right_max)) + tau;
+  }
+
   using Iter = typename std::vector<T>::iterator;
 
   std::unique_ptr<Node> build_node(Iter first, Iter last, Rng& rng) {
@@ -240,11 +260,27 @@ class VpTree {
     if (node == nullptr) return;
     if (!node->has_vantage) {
       for (const T& item : node->bucket) {
-        state.offer(&item, metric_(target, item));
+        if constexpr (has_bounded_metric<Metric>) {
+          const double tau = state.tau();
+          const double d = metric_.bounded(target, item, tau);
+          if (d <= tau) state.offer(&item, d);
+        } else {
+          state.offer(&item, metric_(target, item));
+        }
       }
       return;
     }
-    const double d = metric_(target, node->vantage);
+    double d;
+    if constexpr (has_bounded_metric<Metric>) {
+      const double bound = vantage_abandon_bound(*node, state.tau());
+      d = metric_.bounded(target, node->vantage, bound);
+      // Abandoned: the true distance exceeds the bound, so the vantage is
+      // outside tau and the tau-ball clears both children's [*, max]
+      // intervals — nothing below this node can be a result.
+      if (d > bound) return;
+    } else {
+      d = metric_(target, node->vantage);
+    }
     state.offer(&node->vantage, d);
 
     // Visit the child on the target's side of mu first; it is more likely
@@ -275,12 +311,19 @@ class VpTree {
     if (node == nullptr) return;
     if (!node->has_vantage) {
       for (const T& item : node->bucket) {
-        const double d = metric_(target, item);
+        const double d = bucket_distance(target, item, radius);
         if (d <= radius) out.push_back({&item, d});
       }
       return;
     }
-    const double d = metric_(target, node->vantage);
+    double d;
+    if constexpr (has_bounded_metric<Metric>) {
+      const double bound = vantage_abandon_bound(*node, radius);
+      d = metric_.bounded(target, node->vantage, bound);
+      if (d > bound) return;
+    } else {
+      d = metric_(target, node->vantage);
+    }
     if (d <= radius) out.push_back({&node->vantage, d});
     if (node->left != nullptr && d - radius <= node->left_max &&
         d + radius >= node->left_min) {
@@ -289,6 +332,14 @@ class VpTree {
     if (node->right != nullptr && d - radius <= node->right_max &&
         d + radius >= node->right_min) {
       range_search(node->right.get(), target, radius, out);
+    }
+  }
+
+  double bucket_distance(const T& target, const T& item, double bound) const {
+    if constexpr (has_bounded_metric<Metric>) {
+      return metric_.bounded(target, item, bound);
+    } else {
+      return metric_(target, item);
     }
   }
 

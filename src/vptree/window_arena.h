@@ -1,0 +1,62 @@
+// Structure-of-arrays storage for fixed-length residue windows.
+//
+// Every inverted-index block a storage node holds has the same window
+// length (the cluster-wide block length k), so the node keeps all window
+// payloads in one contiguous code buffer and the vp-tree stores 4-byte
+// slot indices instead of per-block heap vectors. Leaf bucket scans then
+// walk sequential memory — the hot path the paper's n-NN searches spend
+// their time in — instead of chasing a pointer per candidate.
+//
+// Slots are append-only and stable; compaction (after rebalance evicts
+// blocks) is a rebuild into a fresh arena.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/error.h"
+#include "src/sequence/sequence.h"
+
+namespace mendel::vpt {
+
+class WindowArena {
+ public:
+  // Window length is fixed by the first appended window; every later
+  // append must match. 0 means "no windows yet".
+  std::size_t window_length() const { return window_length_; }
+  std::size_t size() const {
+    return window_length_ == 0 ? 0 : codes_.size() / window_length_;
+  }
+  bool empty() const { return codes_.empty(); }
+
+  // Appends a window and returns its slot index.
+  std::uint32_t append(seq::CodeSpan window) {
+    require(!window.empty(), "WindowArena: empty window");
+    if (window_length_ == 0) {
+      window_length_ = window.size();
+    } else {
+      require(window.size() == window_length_,
+              "WindowArena: window length mismatch");
+    }
+    const auto slot = static_cast<std::uint32_t>(size());
+    codes_.insert(codes_.end(), window.begin(), window.end());
+    return slot;
+  }
+
+  const seq::Code* at(std::uint32_t slot) const {
+    return codes_.data() + static_cast<std::size_t>(slot) * window_length_;
+  }
+  seq::CodeSpan span(std::uint32_t slot) const {
+    return {at(slot), window_length_};
+  }
+
+  // Drops all windows; the length stays fixed so in-flight searches keep a
+  // consistent geometry across a rebuild.
+  void clear() { codes_.clear(); }
+
+ private:
+  std::size_t window_length_ = 0;
+  std::vector<seq::Code> codes_;
+};
+
+}  // namespace mendel::vpt
