@@ -1,7 +1,10 @@
 // Microbenchmarks for pipeline building blocks (google-benchmark):
 // alignment kernels, SHA-1 dispersal, block creation, and codec overhead —
-// the per-message / per-anchor costs behind the Figure 6 numbers.
+// the per-message / per-anchor costs behind the Figure 6 numbers — plus the
+// closed-loop end-to-end query benchmark for the concurrent pipeline.
 #include <benchmark/benchmark.h>
+
+#include <memory>
 
 #include "src/align/banded.h"
 #include "src/align/smith_waterman.h"
@@ -9,6 +12,7 @@
 #include "src/align/xdrop.h"
 #include "src/hash/sha1.h"
 #include "src/mendel/block.h"
+#include "src/mendel/client.h"
 #include "src/mendel/protocol.h"
 #include "src/workload/generator.h"
 
@@ -142,6 +146,99 @@ void BM_ConsecutivityScore(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ConsecutivityScore);
+
+// ---- closed-loop end-to-end queries ----------------------------------------
+//
+// Each benchmark thread is one closed-loop client: it issues a query, waits
+// for the ranked hits, and immediately issues the next, drawing from a
+// shared pool of repeated probes (the skewed real-world case: popular
+// queries recur). items/s is end-to-end queries per second.
+//
+// BM_ClosedLoopSerial is the pre-pipeline baseline: one query at a time
+// through the simulator with the NN cache disabled. BM_ClosedLoopConcurrent
+// drives the threaded runtime with the cache on, at 1 and 8 concurrent
+// clients.
+
+const seq::SequenceStore& closed_loop_store() {
+  static const seq::SequenceStore store = [] {
+    workload::DatabaseSpec spec;
+    spec.families = 6;
+    spec.members_per_family = 4;
+    spec.background_sequences = 12;
+    spec.min_length = 200;
+    spec.max_length = 400;
+    spec.seed = 2024;
+    return workload::generate_database(spec);
+  }();
+  return store;
+}
+
+std::vector<seq::Sequence> closed_loop_queries() {
+  const auto& store = closed_loop_store();
+  std::vector<seq::Sequence> queries;
+  for (std::size_t donor = 0; donor < 12; ++donor) {
+    const auto window = store.at(donor).window((donor % 3) * 7, 120);
+    queries.emplace_back(store.alphabet(), "probe" + std::to_string(donor),
+                         std::vector<seq::Code>{window.begin(), window.end()});
+  }
+  return queries;
+}
+
+core::ClientOptions closed_loop_options(core::TransportMode mode,
+                                        std::size_t nn_cache_capacity) {
+  core::ClientOptions options;
+  options.topology.num_groups = 3;
+  options.topology.nodes_per_group = 2;
+  options.indexing.window_length = 8;
+  options.indexing.sample_size = 256;
+  options.prefix_tree.cutoff_depth = 4;
+  options.cost.measured_cpu = false;
+  options.transport_mode = mode;
+  options.nn_cache_capacity = nn_cache_capacity;
+  return options;
+}
+
+void BM_ClosedLoopSerial(benchmark::State& state) {
+  core::Client client(
+      closed_loop_options(core::TransportMode::kSim, 0));
+  client.index(closed_loop_store());
+  const auto queries = closed_loop_queries();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto outcome = client.query(queries[i++ % queries.size()]);
+    benchmark::DoNotOptimize(outcome.hits.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ClosedLoopSerial)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_ClosedLoopConcurrent(benchmark::State& state) {
+  static std::unique_ptr<core::Client> client;
+  static std::vector<seq::Sequence> queries;
+  if (state.thread_index() == 0) {
+    client = std::make_unique<core::Client>(
+        closed_loop_options(core::TransportMode::kThreaded, 4096));
+    client->index(closed_loop_store());
+    queries = closed_loop_queries();
+  }
+  // Per-thread stream offset so concurrent clients interleave different
+  // (but recurring) queries.
+  std::size_t i = static_cast<std::size_t>(state.thread_index()) * 7;
+  for (auto _ : state) {
+    const auto outcome = client->query(queries[i++ % queries.size()]);
+    benchmark::DoNotOptimize(outcome.hits.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    client.reset();
+    queries.clear();
+  }
+}
+BENCHMARK(BM_ClosedLoopConcurrent)
+    ->Threads(1)
+    ->Threads(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 

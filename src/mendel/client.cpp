@@ -1,6 +1,7 @@
 #include "src/mendel/client.h"
 
 #include <algorithm>
+#include <chrono>
 #include <fstream>
 
 #include "src/common/error.h"
@@ -11,7 +12,16 @@
 namespace mendel::core {
 
 Client::Client(ClientOptions options) : options_(std::move(options)) {
-  transport_ = std::make_unique<net::SimTransport>(options_.cost);
+  if (options_.transport_mode == TransportMode::kSim) {
+    sim_ = std::make_unique<net::SimTransport>(options_.cost);
+    transport_ = sim_.get();
+  } else {
+    threaded_ = std::make_unique<net::ThreadTransport>();
+    transport_ = threaded_.get();
+  }
+  if (options_.search_threads > 0) {
+    search_pool_ = std::make_unique<ThreadPool>(options_.search_threads);
+  }
   client_actor_ = std::make_unique<net::FunctionActor>(
       [this](const net::Message& message, net::Context& ctx) {
         if (message.type != kQueryResult) return;
@@ -19,12 +29,20 @@ Client::Client(ClientOptions options) : options_(std::move(options)) {
         Reply reply;
         reply.hits = std::move(payload.hits);
         reply.arrival = ctx.now();
-        last_reply_ = std::move(reply);
+        {
+          std::lock_guard lock(reply_mu_);
+          replies_[message.request_id] = std::move(reply);
+        }
+        reply_cv_.notify_all();
       });
   transport_->register_actor(net::kClientNode, client_actor_.get());
 }
 
-Client::~Client() = default;
+Client::~Client() {
+  // The threaded workers reference the storage nodes; stop them before the
+  // nodes_ vector is destroyed.
+  if (threaded_ && started_) threaded_->drain_and_stop();
+}
 
 void Client::spawn_nodes(seq::Alphabet alphabet) {
   alphabet_ = alphabet;
@@ -38,12 +56,35 @@ void Client::spawn_nodes(seq::Alphabet alphabet) {
   node_config.distance = distance_.get();
   node_config.alphabet = alphabet;
   node_config.bucket_capacity = options_.bucket_capacity;
+  node_config.search_pool = search_pool_.get();
+  node_config.nn_cache_capacity = options_.nn_cache_capacity;
 
   nodes_.reserve(topology_->total_nodes());
   for (net::NodeId id = 0; id < topology_->total_nodes(); ++id) {
     nodes_.push_back(std::make_unique<StorageNode>(id, node_config));
     transport_->register_actor(id, nodes_.back().get());
   }
+  if (threaded_) {
+    threaded_->start();
+    started_ = true;
+  }
+}
+
+double Client::settle() {
+  if (sim_) return sim_->run_until_idle();
+  threaded_->wait_idle();
+  return 0.0;
+}
+
+double Client::now_seconds() const {
+  if (sim_) return sim_->external_time();
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool Client::transport_down(net::NodeId id) const {
+  return sim_ ? sim_->node_down(id) : threaded_->node_down(id);
 }
 
 IndexReport Client::index(const seq::SequenceStore& store) {
@@ -64,7 +105,7 @@ IndexReport Client::index(const seq::SequenceStore& store) {
   Indexer indexer(topology_.get(), distance_.get(), options_.indexing);
   const IndexReport report = indexer.index_store(
       store, *prefix_tree_, *transport_, net::kClientNode);
-  transport_->run_until_idle();
+  settle();
 
   database_residues_ = store.total_residues();
   for (auto& node : nodes_) {
@@ -85,7 +126,7 @@ seq::SequenceId Client::add_sequences(const seq::SequenceStore& more) {
   Indexer indexer(topology_.get(), distance_.get(), options_.indexing);
   indexer.index_store(more, *prefix_tree_, *transport_, net::kClientNode,
                       base);
-  transport_->run_until_idle();
+  settle();
 
   next_sequence_id_ += static_cast<seq::SequenceId>(more.size());
   database_residues_ += more.total_residues();
@@ -97,6 +138,9 @@ seq::SequenceId Client::add_sequences(const seq::SequenceStore& more) {
 
 net::NodeId Client::add_node(std::uint32_t group) {
   require(indexed_, "Client::add_node before index()/load_index()");
+  require(sim_ != nullptr,
+          "Client::add_node: elastic scale-out requires TransportMode::kSim "
+          "(the threaded runtime pins its worker set at start())");
   const net::NodeId id = topology_->add_node(group);
 
   StorageNodeConfig node_config;
@@ -106,6 +150,8 @@ net::NodeId Client::add_node(std::uint32_t group) {
   node_config.alphabet = alphabet_;
   node_config.bucket_capacity = options_.bucket_capacity;
   node_config.database_residues = database_residues_;
+  node_config.search_pool = search_pool_.get();
+  node_config.nn_cache_capacity = options_.nn_cache_capacity;
   nodes_.push_back(std::make_unique<StorageNode>(id, node_config));
   transport_->register_actor(id, nodes_.back().get());
 
@@ -120,16 +166,19 @@ net::NodeId Client::add_node(std::uint32_t group) {
     message.request_id = 0;
     transport_->send(std::move(message));
   }
-  transport_->run_until_idle();
+  settle();
   return id;
 }
 
-QueryOutcome Client::query(const seq::Sequence& query, QueryParams params) {
-  require(indexed_, "Client::query before index()/load_index()");
-  require(query.alphabet() == alphabet_,
-          "Client::query: alphabet mismatch with indexed database");
+// --- concurrent query admission --------------------------------------------
 
-  const std::uint64_t query_id = next_query_id_++;
+QueryTicket Client::submit(const seq::Sequence& query, QueryParams params) {
+  require(indexed_, "Client::submit before index()/load_index()");
+  require(query.alphabet() == alphabet_,
+          "Client::submit: alphabet mismatch with indexed database");
+
+  const std::uint64_t query_id =
+      next_query_id_.fetch_add(1, std::memory_order_relaxed);
   // Symmetric architecture: any node can be the system entry point; rotate
   // deterministically per query.
   const net::NodeId entry = static_cast<net::NodeId>(
@@ -140,8 +189,10 @@ QueryOutcome Client::query(const seq::Sequence& query, QueryParams params) {
   request.params = std::move(params);
   request.query.assign(query.codes().begin(), query.codes().end());
 
-  const double t0 = transport_->external_time();
-  const net::NetworkStats before = transport_->stats();
+  QueryTicket ticket;
+  ticket.id = query_id;
+  ticket.injected_at = now_seconds();
+  ticket.traffic_before = transport_->stats();
 
   net::Message message;
   message.from = net::kClientNode;
@@ -149,43 +200,117 @@ QueryOutcome Client::query(const seq::Sequence& query, QueryParams params) {
   message.type = kQueryRequest;
   message.request_id = query_id;
   message.payload = encode_payload(request);
-
-  last_reply_.reset();
   transport_->send(std::move(message));
-  double horizon = transport_->run_until_idle();
+  return ticket;
+}
 
+std::optional<Client::Reply> Client::take_reply(std::uint64_t query_id) {
+  std::lock_guard lock(reply_mu_);
+  auto it = replies_.find(query_id);
+  if (it == replies_.end()) return std::nullopt;
+  std::optional<Reply> reply = std::move(it->second);
+  replies_.erase(it);
+  return reply;
+}
+
+void Client::broadcast_cancel(std::uint64_t query_id) {
+  for (net::NodeId id = 0; id < topology_->total_nodes(); ++id) {
+    if (transport_down(id)) {
+      // The transport would drop the cancel anyway; remember it so the
+      // node is scrubbed the moment it heals.
+      std::lock_guard lock(cancel_mu_);
+      deferred_cancels_[id].push_back(query_id);
+      continue;
+    }
+    net::Message cancel;
+    cancel.from = net::kClientNode;
+    cancel.to = id;
+    cancel.type = kCancelQuery;
+    cancel.request_id = query_id;
+    transport_->send(std::move(cancel));
+  }
+}
+
+QueryOutcome Client::finish_outcome(const QueryTicket& ticket,
+                                    std::optional<Reply> reply) {
   QueryOutcome outcome;
-  if (!last_reply_.has_value()) {
+  if (reply.has_value()) {
+    outcome.hits = std::move(reply->hits);
+    outcome.turnaround = reply->arrival - ticket.injected_at;
+  } else {
     // The dataflow stalled (a fan-in waits on a node whose messages were
     // dropped). Abort cluster-side pending state so nothing leaks, and
     // report the incomplete outcome instead of hanging or throwing.
     outcome.completed = false;
-    for (net::NodeId id = 0; id < topology_->total_nodes(); ++id) {
-      net::Message cancel;
-      cancel.from = net::kClientNode;
-      cancel.to = id;
-      cancel.type = kCancelQuery;
-      cancel.request_id = query_id;
-      transport_->send(std::move(cancel));
-    }
-    horizon = transport_->run_until_idle();
-    outcome.turnaround = horizon - t0;
-    const net::NetworkStats after_cancel = transport_->stats();
-    outcome.traffic.messages = after_cancel.messages - before.messages;
-    outcome.traffic.bytes = after_cancel.bytes - before.bytes;
-    transport_->set_external_time(horizon);
-    return outcome;
+    broadcast_cancel(ticket.id);
+    const double horizon = settle();
+    outcome.turnaround =
+        (sim_ ? horizon : now_seconds()) - ticket.injected_at;
   }
-  outcome.hits = std::move(last_reply_->hits);
-  outcome.turnaround = last_reply_->arrival - t0;
   const net::NetworkStats after = transport_->stats();
-  outcome.traffic.messages = after.messages - before.messages;
-  outcome.traffic.bytes = after.bytes - before.bytes;
-  last_reply_.reset();
-  // Future queries start from the drained horizon.
-  transport_->set_external_time(horizon);
+  outcome.traffic.messages =
+      after.messages - ticket.traffic_before.messages;
+  outcome.traffic.bytes = after.bytes - ticket.traffic_before.bytes;
   return outcome;
 }
+
+QueryOutcome Client::wait_sim(const QueryTicket& ticket) {
+  // Drains every in-flight event (this ticket's and any other admitted
+  // query's); replies land in the table and later waits find them
+  // immediately. run_until_idle also advances the external clock to the
+  // drained horizon, so future injections start there.
+  sim_->run_until_idle();
+  return finish_outcome(ticket, take_reply(ticket.id));
+}
+
+QueryOutcome Client::wait_threaded(const QueryTicket& ticket) {
+  std::optional<Reply> reply;
+  for (;;) {
+    {
+      std::unique_lock lock(reply_mu_);
+      reply_cv_.wait_for(lock, std::chrono::milliseconds(2), [&] {
+        return replies_.find(ticket.id) != replies_.end();
+      });
+      auto it = replies_.find(ticket.id);
+      if (it != replies_.end()) {
+        reply = std::move(it->second);
+        replies_.erase(it);
+        break;
+      }
+    }
+    // No reply yet. If the whole cluster is quiescent the dataflow cannot
+    // make further progress: the query stalled. (A reply may have raced in
+    // between the two checks; take_reply in finish_outcome would still
+    // miss it, so re-check under the lock first.)
+    if (threaded_->idle()) {
+      reply = take_reply(ticket.id);
+      break;
+    }
+  }
+  return finish_outcome(ticket, std::move(reply));
+}
+
+QueryOutcome Client::wait(const QueryTicket& ticket) {
+  if (sim_) return wait_sim(ticket);
+  return wait_threaded(ticket);
+}
+
+QueryOutcome Client::query(const seq::Sequence& query, QueryParams params) {
+  return wait(submit(query, std::move(params)));
+}
+
+std::vector<QueryOutcome> Client::query_batch(
+    const std::vector<seq::Sequence>& queries, QueryParams params) {
+  std::vector<QueryTicket> tickets;
+  tickets.reserve(queries.size());
+  for (const auto& query : queries) tickets.push_back(submit(query, params));
+  std::vector<QueryOutcome> outcomes;
+  outcomes.reserve(tickets.size());
+  for (const auto& ticket : tickets) outcomes.push_back(wait(ticket));
+  return outcomes;
+}
+
+// --- telemetry --------------------------------------------------------------
 
 const cluster::Topology& Client::topology() const {
   require(topology_ != nullptr, "Client::topology before index()");
@@ -208,6 +333,8 @@ NodeCounters Client::total_counters() const {
     total.blocks_restored += c.blocks_restored;
     total.sequences_restored += c.sequences_restored;
     total.nn_searches += c.nn_searches;
+    total.nn_cache_hits += c.nn_cache_hits;
+    total.nn_cache_misses += c.nn_cache_misses;
     total.seeds_emitted += c.seeds_emitted;
     total.fetches_served += c.fetches_served;
     total.group_queries += c.group_queries;
@@ -218,6 +345,17 @@ NodeCounters Client::total_counters() const {
   return total;
 }
 
+net::SimTransport& Client::transport() {
+  require(sim_ != nullptr, "Client::transport: not in TransportMode::kSim");
+  return *sim_;
+}
+
+net::ThreadTransport& Client::thread_transport() {
+  require(threaded_ != nullptr,
+          "Client::thread_transport: not in TransportMode::kThreaded");
+  return *threaded_;
+}
+
 StorageNode& Client::node(net::NodeId id) {
   require(id < nodes_.size(), "Client::node: id out of range");
   return *nodes_[id];
@@ -225,15 +363,41 @@ StorageNode& Client::node(net::NodeId id) {
 
 void Client::fail_node(net::NodeId id) {
   require(id < nodes_.size(), "Client::fail_node: id out of range");
-  transport_->fail_node(id);
+  if (sim_) sim_->fail_node(id);
+  else threaded_->fail_node(id);
   for (auto& node : nodes_) node->set_down(id, true);
 }
 
 void Client::heal_node(net::NodeId id) {
   require(id < nodes_.size(), "Client::heal_node: id out of range");
-  transport_->heal_node(id);
+  if (sim_) sim_->heal_node(id);
+  else threaded_->heal_node(id);
   for (auto& node : nodes_) node->set_down(id, false);
+
+  // Scrub the healed node: deliver every cancel that was deferred while
+  // its traffic was being dropped, so no aborted query's pending state
+  // survives the outage.
+  std::vector<std::uint64_t> flush;
+  {
+    std::lock_guard lock(cancel_mu_);
+    auto it = deferred_cancels_.find(id);
+    if (it != deferred_cancels_.end()) {
+      flush = std::move(it->second);
+      deferred_cancels_.erase(it);
+    }
+  }
+  for (std::uint64_t query_id : flush) {
+    net::Message cancel;
+    cancel.from = net::kClientNode;
+    cancel.to = id;
+    cancel.type = kCancelQuery;
+    cancel.request_id = query_id;
+    transport_->send(std::move(cancel));
+  }
+  if (!flush.empty()) settle();
 }
+
+// --- persistence ------------------------------------------------------------
 
 void Client::save_index(const std::string& path) const {
   require(indexed_, "Client::save_index before index()");

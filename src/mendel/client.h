@@ -1,9 +1,8 @@
 // mendel::core::Client — the public facade of the framework.
 //
-// A Client owns a complete simulated Mendel deployment: the two-tier
-// topology, the vp-prefix routing tree, one StorageNode actor per cluster
-// node, and the discrete-event transport. Typical use (see
-// examples/quickstart.cpp):
+// A Client owns a complete Mendel deployment: the two-tier topology, the
+// vp-prefix routing tree, one StorageNode actor per cluster node, and the
+// message transport. Typical use (see examples/quickstart.cpp):
 //
 //   mendel::core::ClientOptions options;
 //   options.topology.num_groups = 10;
@@ -13,23 +12,52 @@
 //   auto outcome = client.query(query);        // similarity search
 //   for (const auto& hit : outcome.hits) ...;  // ranked alignments
 //
+// Two runtimes back the same cluster code:
+//   * TransportMode::kSim (default) — the deterministic discrete-event
+//     simulator with virtual time; the runtime the benchmark figures are
+//     measured on. Single-threaded: submit/wait/query must all be called
+//     from one thread.
+//   * TransportMode::kThreaded — one OS thread per storage node. submit()
+//     and wait() are thread-safe, so many application threads can drive
+//     overlapping queries (the concurrent query pipeline); intra-node
+//     subquery searches additionally fan out over `search_threads`.
+//
+// Concurrent admission: submit() injects a query and returns a ticket;
+// wait() blocks for that query's result. query() is submit+wait, and
+// query_batch() admits a whole set before collecting any result — under
+// the simulator that batches the virtual-time dataflow, under threads the
+// queries genuinely overlap. Replies land in a per-query_id reply table,
+// so any number of queries can be in flight simultaneously.
+//
 // The Client also exposes the paper's future-work features implemented
 // here: index persistence (save_index/load_index) and fault injection with
 // replication (fail_node).
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/cluster/topology.h"
+#include "src/common/thread_pool.h"
 #include "src/mendel/indexer.h"
 #include "src/mendel/params.h"
 #include "src/mendel/storage_node.h"
 #include "src/net/sim_transport.h"
+#include "src/net/thread_transport.h"
 
 namespace mendel::core {
+
+enum class TransportMode {
+  kSim,       // deterministic discrete-event simulator (virtual time)
+  kThreaded,  // one OS thread per node (wall time, real concurrency)
+};
 
 struct ClientOptions {
   cluster::TopologyConfig topology;
@@ -37,19 +65,38 @@ struct ClientOptions {
   vpt::PrefixTreeOptions prefix_tree;
   net::CostModel cost;
   std::size_t bucket_capacity = 32;
+  // Runtime selection (see the header comment).
+  TransportMode transport_mode = TransportMode::kSim;
+  // Worker threads shared by all storage nodes for intra-node subquery
+  // fan-out (0 = serial searches). Only useful with real CPU parallelism;
+  // results are identical either way.
+  unsigned search_threads = 0;
+  // Per-node subquery NN cache entries (0 disables the cache).
+  std::size_t nn_cache_capacity = 4096;
 };
 
 struct QueryOutcome {
   std::vector<align::AlignmentHit> hits;
-  // Virtual-time turnaround: injection at the system entry point to the
-  // client's receipt of the ranked result (what Figures 6a–6c measure).
+  // Turnaround from the query's injection to the client's receipt of the
+  // ranked result: virtual time under TransportMode::kSim (what Figures
+  // 6a–6c measure), wall time under kThreaded.
   double turnaround = 0.0;
-  // Network traffic attributable to this query.
+  // Network traffic observed between this query's injection and its
+  // completion. Exact when queries run one at a time; with concurrent
+  // queries in flight it is an upper bound (traffic of overlapping queries
+  // is attributed to every query it overlaps).
   net::NetworkStats traffic;
   // False when the query's dataflow stalled (e.g. a node failed silently
   // mid-query and a fan-in never completed). The client then broadcasts
   // kCancelQuery so no pending state leaks, and returns empty hits.
   bool completed = true;
+};
+
+// Handle for an admitted (in-flight) query; redeem with Client::wait().
+struct QueryTicket {
+  std::uint64_t id = 0;
+  double injected_at = 0.0;
+  net::NetworkStats traffic_before;
 };
 
 class Client {
@@ -77,24 +124,47 @@ class Client {
   // rebalance protocol — consistent hashing moves ~1/n of the group's
   // blocks (and a slice of the sequence repository) onto the newcomer.
   // Returns the new node's id. Queries work unchanged afterwards.
+  // Simulator mode only (the threaded runtime pins its worker set at
+  // start()).
   net::NodeId add_node(std::uint32_t group);
 
   bool indexed() const { return indexed_; }
 
-  // Runs one similarity query through the cluster.
+  // --- concurrent query admission ----------------------------------------
+  // Injects a query into the cluster and returns immediately. Thread-safe
+  // in TransportMode::kThreaded; in kSim the caller must stay on the one
+  // driving thread (the simulator itself is single-threaded).
+  QueryTicket submit(const seq::Sequence& query, QueryParams params = {});
+  // Blocks until the ticket's query completed or provably stalled (the
+  // transport went idle without its reply). On a stall, broadcasts
+  // kCancelQuery to every alive node — nodes the transport knows are down
+  // get their cancel deferred until heal_node() — and reports
+  // completed = false.
+  QueryOutcome wait(const QueryTicket& ticket);
+  // submit() + wait().
   QueryOutcome query(const seq::Sequence& query, QueryParams params = {});
+  // Admits every query before collecting any result, so the queries share
+  // the cluster concurrently. Outcomes are in input order.
+  std::vector<QueryOutcome> query_batch(
+      const std::vector<seq::Sequence>& queries, QueryParams params = {});
 
   // --- telemetry ---------------------------------------------------------
   const cluster::Topology& topology() const;
   std::vector<std::uint64_t> block_counts() const;
   NodeCounters total_counters() const;
-  net::SimTransport& transport() { return *transport_; }
+  // The simulator instance (TransportMode::kSim only).
+  net::SimTransport& transport();
+  // The threaded instance (TransportMode::kThreaded only).
+  net::ThreadTransport& thread_transport();
   StorageNode& node(net::NodeId id);
 
   // --- fault tolerance (paper §VII-B future work) -------------------------
   // Marks a node failed: the transport drops its traffic and every other
   // node excludes it from fan-outs and home-node lookups.
   void fail_node(net::NodeId id);
+  // Re-admits the node and flushes any cancel broadcasts that were
+  // deferred while it was down (so no cancelled query's pending state can
+  // survive on a healed node).
   void heal_node(net::NodeId id);
 
   // --- persistence (paper §VII-B future work) ------------------------------
@@ -108,27 +178,57 @@ class Client {
   void load_index(const std::string& path);
 
  private:
-  void spawn_nodes(seq::Alphabet alphabet);
-
-  ClientOptions options_;
-  std::unique_ptr<cluster::Topology> topology_;
-  std::unique_ptr<score::DistanceMatrix> distance_;
-  std::unique_ptr<vpt::VpPrefixTree> prefix_tree_;
-  std::unique_ptr<net::SimTransport> transport_;
-  std::vector<std::unique_ptr<StorageNode>> nodes_;
-  std::unique_ptr<net::Actor> client_actor_;
-  bool indexed_ = false;
-  std::uint64_t next_query_id_ = 1;
-  seq::SequenceId next_sequence_id_ = 0;
-  std::uint64_t database_residues_ = 0;
-  seq::Alphabet alphabet_ = seq::Alphabet::kProtein;
-
   // Filled by the client actor when a kQueryResult lands.
   struct Reply {
     std::vector<align::AlignmentHit> hits;
     double arrival = 0.0;
   };
-  std::optional<Reply> last_reply_;
+
+  void spawn_nodes(seq::Alphabet alphabet);
+  // Runs the cluster to quiescence: run_until_idle (sim) / wait_idle
+  // (threaded). Returns the virtual horizon (sim) or 0 (threaded).
+  double settle();
+  // Injection/arrival clock: virtual external time (sim), wall time
+  // (threaded).
+  double now_seconds() const;
+  bool transport_down(net::NodeId id) const;
+  // kCancelQuery to every node, deferring nodes the transport knows are
+  // down (flushed on heal_node).
+  void broadcast_cancel(std::uint64_t query_id);
+  std::optional<Reply> take_reply(std::uint64_t query_id);
+  QueryOutcome wait_sim(const QueryTicket& ticket);
+  QueryOutcome wait_threaded(const QueryTicket& ticket);
+  QueryOutcome finish_outcome(const QueryTicket& ticket,
+                              std::optional<Reply> reply);
+
+  ClientOptions options_;
+  std::unique_ptr<cluster::Topology> topology_;
+  std::unique_ptr<score::DistanceMatrix> distance_;
+  std::unique_ptr<vpt::VpPrefixTree> prefix_tree_;
+  // Exactly one of the two transports exists; transport_ points at it.
+  std::unique_ptr<net::SimTransport> sim_;
+  std::unique_ptr<net::ThreadTransport> threaded_;
+  net::Transport* transport_ = nullptr;
+  std::unique_ptr<ThreadPool> search_pool_;
+  std::vector<std::unique_ptr<StorageNode>> nodes_;
+  std::unique_ptr<net::Actor> client_actor_;
+  bool indexed_ = false;
+  bool started_ = false;  // threaded workers running
+  std::atomic<std::uint64_t> next_query_id_{1};
+  seq::SequenceId next_sequence_id_ = 0;
+  std::uint64_t database_residues_ = 0;
+  seq::Alphabet alphabet_ = seq::Alphabet::kProtein;
+
+  // Per-query_id reply table: the client actor files results here; wait()
+  // redeems tickets against it. Guarded by reply_mu_ (the actor runs on a
+  // transport thread in kThreaded mode).
+  std::mutex reply_mu_;
+  std::condition_variable reply_cv_;
+  std::unordered_map<std::uint64_t, Reply> replies_;
+
+  // Cancels not deliverable because the target was down, keyed by node.
+  std::mutex cancel_mu_;
+  std::map<net::NodeId, std::vector<std::uint64_t>> deferred_cancels_;
 };
 
 }  // namespace mendel::core

@@ -137,7 +137,11 @@ void StorageNode::on_insert_blocks(const net::Message& message) {
   // already stores.
   auto fresh = admit_blocks(std::move(payload.blocks));
   counters_.blocks_inserted += fresh.size();
-  if (!fresh.empty()) tree_.insert_batch(std::move(fresh));
+  if (!fresh.empty()) {
+    // The block set changed: cached seed lists may miss the new blocks.
+    invalidate_nn_cache();
+    tree_.insert_batch(std::move(fresh));
+  }
 }
 
 // --- sequence repository --------------------------------------------------
@@ -289,48 +293,132 @@ void StorageNode::on_group_query(const net::Message& message,
 
 // --- searcher ------------------------------------------------------------------
 
+std::string StorageNode::nn_cache_key(const vpt::Window& window,
+                                      const QueryParams& params) {
+  // Window codes first, then the raw bytes of every knob that shapes the
+  // seed list (n-NN count, filters, matrix). Equality on the full key makes
+  // collisions impossible; windows are fixed-length so the layout is
+  // unambiguous.
+  std::string key;
+  key.reserve(window.size() + sizeof(std::uint32_t) + 2 * sizeof(double) +
+              params.matrix.size() + 1);
+  key.append(reinterpret_cast<const char*>(window.data()), window.size());
+  key.append(reinterpret_cast<const char*>(&params.n), sizeof(params.n));
+  key.append(reinterpret_cast<const char*>(&params.identity),
+             sizeof(params.identity));
+  key.append(reinterpret_cast<const char*>(&params.c_score),
+             sizeof(params.c_score));
+  key.append(params.matrix);
+  return key;
+}
+
+std::vector<Seed> StorageNode::search_subquery(
+    const vpt::Window& window, const QueryParams& params,
+    const score::ScoringMatrix& matrix) const {
+  std::vector<Seed> seeds;
+  if (tree_.empty()) return seeds;
+  // The probe rides in a per-call metric so concurrent subquery searches
+  // never share mutable state; the tree itself is only read.
+  const seq::CodeSpan probe_span(window);
+  const BlockRefMetric metric{config_.distance, &arena_, &probe_span};
+  const BlockRef probe_ref{0, 0, BlockRef::kProbeSlot};
+  // Exact radius cap from the identity filter: a candidate passing
+  // identity >= i differs in at most (1-i)*k positions, each costing at
+  // most max_entry — anything farther is filtered later anyway, so the
+  // n-NN search can discard it up front.
+  const double cap = (1.0 - params.identity) *
+                     static_cast<double>(window.size()) *
+                     max_residue_distance_;
+  const auto neighbors = tree_.nearest_with(metric, probe_ref, params.n, cap);
+  for (const auto& neighbor : neighbors) {
+    const BlockRef& block = *neighbor.item;
+    const auto arena_window = arena_.span(block.slot);
+    const double identity = score::percent_identity(window, arena_window);
+    if (identity < params.identity) continue;
+    const double c = score::consecutivity_score(window, arena_window, matrix);
+    if (c < params.c_score) continue;
+    Seed seed;
+    seed.sequence = block.sequence;
+    seed.subject_start = block.start;
+    seed.query_offset = 0;  // caller rebinds to the subquery's offset
+    seed.length = static_cast<std::uint32_t>(arena_window.size());
+    seed.identity = identity;
+    seed.c_score = c;
+    seeds.push_back(seed);
+  }
+  return seeds;
+}
+
 void StorageNode::on_node_search(const net::Message& message,
                                  net::Context& ctx) {
   auto request = decode_payload<NodeSearchPayload>(message.payload);
   const auto& matrix = score::matrix_by_name(request.params.matrix);
+  const std::size_t count = request.subqueries.size();
 
-  NodeSearchResultPayload reply;
-  const BlockRef probe_ref{0, 0, BlockRef::kProbeSlot};
-  for (const Subquery& sub : request.subqueries) {
+  // Phase 1 (handler thread): resolve each subquery against the NN cache.
+  // Only misses pay for a vp-tree search.
+  std::vector<const std::vector<Seed>*> cached(count, nullptr);
+  std::vector<std::string> keys(count);
+  std::vector<std::size_t> misses;
+  const bool cache_enabled = config_.nn_cache_capacity > 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const Subquery& sub = request.subqueries[i];
     ++counters_.nn_searches;
     if (tree_.empty()) continue;
     // Lengths are checked once here; the metric then runs unchecked
     // kernels for every distance evaluation of the search.
     require(sub.window.size() == arena_.window_length(),
             "on_node_search: subquery window length mismatch");
-    probe_ = seq::CodeSpan(sub.window);
-    // Exact radius cap from the identity filter: a candidate passing
-    // identity >= i differs in at most (1-i)*k positions, each costing at
-    // most max_entry — anything farther is filtered later anyway, so the
-    // n-NN search can discard it up front.
-    const double cap = (1.0 - request.params.identity) *
-                       static_cast<double>(sub.window.size()) *
-                       max_residue_distance_;
-    const auto neighbors = tree_.nearest(probe_ref, request.params.n, cap);
-    for (const auto& neighbor : neighbors) {
-      const BlockRef& block = *neighbor.item;
-      const auto window = arena_.span(block.slot);
-      const double identity = score::percent_identity(sub.window, window);
-      if (identity < request.params.identity) continue;
-      const double c =
-          score::consecutivity_score(sub.window, window, matrix);
-      if (c < request.params.c_score) continue;
-      Seed seed;
-      seed.sequence = block.sequence;
-      seed.subject_start = block.start;
-      seed.query_offset = sub.query_offset;
-      seed.length = static_cast<std::uint32_t>(window.size());
-      seed.identity = identity;
-      seed.c_score = c;
+    if (cache_enabled) {
+      keys[i] = nn_cache_key(sub.window, request.params);
+      auto it = nn_cache_.find(keys[i]);
+      if (it != nn_cache_.end()) {
+        ++counters_.nn_cache_hits;
+        cached[i] = &it->second;
+        continue;
+      }
+      ++counters_.nn_cache_misses;
+    }
+    misses.push_back(i);
+  }
+
+  // Phase 2: fan the cache misses across the shared pool (serial without
+  // one). Each task writes its own slot of `fresh`; the join publishes the
+  // writes back to the handler thread.
+  std::vector<std::vector<Seed>> fresh(count);
+  auto search_one = [&](std::size_t j) {
+    const std::size_t i = misses[j];
+    fresh[i] = search_subquery(request.subqueries[i].window, request.params,
+                               matrix);
+  };
+  if (config_.search_pool != nullptr && misses.size() > 1) {
+    config_.search_pool->parallel_for(misses.size(), search_one);
+  } else {
+    for (std::size_t j = 0; j < misses.size(); ++j) search_one(j);
+  }
+
+  // Phase 3 (handler thread): emit every subquery's seeds in subquery
+  // order — byte-identical to the serial path regardless of pool size or
+  // hit/miss pattern — then admit the fresh results into the cache.
+  NodeSearchResultPayload reply;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::vector<Seed>* seeds = cached[i] != nullptr ? cached[i]
+                                                          : &fresh[i];
+    const std::uint32_t offset = request.subqueries[i].query_offset;
+    for (Seed seed : *seeds) {
+      seed.query_offset = offset;
       reply.seeds.push_back(seed);
     }
   }
-  probe_ = {};
+  if (cache_enabled) {
+    for (std::size_t i : misses) {
+      if (nn_cache_.size() >= config_.nn_cache_capacity) {
+        // Wholesale eviction: simple, rare, and never serves stale seeds.
+        nn_cache_.clear();
+      }
+      nn_cache_[std::move(keys[i])] = std::move(fresh[i]);
+    }
+  }
   counters_.seeds_emitted += reply.seeds.size();
   ctx.send(message.from, kNodeSearchResult, message.request_id,
            encode_payload(reply));
@@ -716,6 +804,8 @@ void StorageNode::on_fetch_range_result(const net::Message& message,
 
 void StorageNode::on_rebalance(net::Context& ctx) {
   const std::uint32_t group = config_.topology->address(id_).group;
+  // Ownership may move blocks either way; drop every cached seed list.
+  invalidate_nn_cache();
 
   // Blocks: ship everything whose owner set no longer includes this node,
   // then compact the survivors into a fresh arena + tree (slots are
@@ -810,7 +900,10 @@ void StorageNode::load(CodecReader& reader) {
   // inserted/stored counters track work done since startup).
   auto fresh = admit_blocks(std::move(blocks));
   counters_.blocks_restored += fresh.size();
-  if (!fresh.empty()) tree_.insert_batch(std::move(fresh));
+  if (!fresh.empty()) {
+    invalidate_nn_cache();
+    tree_.insert_batch(std::move(fresh));
+  }
   const std::uint32_t count = reader.u32();
   for (std::uint32_t i = 0; i < count; ++i) {
     const std::uint32_t sid = reader.u32();

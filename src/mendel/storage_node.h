@@ -20,18 +20,23 @@
 // The class is transport-agnostic: the same code runs under the
 // deterministic SimTransport and the thread-per-node ThreadTransport. All
 // mutable state is only touched from handle(), which both transports call
-// from a single thread per node.
+// from a single thread per node. The one intra-handler concurrency is the
+// subquery fan-out in on_node_search: pool tasks only *read* the vp-tree
+// and arena (each with a private probe metric) and write disjoint slots of
+// a local result vector; counters and the NN cache stay handler-thread-only.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <optional>
 #include <set>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "src/cluster/topology.h"
+#include "src/common/thread_pool.h"
 #include "src/mendel/protocol.h"
 #include "src/net/message.h"
 #include "src/scoring/distance.h"
@@ -51,6 +56,14 @@ struct StorageNodeConfig {
   // Total residues across the indexed database; set by the client after
   // indexing (used for Karlin–Altschul E-values at the coordinator).
   std::uint64_t database_residues = 0;
+  // Shared worker pool for intra-node subquery fan-out in on_node_search.
+  // nullptr keeps the serial path. Either way the seed lists are merged in
+  // subquery order, so replies are byte-identical for every pool size.
+  ThreadPool* search_pool = nullptr;
+  // Entries held by the node-local subquery NN cache (0 disables caching).
+  // Query windows are stride-k k-mers, so concurrent and repeated queries
+  // share windows; a hit skips the vp-tree search entirely.
+  std::size_t nn_cache_capacity = 4096;
 };
 
 // Per-node work counters (telemetry for benches and tests).
@@ -62,6 +75,10 @@ struct NodeCounters {
   std::uint64_t blocks_restored = 0;
   std::uint64_t sequences_restored = 0;
   std::uint64_t nn_searches = 0;
+  // Subquery searches answered from the node-local NN cache (subset of
+  // nn_searches) and the complement that ran a fresh vp-tree search.
+  std::uint64_t nn_cache_hits = 0;
+  std::uint64_t nn_cache_misses = 0;
   std::uint64_t seeds_emitted = 0;
   std::uint64_t fetches_served = 0;
   std::uint64_t group_queries = 0;
@@ -83,6 +100,14 @@ class StorageNode final : public net::Actor {
   // uses the cluster-wide max as its id watermark after load_index().
   seq::SequenceId max_sequence_id_plus_one() const;
   const NodeCounters& counters() const { return counters_; }
+
+  // Outstanding query state machines (leak detection in tests: after every
+  // query completed or was cancelled, both must be zero on every node).
+  std::size_t pending_group_queries() const { return group_pending_.size(); }
+  std::size_t pending_coordinator_queries() const {
+    return coord_pending_.size();
+  }
+  std::size_t nn_cache_entries() const { return nn_cache_.size(); }
 
   // Membership view for fault tolerance: nodes marked down are excluded
   // from fan-outs and home-node selection. (The paper leaves fault
@@ -227,6 +252,19 @@ class StorageNode final : public net::Actor {
   // Reconstitutes the wire-format Block of a stored ref (codec paths).
   Block materialize(const BlockRef& ref) const;
 
+  // One subquery's filtered n-NN search over the local tree. Thread-safe
+  // with respect to other searches (the tree is only read; the probe rides
+  // in a per-call metric, not in the shared probe_ slot). Emitted seeds
+  // carry query_offset = 0 so the result is cacheable across subqueries
+  // and queries that share the window.
+  std::vector<Seed> search_subquery(const vpt::Window& window,
+                                    const QueryParams& params,
+                                    const score::ScoringMatrix& matrix) const;
+  // Cache key: window codes + every parameter that shapes the seed list.
+  static std::string nn_cache_key(const vpt::Window& window,
+                                  const QueryParams& params);
+  void invalidate_nn_cache() { nn_cache_.clear(); }
+
   net::NodeId id_;
   StorageNodeConfig config_;
   double max_residue_distance_ = 0.0;  // cached distance->max_entry()
@@ -244,6 +282,13 @@ class StorageNode final : public net::Actor {
 
   std::map<std::uint64_t, PendingGroupQuery> group_pending_;
   std::map<std::uint64_t, PendingQuery> coord_pending_;
+
+  // Node-local subquery NN cache: key = window codes + search params,
+  // value = the filtered seed list with query_offset zeroed. Only touched
+  // from the handler thread (lookups before the pool fan-out, insertions
+  // after it joins), so it needs no lock. Invalidated whenever the local
+  // block set changes (insert, rebalance, load).
+  std::unordered_map<std::string, std::vector<Seed>> nn_cache_;
 };
 
 }  // namespace mendel::core

@@ -93,4 +93,9 @@ double SimTransport::node_clock(NodeId id) const {
 void SimTransport::fail_node(NodeId id) { failed_[id] = true; }
 void SimTransport::heal_node(NodeId id) { failed_[id] = false; }
 
+bool SimTransport::node_down(NodeId id) const {
+  auto it = failed_.find(id);
+  return it != failed_.end() && it->second;
+}
+
 }  // namespace mendel::net

@@ -79,6 +79,7 @@ class SimTransport final : public Transport {
   // dropped_messages().
   void fail_node(NodeId id);
   void heal_node(NodeId id);
+  bool node_down(NodeId id) const;
   std::uint64_t dropped_messages() const { return dropped_; }
 
  private:

@@ -38,18 +38,31 @@ void ThreadTransport::send(Message message) {
     throw ProtocolError("ThreadTransport: send to unregistered node " +
                         std::to_string(message.to));
   }
-  {
-    std::lock_guard lock(stats_mu_);
-    stats_.messages += 1;
-    stats_.bytes += message.wire_size();
+  Mailbox* mailbox = it->second.get();
+  // The sender pays the traffic either way (parity with SimTransport, which
+  // counts at send and drops at delivery).
+  messages_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(message.wire_size(), std::memory_order_relaxed);
+  if (mailbox->failed.load(std::memory_order_relaxed)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
   }
   inflight_.fetch_add(1, std::memory_order_acq_rel);
-  Mailbox* mailbox = it->second.get();
   {
     std::lock_guard lock(mailbox->mu);
     mailbox->queue.push_back(std::move(message));
   }
   mailbox->cv.notify_one();
+}
+
+void ThreadTransport::record_error(std::string what) {
+  std::lock_guard lock(errors_mu_);
+  errors_.push_back(std::move(what));
+}
+
+std::vector<std::string> ThreadTransport::handler_errors() const {
+  std::lock_guard lock(errors_mu_);
+  return errors_;
 }
 
 void ThreadTransport::worker_loop(NodeId id, Actor* actor, Mailbox* mailbox) {
@@ -71,9 +84,16 @@ void ThreadTransport::worker_loop(NodeId id, Actor* actor, Mailbox* mailbox) {
             std::chrono::steady_clock::now().time_since_epoch())
             .count();
     Context ctx(this, id, now);
-    // A throwing handler would deadlock drain_and_stop(); surface the
-    // failure loudly instead.
-    actor->handle(message, ctx);
+    // A throwing handler must still decrement inflight_, or drain_and_stop()
+    // would wait forever on a count that can no longer reach zero. Record
+    // the failure for the caller and keep the worker serving its mailbox.
+    try {
+      actor->handle(message, ctx);
+    } catch (const std::exception& e) {
+      record_error("node " + std::to_string(id) + ": " + e.what());
+    } catch (...) {
+      record_error("node " + std::to_string(id) + ": unknown handler error");
+    }
     if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::lock_guard lock(idle_mu_);
       idle_cv_.notify_all();
@@ -81,15 +101,18 @@ void ThreadTransport::worker_loop(NodeId id, Actor* actor, Mailbox* mailbox) {
   }
 }
 
+void ThreadTransport::wait_idle() {
+  require(started_, "ThreadTransport: wait_idle before start()");
+  std::unique_lock lock(idle_mu_);
+  idle_cv_.wait(lock, [this] {
+    return inflight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
 void ThreadTransport::drain_and_stop() {
   require(started_, "ThreadTransport: drain before start()");
   require(!stopped_, "ThreadTransport: drained twice");
-  {
-    std::unique_lock lock(idle_mu_);
-    idle_cv_.wait(lock, [this] {
-      return inflight_.load(std::memory_order_acquire) == 0;
-    });
-  }
+  wait_idle();
   for (auto& [id, mailbox] : mailboxes_) {
     std::lock_guard lock(mailbox->mu);
     mailbox->stop = true;
@@ -100,8 +123,28 @@ void ThreadTransport::drain_and_stop() {
 }
 
 NetworkStats ThreadTransport::stats() const {
-  std::lock_guard lock(stats_mu_);
-  return stats_;
+  NetworkStats stats;
+  stats.messages = messages_.load(std::memory_order_relaxed);
+  stats.bytes = bytes_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void ThreadTransport::fail_node(NodeId id) {
+  auto it = mailboxes_.find(id);
+  require(it != mailboxes_.end(), "ThreadTransport: fail unknown node");
+  it->second->failed.store(true, std::memory_order_relaxed);
+}
+
+void ThreadTransport::heal_node(NodeId id) {
+  auto it = mailboxes_.find(id);
+  require(it != mailboxes_.end(), "ThreadTransport: heal unknown node");
+  it->second->failed.store(false, std::memory_order_relaxed);
+}
+
+bool ThreadTransport::node_down(NodeId id) const {
+  auto it = mailboxes_.find(id);
+  return it != mailboxes_.end() &&
+         it->second->failed.load(std::memory_order_relaxed);
 }
 
 }  // namespace mendel::net

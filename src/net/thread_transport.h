@@ -4,8 +4,10 @@
 // Actor code under genuine parallel execution and real memory visibility,
 // which the integration tests use to confirm that the cluster protocol is
 // free of ordering assumptions that only hold in the single-threaded
-// simulator. It reports wall-clock time, not virtual time, so it is not
-// used for the scalability figures (see sim_transport.h for why).
+// simulator, and which the concurrent query pipeline (Client in
+// TransportMode::kThreaded) uses to serve many in-flight queries at once.
+// It reports wall-clock time, not virtual time, so it is not used for the
+// scalability figures (see sim_transport.h for why).
 #pragma once
 
 #include <atomic>
@@ -14,7 +16,9 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "src/net/message.h"
 
@@ -34,8 +38,22 @@ class ThreadTransport final : public Transport {
   // Spawns one worker thread per registered actor.
   void start();
 
-  // Thread-safe; may be called from handlers or from outside.
+  // Thread-safe; may be called from handlers or from outside. Messages to
+  // failed nodes are dropped (counted in dropped_messages()).
   void send(Message message) override;
+
+  // Blocks until every mailbox is empty and no handler is running. Unlike
+  // drain_and_stop(), the workers keep running — callers use this as the
+  // quiescence barrier between pipeline phases (indexing, query batches).
+  void wait_idle();
+
+  // True when no message is queued or being handled. With causally chained
+  // protocols (every in-flight message was sent either externally or from a
+  // running handler) this can only be observed between complete dataflows,
+  // so the concurrent client uses it to detect stalled queries.
+  bool idle() const {
+    return inflight_.load(std::memory_order_acquire) == 0;
+  }
 
   // Blocks until every mailbox is empty and no handler is running, then
   // stops all workers. Safe to call once.
@@ -43,15 +61,31 @@ class ThreadTransport final : public Transport {
 
   NetworkStats stats() const override;
 
+  // --- fault injection (mirrors SimTransport) ---------------------------
+  // A failed node's inbound messages are dropped at send() time.
+  void fail_node(NodeId id);
+  void heal_node(NodeId id);
+  bool node_down(NodeId id) const;
+  std::uint64_t dropped_messages() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  // Errors thrown by actor handlers. A throwing handler must not wedge the
+  // quiescence accounting (that would deadlock drain_and_stop()), so the
+  // worker loop catches, records here, and keeps serving its mailbox.
+  std::vector<std::string> handler_errors() const;
+
  private:
   struct Mailbox {
     std::mutex mu;
     std::condition_variable cv;
     std::deque<Message> queue;
     bool stop = false;
+    std::atomic<bool> failed{false};
   };
 
   void worker_loop(NodeId id, Actor* actor, Mailbox* mailbox);
+  void record_error(std::string what);
 
   std::map<NodeId, Actor*> actors_;
   std::map<NodeId, std::unique_ptr<Mailbox>> mailboxes_;
@@ -65,8 +99,15 @@ class ThreadTransport final : public Transport {
   std::mutex idle_mu_;
   std::condition_variable idle_cv_;
 
-  mutable std::mutex stats_mu_;
-  NetworkStats stats_;
+  // Traffic accounting is lock-free: send() is the cross-node hot path and
+  // only ever bumps these counters, so relaxed atomics replace the old
+  // stats mutex.
+  std::atomic<std::uint64_t> messages_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+
+  mutable std::mutex errors_mu_;
+  std::vector<std::string> errors_;
 };
 
 }  // namespace mendel::net

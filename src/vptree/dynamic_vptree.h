@@ -166,10 +166,24 @@ class DynamicVpTree {
   std::vector<Neighbor<T>> nearest(
       const T& target, std::size_t n,
       double max_distance = std::numeric_limits<double>::infinity()) const {
+    return nearest_with(metric_, target, n, max_distance);
+  }
+
+  // Like nearest(), but evaluated through a caller-supplied metric instance.
+  // The tree's own metric often routes probe elements through shared mutable
+  // state (e.g. a per-node probe span); passing a per-search metric makes
+  // concurrent searches over one (unchanging) tree safe — the structure is
+  // only read, and every distance evaluation goes through `metric`.
+  // `metric` must agree with the build metric on stored-element pairs, or
+  // pruning bounds recorded at build time would be inadmissible.
+  template <typename M>
+  std::vector<Neighbor<T>> nearest_with(
+      const M& metric, const T& target, std::size_t n,
+      double max_distance = std::numeric_limits<double>::infinity()) const {
     std::vector<Neighbor<T>> out;
     if (n == 0 || !root_) return out;
     KnnState state{n, max_distance, {}};
-    search(root_.get(), target, state);
+    search(metric, root_.get(), target, state);
     out.reserve(state.heap.size());
     while (!state.heap.empty()) {
       out.push_back(state.heap.top());
@@ -464,22 +478,24 @@ class DynamicVpTree {
     for_each_node(node->right.get(), fn);
   }
 
-  void search(const Node* node, const T& target, KnnState& state) const {
+  template <typename M>
+  void search(const M& metric, const Node* node, const T& target,
+              KnnState& state) const {
     if (node == nullptr) return;
     if (node->is_leaf()) {
       for (const T& item : node->bucket) {
-        if constexpr (has_bounded_metric<Metric>) {
+        if constexpr (has_bounded_metric<M>) {
           const double tau = state.tau();
-          const double d = metric_.bounded(target, item, tau);
+          const double d = metric.bounded(target, item, tau);
           if (d <= tau) state.offer(&item, d);
         } else {
-          state.offer(&item, metric_(target, item));
+          state.offer(&item, metric(target, item));
         }
       }
       return;
     }
     double d;
-    if constexpr (has_bounded_metric<Metric>) {
+    if constexpr (has_bounded_metric<M>) {
       // A vantage point farther than max(mu, child maxima) + tau offers
       // nothing: it is outside tau itself and the tau-ball cannot reach
       // either child's [*, max] interval, so the whole subtree is pruned
@@ -487,10 +503,10 @@ class DynamicVpTree {
       const double bound =
           std::max(node->mu, std::max(node->left_max, node->right_max)) +
           state.tau();
-      d = metric_.bounded(target, node->vantage, bound);
+      d = metric.bounded(target, node->vantage, bound);
       if (d > bound) return;
     } else {
-      d = metric_(target, node->vantage);
+      d = metric(target, node->vantage);
     }
     state.offer(&node->vantage, d);
     const Node* near = d <= node->mu ? node->left.get() : node->right.get();
@@ -503,10 +519,10 @@ class DynamicVpTree {
       return d - tau <= hi && d + tau >= lo;
     };
     if (near != nullptr && near->size > 0 && may_contain(near_is_left)) {
-      search(near, target, state);
+      search(metric, near, target, state);
     }
     if (far != nullptr && far->size > 0 && may_contain(!near_is_left)) {
-      search(far, target, state);
+      search(metric, far, target, state);
     }
   }
 

@@ -279,6 +279,54 @@ TEST(ThreadTransport, RegisterAfterStartThrows) {
   transport.drain_and_stop();
 }
 
+TEST(ThreadTransport, ThrowingHandlerRecordsErrorAndStillDrains) {
+  // A handler that throws must not wedge the in-flight accounting: the
+  // worker records the error, keeps serving its mailbox, and the drain
+  // barrier still completes (a wedged counter would deadlock here).
+  ThreadTransport transport;
+  std::atomic<int> survived{0};
+  FunctionActor flaky([&](const Message& m, Context&) {
+    if (m.request_id % 2 == 0) throw std::runtime_error("boom");
+    ++survived;
+  });
+  transport.register_actor(3, &flaky);
+  transport.start();
+  for (int i = 0; i < 10; ++i) transport.send(make(0xff, 3, 1, i));
+  transport.drain_and_stop();
+
+  EXPECT_EQ(survived.load(), 5);
+  const auto errors = transport.handler_errors();
+  ASSERT_EQ(errors.size(), 5u);
+  EXPECT_NE(errors[0].find("node 3"), std::string::npos);
+  EXPECT_NE(errors[0].find("boom"), std::string::npos);
+  EXPECT_TRUE(transport.idle());
+}
+
+TEST(ThreadTransport, FailedNodeDropsMessagesUntilHealed) {
+  ThreadTransport transport;
+  std::atomic<int> received{0};
+  FunctionActor sink([&](const Message&, Context&) { ++received; });
+  transport.register_actor(1, &sink);
+  transport.start();
+
+  EXPECT_FALSE(transport.node_down(1));
+  transport.fail_node(1);
+  EXPECT_TRUE(transport.node_down(1));
+  for (int i = 0; i < 4; ++i) transport.send(make(0xff, 1, 1));
+  transport.wait_idle();
+  EXPECT_EQ(received.load(), 0);
+  EXPECT_EQ(transport.dropped_messages(), 4u);
+  // Drops still count as traffic the sender paid for.
+  EXPECT_EQ(transport.stats().messages, 4u);
+
+  transport.heal_node(1);
+  EXPECT_FALSE(transport.node_down(1));
+  transport.send(make(0xff, 1, 1));
+  transport.drain_and_stop();
+  EXPECT_EQ(received.load(), 1);
+  EXPECT_EQ(transport.dropped_messages(), 4u);
+}
+
 TEST(ThreadTransport, StatsAreThreadSafe) {
   ThreadTransport transport;
   FunctionActor ping([](const Message& m, Context& ctx) {

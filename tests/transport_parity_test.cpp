@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <future>
+#include <thread>
 
 #include "src/mendel/client.h"
 #include "src/mendel/indexer.h"
@@ -121,6 +122,100 @@ TEST(TransportParity, SimAndThreadedProduceIdenticalHits) {
               threaded.hits[i].alignment.hsp.score);
     EXPECT_EQ(sim.hits[i].alignment.cigar, threaded.hits[i].alignment.cigar);
     EXPECT_DOUBLE_EQ(sim.hits[i].evalue, threaded.hits[i].evalue);
+  }
+}
+
+core::ClientOptions parity_options(core::TransportMode mode) {
+  core::ClientOptions options;
+  options.topology.num_groups = 3;
+  options.topology.nodes_per_group = 2;
+  options.indexing.window_length = 8;
+  options.indexing.sample_size = 256;
+  options.prefix_tree.cutoff_depth = 4;
+  options.cost.measured_cpu = false;
+  options.transport_mode = mode;
+  return options;
+}
+
+std::vector<seq::Sequence> parity_queries(const seq::SequenceStore& store) {
+  std::vector<seq::Sequence> queries;
+  for (std::size_t donor : {2u, 5u, 9u, 2u}) {  // duplicate exercises cache
+    const auto region = store.at(donor).window(5, 110);
+    queries.emplace_back(store.alphabet(),
+                         "probe" + std::to_string(queries.size()),
+                         std::vector<seq::Code>{region.begin(), region.end()});
+  }
+  return queries;
+}
+
+void expect_same_hits(const core::QueryOutcome& a, const core::QueryOutcome& b) {
+  ASSERT_EQ(a.hits.size(), b.hits.size());
+  for (std::size_t i = 0; i < a.hits.size(); ++i) {
+    EXPECT_EQ(a.hits[i].subject_id, b.hits[i].subject_id);
+    EXPECT_EQ(a.hits[i].alignment.hsp.score, b.hits[i].alignment.hsp.score);
+    EXPECT_EQ(a.hits[i].alignment.cigar, b.hits[i].alignment.cigar);
+    EXPECT_DOUBLE_EQ(a.hits[i].evalue, b.hits[i].evalue);
+  }
+}
+
+TEST(TransportParity, ConcurrentBatchMatchesSimBatch) {
+  // The full concurrent pipeline: a threaded-mode Client admits a whole
+  // batch (queries genuinely overlap across node threads, with intra-node
+  // fan-out and the NN cache active) and must produce exactly the ranked
+  // hit sets the deterministic simulator produces.
+  const auto store = workload::generate_database(spec());
+  const auto queries = parity_queries(store);
+
+  core::Client sim_client(parity_options(core::TransportMode::kSim));
+  sim_client.index(store);
+  const auto sim_outcomes = sim_client.query_batch(queries);
+
+  auto threaded_options = parity_options(core::TransportMode::kThreaded);
+  threaded_options.search_threads = 2;
+  core::Client threaded_client(threaded_options);
+  threaded_client.index(store);
+  const auto threaded_outcomes = threaded_client.query_batch(queries);
+
+  ASSERT_EQ(sim_outcomes.size(), threaded_outcomes.size());
+  for (std::size_t i = 0; i < sim_outcomes.size(); ++i) {
+    EXPECT_TRUE(sim_outcomes[i].completed);
+    EXPECT_TRUE(threaded_outcomes[i].completed);
+    expect_same_hits(sim_outcomes[i], threaded_outcomes[i]);
+  }
+  EXPECT_EQ(threaded_client.thread_transport().handler_errors().size(), 0u);
+}
+
+TEST(TransportParity, ManyThreadsDrivingSubmitWaitAgreeWithSim) {
+  // Multi-query admission from concurrent application threads: each thread
+  // owns one submit/wait pair; results must still match the simulator
+  // query-for-query.
+  const auto store = workload::generate_database(spec());
+  const auto queries = parity_queries(store);
+
+  core::Client sim_client(parity_options(core::TransportMode::kSim));
+  sim_client.index(store);
+  std::vector<core::QueryOutcome> sim_outcomes;
+  for (const auto& query : queries) {
+    sim_outcomes.push_back(sim_client.query(query));
+  }
+
+  core::Client threaded_client(
+      parity_options(core::TransportMode::kThreaded));
+  threaded_client.index(store);
+  std::vector<core::QueryOutcome> threaded_outcomes(queries.size());
+  {
+    std::vector<std::thread> drivers;
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      drivers.emplace_back([&, i] {
+        threaded_outcomes[i] = threaded_client.query(queries[i]);
+      });
+    }
+    for (auto& driver : drivers) driver.join();
+  }
+
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_TRUE(threaded_outcomes[i].completed);
+    expect_same_hits(sim_outcomes[i], threaded_outcomes[i]);
   }
 }
 
