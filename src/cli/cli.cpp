@@ -70,7 +70,7 @@ seq::SequenceStore load_store(const std::string& path,
   std::ifstream in(path);
   if (!in) throw IoError("cannot open FASTA file: " + path);
   seq::load_fasta(in, store);
-  require(store.size() > 0, "FASTA file holds no sequences: " + path);
+  require(!store.empty(), "FASTA file holds no sequences: " + path);
   return store;
 }
 

@@ -1,0 +1,50 @@
+// Clang thread-safety analysis annotations.
+//
+// Wraps Clang's capability attributes (-Wthread-safety) behind MENDEL_*
+// macros so mutex-protected members can declare which lock guards them:
+//
+//   std::mutex mu_;
+//   std::deque<Task> queue_ MENDEL_GUARDED_BY(mu_);
+//
+//   void push(Task t) MENDEL_EXCLUDES(mu_);   // acquires mu_ internally
+//   void drain_locked() MENDEL_REQUIRES(mu_); // caller must hold mu_
+//
+// Under Clang the analysis verifies every access at compile time; other
+// compilers see empty macros, so the annotations are portable
+// documentation. Enable enforcement with -DMENDEL_THREAD_SAFETY=ON (adds
+// -Wthread-safety -Werror=thread-safety-analysis on Clang builds; see the
+// top-level CMakeLists).
+//
+// Note: the analysis only fires when the standard library's mutex types
+// carry capability attributes (libc++ does; libstdc++ does not), so the CI
+// thread-safety job builds with clang++ -stdlib=libc++ where available.
+#pragma once
+
+// Capability arguments must reach the attribute unparenthesized.
+// NOLINTBEGIN(bugprone-macro-parentheses)
+#if defined(__clang__) && defined(__has_attribute)
+#define MENDEL_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define MENDEL_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+// Member annotations: the declared field may only be read or written while
+// holding the named mutex (or, for _PT, the pointed-to data).
+#define MENDEL_GUARDED_BY(x) MENDEL_THREAD_ANNOTATION_(guarded_by(x))
+#define MENDEL_PT_GUARDED_BY(x) MENDEL_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// Function annotations: lock preconditions and effects.
+#define MENDEL_REQUIRES(...) \
+  MENDEL_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define MENDEL_EXCLUDES(...) \
+  MENDEL_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define MENDEL_ACQUIRE(...) \
+  MENDEL_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define MENDEL_RELEASE(...) \
+  MENDEL_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+// Escape hatch for functions the analysis cannot model (e.g. condition
+// variable predicates evaluated under a lock the analysis cannot see).
+#define MENDEL_NO_THREAD_SAFETY_ANALYSIS \
+  MENDEL_THREAD_ANNOTATION_(no_thread_safety_analysis)
+// NOLINTEND(bugprone-macro-parentheses)

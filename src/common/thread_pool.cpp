@@ -29,12 +29,11 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
+      // Explicit wait loop (not a predicate lambda) so Clang's
+      // thread-safety analysis can see queue_/stop_ accessed under mu_.
       std::unique_lock lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (stop_) return;
-        continue;
-      }
+      while (!stop_ && queue_.empty()) cv_.wait(lock);
+      if (queue_.empty()) return;  // stop_ && drained
       task = std::move(queue_.front());
       queue_.pop_front();
     }

@@ -17,6 +17,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
+
 namespace mendel {
 
 class ThreadPool {
@@ -36,7 +38,8 @@ class ThreadPool {
   // Enqueue a callable; returns a future for its result. Safe to call from
   // any thread, including from within a task.
   template <typename F>
-  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>>
+      MENDEL_EXCLUDES(mu_) {
     using R = std::invoke_result_t<F>;
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
@@ -54,13 +57,13 @@ class ThreadPool {
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
-  void worker_loop();
+  void worker_loop() MENDEL_EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
   std::mutex mu_;
   std::condition_variable cv_;
-  bool stop_ = false;
+  std::deque<std::function<void()>> queue_ MENDEL_GUARDED_BY(mu_);
+  bool stop_ MENDEL_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace mendel

@@ -10,7 +10,7 @@ HashRing::HashRing(std::size_t virtual_nodes) : virtual_nodes_(virtual_nodes) {
 }
 
 void HashRing::add_member(std::uint32_t member, const std::string& label) {
-  require(positions_.find(member) == positions_.end(),
+  require(!positions_.contains(member),
           "HashRing member already present");
   std::vector<std::uint64_t> placed;
   placed.reserve(virtual_nodes_);
@@ -19,7 +19,7 @@ void HashRing::add_member(std::uint32_t member, const std::string& label) {
         sha1_prefix64(label + "#" + std::to_string(v));
     // Collisions across members are vanishingly rare but would silently
     // unbalance the ring; probe linearly until free.
-    while (ring_.find(position) != ring_.end()) ++position;
+    while (ring_.contains(position)) ++position;
     ring_.emplace(position, member);
     placed.push_back(position);
   }

@@ -89,7 +89,7 @@ bool Client::transport_down(net::NodeId id) const {
 
 IndexReport Client::index(const seq::SequenceStore& store) {
   require(!indexed_, "Client::index: already indexed");
-  require(store.size() > 0, "Client::index: empty store");
+  require(!store.empty(), "Client::index: empty store");
 
   topology_ = std::make_unique<cluster::Topology>(options_.topology);
   distance_ = std::make_unique<score::DistanceMatrix>(
@@ -120,7 +120,7 @@ seq::SequenceId Client::add_sequences(const seq::SequenceStore& more) {
   require(indexed_, "Client::add_sequences before index()/load_index()");
   require(more.alphabet() == alphabet_,
           "Client::add_sequences: alphabet mismatch");
-  require(more.size() > 0, "Client::add_sequences: empty store");
+  require(!more.empty(), "Client::add_sequences: empty store");
   const seq::SequenceId base = next_sequence_id_;
 
   Indexer indexer(topology_.get(), distance_.get(), options_.indexing);
@@ -267,11 +267,15 @@ QueryOutcome Client::wait_threaded(const QueryTicket& ticket) {
   std::optional<Reply> reply;
   for (;;) {
     {
+      // Explicit re-check after a bounded wait (not a predicate lambda) so
+      // the thread-safety analysis can see replies_ accessed under the
+      // lock; the outer loop absorbs spurious wakeups and timeouts.
       std::unique_lock lock(reply_mu_);
-      reply_cv_.wait_for(lock, std::chrono::milliseconds(2), [&] {
-        return replies_.find(ticket.id) != replies_.end();
-      });
       auto it = replies_.find(ticket.id);
+      if (it == replies_.end()) {
+        reply_cv_.wait_for(lock, std::chrono::milliseconds(2));
+        it = replies_.find(ticket.id);
+      }
       if (it != replies_.end()) {
         reply = std::move(it->second);
         replies_.erase(it);
@@ -359,6 +363,16 @@ net::ThreadTransport& Client::thread_transport() {
 StorageNode& Client::node(net::NodeId id) {
   require(id < nodes_.size(), "Client::node: id out of range");
   return *nodes_[id];
+}
+
+const StorageNode& Client::node(net::NodeId id) const {
+  require(id < nodes_.size(), "Client::node: id out of range");
+  return *nodes_[id];
+}
+
+const vpt::VpPrefixTree& Client::prefix_tree() const {
+  require(prefix_tree_ != nullptr, "Client::prefix_tree before index()");
+  return *prefix_tree_;
 }
 
 void Client::fail_node(net::NodeId id) {

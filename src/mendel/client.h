@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "src/cluster/topology.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/thread_pool.h"
 #include "src/mendel/indexer.h"
 #include "src/mendel/params.h"
@@ -157,6 +158,11 @@ class Client {
   // The threaded instance (TransportMode::kThreaded only).
   net::ThreadTransport& thread_transport();
   StorageNode& node(net::NodeId id);
+  const StorageNode& node(net::NodeId id) const;
+  std::size_t node_count() const { return nodes_.size(); }
+  // Routing prefix tree, valid once indexed (verify tooling re-hashes
+  // stored blocks against it during placement audits).
+  const vpt::VpPrefixTree& prefix_tree() const;
 
   // --- fault tolerance (paper §VII-B future work) -------------------------
   // Marks a node failed: the transport drops its traffic and every other
@@ -194,8 +200,9 @@ class Client {
   bool transport_down(net::NodeId id) const;
   // kCancelQuery to every node, deferring nodes the transport knows are
   // down (flushed on heal_node).
-  void broadcast_cancel(std::uint64_t query_id);
-  std::optional<Reply> take_reply(std::uint64_t query_id);
+  void broadcast_cancel(std::uint64_t query_id) MENDEL_EXCLUDES(cancel_mu_);
+  std::optional<Reply> take_reply(std::uint64_t query_id)
+      MENDEL_EXCLUDES(reply_mu_);
   QueryOutcome wait_sim(const QueryTicket& ticket);
   QueryOutcome wait_threaded(const QueryTicket& ticket);
   QueryOutcome finish_outcome(const QueryTicket& ticket,
@@ -224,11 +231,13 @@ class Client {
   // transport thread in kThreaded mode).
   std::mutex reply_mu_;
   std::condition_variable reply_cv_;
-  std::unordered_map<std::uint64_t, Reply> replies_;
+  std::unordered_map<std::uint64_t, Reply> replies_
+      MENDEL_GUARDED_BY(reply_mu_);
 
   // Cancels not deliverable because the target was down, keyed by node.
   std::mutex cancel_mu_;
-  std::map<net::NodeId, std::vector<std::uint64_t>> deferred_cancels_;
+  std::map<net::NodeId, std::vector<std::uint64_t>> deferred_cancels_
+      MENDEL_GUARDED_BY(cancel_mu_);
 };
 
 }  // namespace mendel::core

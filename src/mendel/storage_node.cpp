@@ -4,6 +4,7 @@
 
 #include "src/align/banded.h"
 #include "src/align/ungapped.h"
+#include "src/common/check.h"
 #include "src/common/error.h"
 #include "src/mendel/anchors.h"
 #include "src/scoring/matrix.h"
@@ -37,6 +38,11 @@ std::vector<StorageNode::BlockRef> StorageNode::admit_blocks(
 }
 
 Block StorageNode::materialize(const BlockRef& ref) const {
+  MENDEL_DCHECK(ref.slot < arena_.size(),
+                "node " << id_ << ": block (seq " << ref.sequence
+                        << ", start " << ref.start << ") references arena "
+                        << "slot " << ref.slot << " past the arena end "
+                        << arena_.size());
   Block block;
   block.sequence = ref.sequence;
   block.start = ref.start;
@@ -140,7 +146,13 @@ void StorageNode::on_insert_blocks(const net::Message& message) {
   if (!fresh.empty()) {
     // The block set changed: cached seed lists may miss the new blocks.
     invalidate_nn_cache();
+#ifdef MENDEL_CHECKED
+    const auto admitted = fresh;
+#endif
     tree_.insert_batch(std::move(fresh));
+#ifdef MENDEL_CHECKED
+    checked_audit_fresh(admitted);
+#endif
   }
 }
 
@@ -361,25 +373,34 @@ void StorageNode::on_node_search(const net::Message& message,
   std::vector<std::string> keys(count);
   std::vector<std::size_t> misses;
   const bool cache_enabled = config_.nn_cache_capacity > 0;
-  for (std::size_t i = 0; i < count; ++i) {
-    const Subquery& sub = request.subqueries[i];
-    ++counters_.nn_searches;
-    if (tree_.empty()) continue;
-    // Lengths are checked once here; the metric then runs unchecked
-    // kernels for every distance evaluation of the search.
-    require(sub.window.size() == arena_.window_length(),
-            "on_node_search: subquery window length mismatch");
-    if (cache_enabled) {
-      keys[i] = nn_cache_key(sub.window, request.params);
-      auto it = nn_cache_.find(keys[i]);
-      if (it != nn_cache_.end()) {
-        ++counters_.nn_cache_hits;
-        cached[i] = &it->second;
-        continue;
+  {
+    // The handler thread is the cache's only mutator, so the pointers
+    // captured here stay valid past the lock: nothing erases or rehashes
+    // the map until the phase-3 insertion below, which runs after the last
+    // cached[] read.
+    std::lock_guard cache_lock(nn_cache_mu_);
+    for (std::size_t i = 0; i < count; ++i) {
+      const Subquery& sub = request.subqueries[i];
+      ++counters_.nn_searches;
+      if (tree_.empty()) continue;
+      // Lengths are checked once here; the metric then runs unchecked
+      // kernels for every distance evaluation of the search.
+      MENDEL_CHECK(sub.window.size() == arena_.window_length(),
+                   "node " << id_ << ": subquery " << i << " window length "
+                           << sub.window.size() << " != arena window length "
+                           << arena_.window_length());
+      if (cache_enabled) {
+        keys[i] = nn_cache_key(sub.window, request.params);
+        auto it = nn_cache_.find(keys[i]);
+        if (it != nn_cache_.end()) {
+          ++counters_.nn_cache_hits;
+          cached[i] = &it->second;
+          continue;
+        }
+        ++counters_.nn_cache_misses;
       }
-      ++counters_.nn_cache_misses;
+      misses.push_back(i);
     }
-    misses.push_back(i);
   }
 
   // Phase 2: fan the cache misses across the shared pool (serial without
@@ -411,6 +432,7 @@ void StorageNode::on_node_search(const net::Message& message,
     }
   }
   if (cache_enabled) {
+    std::lock_guard cache_lock(nn_cache_mu_);
     for (std::size_t i : misses) {
       if (nn_cache_.size() >= config_.nn_cache_capacity) {
         // Wholesale eviction: simple, rare, and never serves stale seeds.
@@ -435,6 +457,10 @@ void StorageNode::on_node_search_result(const net::Message& message,
   auto payload = decode_payload<NodeSearchResultPayload>(message.payload);
   pending.seeds.insert(pending.seeds.end(), payload.seeds.begin(),
                        payload.seeds.end());
+  MENDEL_CHECK(pending.awaiting_nodes > 0,
+               "node " << id_ << ": group query " << message.request_id
+                       << " got a search result from node " << message.from
+                       << " with none outstanding");
   if (--pending.awaiting_nodes > 0) return;
   group_entry_merge_and_fetch(message.request_id, pending, ctx);
 }
@@ -572,6 +598,10 @@ void StorageNode::on_group_result(const net::Message& message,
   auto payload = decode_payload<GroupResultPayload>(message.payload);
   pending.anchors.insert(pending.anchors.end(), payload.anchors.begin(),
                          payload.anchors.end());
+  MENDEL_CHECK(pending.awaiting_groups > 0,
+               "node " << id_ << ": query " << message.request_id
+                       << " got a group result from node " << message.from
+                       << " with none outstanding");
   if (--pending.awaiting_groups > 0) return;
   coordinator_bin_and_fetch(message.request_id, pending, ctx);
 }
@@ -783,6 +813,11 @@ void StorageNode::on_fetch_range_result(const net::Message& message,
     if (payload.token < pending.fetched.size()) {
       pending.fetched[payload.token] = std::move(range);
     }
+    MENDEL_CHECK(pending.awaiting_fetches > 0,
+                 "node " << id_ << ": group query " << message.request_id
+                         << " got a fetch result (token " << payload.token
+                         << ", seq " << payload.sequence
+                         << ") with none outstanding");
     if (--pending.awaiting_fetches == 0) {
       group_entry_extend_and_reply(message.request_id, pending, ctx);
     }
@@ -795,6 +830,11 @@ void StorageNode::on_fetch_range_result(const net::Message& message,
   if (payload.token < pending.fetched.size()) {
     pending.fetched[payload.token] = std::move(range);
   }
+  MENDEL_CHECK(pending.awaiting_fetches > 0,
+               "node " << id_ << ": query " << message.request_id
+                       << " got a fetch result (token " << payload.token
+                       << ", seq " << payload.sequence
+                       << ") with none outstanding");
   if (--pending.awaiting_fetches == 0) {
     coordinator_finish(message.request_id, pending, ctx);
   }
@@ -860,6 +900,9 @@ void StorageNode::on_rebalance(net::Context& ctx) {
     evicted.push_back(sid);
   }
   for (std::uint32_t sid : evicted) sequences_.erase(sid);
+#ifdef MENDEL_CHECKED
+  checked_audit("rebalance");
+#endif
 }
 
 // --- persistence ------------------------------------------------------------
@@ -913,6 +956,158 @@ void StorageNode::load(CodecReader& reader) {
     sequences_[sid] = std::move(stored);
     ++counters_.sequences_restored;
   }
+#ifdef MENDEL_CHECKED
+  checked_audit("load");
+#endif
 }
+
+// --- invariant verification -------------------------------------------------
+
+std::vector<Block> StorageNode::blocks() const {
+  const auto refs = tree_.collect_all();
+  std::vector<Block> out;
+  out.reserve(refs.size());
+  for (const BlockRef& ref : refs) out.push_back(materialize(ref));
+  return out;
+}
+
+std::vector<seq::SequenceId> StorageNode::stored_sequence_ids() const {
+  std::vector<seq::SequenceId> ids;
+  ids.reserve(sequences_.size());
+  for (const auto& [sid, stored] : sequences_) ids.push_back(sid);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+void StorageNode::audit_placement(const BlockRef& ref,
+                                  std::vector<std::string>& out) const {
+  const std::string ident = "node " + std::to_string(id_) + ": block (seq " +
+                            std::to_string(ref.sequence) + ", start " +
+                            std::to_string(ref.start) + ")";
+  const auto window = arena_.span(ref.slot);
+  // Tier 1: the window must re-hash to the group this node belongs to.
+  const std::uint32_t own_group = config_.topology->address(id_).group;
+  const std::uint64_t prefix = config_.prefix_tree->hash(window);
+  const std::uint32_t group = config_.topology->group_for_prefix(prefix);
+  if (group != own_group) {
+    out.push_back(ident + " hashes to prefix " + std::to_string(prefix) +
+                  " = group " + std::to_string(group) +
+                  " but is stored in group " + std::to_string(own_group));
+    return;  // tier 2 is meaningless against the wrong group ring
+  }
+  // Tier 2: the intra-group consistent-hash owners must include this node.
+  const auto owners = config_.topology->nodes_for_key(
+      group, block_placement_key(ref.sequence, ref.start, window));
+  if (std::find(owners.begin(), owners.end(), id_) == owners.end()) {
+    out.push_back(ident + " is not among the " +
+                  std::to_string(owners.size()) +
+                  " ring owner(s) of its placement key");
+  }
+}
+
+std::vector<std::string> StorageNode::audit(std::size_t max_violations) const {
+  std::vector<std::string> out;
+  const std::string me = "node " + std::to_string(id_);
+
+  // Local vp-tree structure (balance, occupancy, mu admissibility).
+  for (auto& violation : tree_.validate(max_violations)) {
+    out.push_back(me + " vp-tree: " + std::move(violation));
+  }
+
+  // Bookkeeping: tree contents, dedup keys and arena slots must agree.
+  const auto refs = tree_.collect_all();
+  if (refs.size() != block_keys_.size()) {
+    out.push_back(me + ": vp-tree holds " + std::to_string(refs.size()) +
+                  " blocks but the dedup key set holds " +
+                  std::to_string(block_keys_.size()));
+  }
+  if (refs.size() != arena_.size()) {
+    out.push_back(me + ": vp-tree holds " + std::to_string(refs.size()) +
+                  " blocks but the window arena holds " +
+                  std::to_string(arena_.size()));
+  }
+  for (const BlockRef& ref : refs) {
+    if (out.size() >= max_violations) return out;
+    if (ref.slot >= arena_.size()) {
+      out.push_back(me + ": block (seq " + std::to_string(ref.sequence) +
+                    ", start " + std::to_string(ref.start) +
+                    ") references arena slot " + std::to_string(ref.slot) +
+                    " past the arena end");
+      return out;  // placement below would read out of bounds
+    }
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(ref.sequence) << 32) | ref.start;
+    if (!block_keys_.contains(key)) {
+      out.push_back(me + ": block (seq " + std::to_string(ref.sequence) +
+                    ", start " + std::to_string(ref.start) +
+                    ") is missing from the dedup key set");
+    }
+  }
+
+  // Two-tier DHT placement of every stored block. hash() needs a routing
+  // tree whose window length matches the stored payloads, so check that
+  // compatibility first instead of letting it throw mid-audit.
+  if (!refs.empty()) {
+    if (!config_.prefix_tree->built()) {
+      out.push_back(me + ": stores blocks but the routing prefix tree is "
+                         "not built");
+      return out;
+    }
+    if (arena_.window_length() != config_.prefix_tree->window_length()) {
+      out.push_back(
+          me + ": arena window length " +
+          std::to_string(arena_.window_length()) +
+          " != routing prefix tree window length " +
+          std::to_string(config_.prefix_tree->window_length()));
+      return out;
+    }
+  }
+  for (const BlockRef& ref : refs) {
+    if (out.size() >= max_violations) return out;
+    audit_placement(ref, out);
+  }
+
+  // Sequence shard: every stored sequence's repository-ring homes must
+  // include this node.
+  for (const auto& [sid, stored] : sequences_) {
+    if (out.size() >= max_violations) return out;
+    const auto homes =
+        config_.topology->sequence_homes(sequence_placement_key(sid));
+    if (std::find(homes.begin(), homes.end(), id_) == homes.end()) {
+      out.push_back(me + ": sequence " + std::to_string(sid) + " ('" +
+                    stored.name + "') is stored off its home ring");
+    }
+  }
+  return out;
+}
+
+#ifdef MENDEL_CHECKED
+void StorageNode::checked_audit(const char* where) const {
+  const auto violations = audit();
+  MENDEL_CHECK(violations.empty(),
+               "node " << id_ << " failed the invariant audit after " << where
+                       << " (" << violations.size()
+                       << " violation(s)), first: " << violations.front());
+}
+
+void StorageNode::checked_audit_fresh(
+    const std::vector<BlockRef>& fresh) const {
+  std::vector<std::string> out;
+  for (auto& violation : tree_.validate()) {
+    out.push_back("node " + std::to_string(id_) + " vp-tree: " +
+                  std::move(violation));
+  }
+  if (config_.checked_placement_audit) {
+    for (const BlockRef& ref : fresh) {
+      if (out.size() >= 32) break;
+      audit_placement(ref, out);
+    }
+  }
+  MENDEL_CHECK(out.empty(),
+               "node " << id_ << " failed the invariant audit after insert ("
+                       << out.size() << " violation(s)), first: "
+                       << out.front());
+}
+#endif
 
 }  // namespace mendel::core

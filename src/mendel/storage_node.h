@@ -35,7 +35,10 @@
 #include <unordered_set>
 #include <vector>
 
+#include <mutex>
+
 #include "src/cluster/topology.h"
+#include "src/common/thread_annotations.h"
 #include "src/common/thread_pool.h"
 #include "src/mendel/protocol.h"
 #include "src/net/message.h"
@@ -64,6 +67,13 @@ struct StorageNodeConfig {
   // Query windows are stride-k k-mers, so concurrent and repeated queries
   // share windows; a hit skips the vp-tree search entirely.
   std::size_t nn_cache_capacity = 4096;
+  // MENDEL_CHECKED builds audit the two-tier DHT placement of freshly
+  // admitted blocks after every insert batch (senders route with the
+  // shared topology, so misplacement means corrupted routing state).
+  // Unit tests that address a node directly with unrouted blocks can opt
+  // out; the vp-tree structural audit still runs. No effect outside
+  // MENDEL_CHECKED builds.
+  bool checked_placement_audit = true;
 };
 
 // Per-node work counters (telemetry for benches and tests).
@@ -107,7 +117,10 @@ class StorageNode final : public net::Actor {
   std::size_t pending_coordinator_queries() const {
     return coord_pending_.size();
   }
-  std::size_t nn_cache_entries() const { return nn_cache_.size(); }
+  std::size_t nn_cache_entries() const MENDEL_EXCLUDES(nn_cache_mu_) {
+    std::lock_guard lock(nn_cache_mu_);
+    return nn_cache_.size();
+  }
 
   // Membership view for fault tolerance: nodes marked down are excluded
   // from fan-outs and home-node selection. (The paper leaves fault
@@ -122,6 +135,21 @@ class StorageNode final : public net::Actor {
   // --- persistence (paper §VII-B future work: save pre-indexed data) ----
   void save(CodecWriter& writer) const;
   void load(CodecReader& reader);
+
+  // --- invariant verification (src/verify, tools/mendel_verify) ---------
+  // Materialized copies of every stored block, tree iteration order.
+  std::vector<Block> blocks() const;
+  // Ascending ids of the sequences this shard stores.
+  std::vector<seq::SequenceId> stored_sequence_ids() const;
+  // Deep node-local audit: local vp-tree structure (balance, occupancy,
+  // mu admissibility), block/arena/dedup-key bookkeeping, two-tier DHT
+  // placement of every stored block (tier 1: the window re-hashes to this
+  // node's group; tier 2: the intra-group ring owners include this node)
+  // and the repository ring homes of every stored sequence. Returns
+  // human-readable violations, at most `max_violations`; empty = sound.
+  // Under MENDEL_CHECKED this runs automatically after rebalance and
+  // load (and a fresh-blocks-only variant after every insert batch).
+  std::vector<std::string> audit(std::size_t max_violations = 32) const;
 
  private:
   // Stored sequence shard entry.
@@ -241,14 +269,25 @@ class StorageNode final : public net::Actor {
 
   // First alive home node of a sequence key.
   net::NodeId pick_sequence_home(std::uint64_t key) const;
-  bool is_down(net::NodeId node) const {
-    return down_.find(node) != down_.end();
-  }
+  bool is_down(net::NodeId node) const { return down_.contains(node); }
   std::vector<net::NodeId> alive_group_members(std::uint32_t group) const;
 
   // Admits blocks this node does not yet store: dedups against
   // block_keys_, appends windows to the arena, returns the new refs.
   std::vector<BlockRef> admit_blocks(std::vector<Block> blocks);
+
+  // Checks the two-tier placement of one stored block (see audit()).
+  void audit_placement(const BlockRef& ref,
+                       std::vector<std::string>& out) const;
+#ifdef MENDEL_CHECKED
+  // MENDEL_CHECKED hooks: throw CheckError on the first violation.
+  void checked_audit(const char* where) const;
+  // Insert-time variant: audits only the freshly admitted refs, because a
+  // mid-rebalance node may legitimately still hold stale blocks while the
+  // eviction wave drains; the fresh ones were routed with the current
+  // topology and must already be placed correctly.
+  void checked_audit_fresh(const std::vector<BlockRef>& fresh) const;
+#endif
   // Reconstitutes the wire-format Block of a stored ref (codec paths).
   Block materialize(const BlockRef& ref) const;
 
@@ -263,7 +302,10 @@ class StorageNode final : public net::Actor {
   // Cache key: window codes + every parameter that shapes the seed list.
   static std::string nn_cache_key(const vpt::Window& window,
                                   const QueryParams& params);
-  void invalidate_nn_cache() { nn_cache_.clear(); }
+  void invalidate_nn_cache() MENDEL_EXCLUDES(nn_cache_mu_) {
+    std::lock_guard lock(nn_cache_mu_);
+    nn_cache_.clear();
+  }
 
   net::NodeId id_;
   StorageNodeConfig config_;
@@ -284,11 +326,16 @@ class StorageNode final : public net::Actor {
   std::map<std::uint64_t, PendingQuery> coord_pending_;
 
   // Node-local subquery NN cache: key = window codes + search params,
-  // value = the filtered seed list with query_offset zeroed. Only touched
+  // value = the filtered seed list with query_offset zeroed. Mutated only
   // from the handler thread (lookups before the pool fan-out, insertions
-  // after it joins), so it needs no lock. Invalidated whenever the local
-  // block set changes (insert, rebalance, load).
-  std::unordered_map<std::string, std::vector<Seed>> nn_cache_;
+  // after it joins); the mutex — uncontended on that path — makes the
+  // telemetry reads other threads perform (nn_cache_entries) well-defined
+  // and lets Clang's thread-safety analysis verify every access.
+  // Invalidated whenever the local block set changes (insert, rebalance,
+  // load).
+  mutable std::mutex nn_cache_mu_;
+  std::unordered_map<std::string, std::vector<Seed>> nn_cache_
+      MENDEL_GUARDED_BY(nn_cache_mu_);
 };
 
 }  // namespace mendel::core

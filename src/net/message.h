@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "src/common/codec.h"
@@ -45,6 +46,12 @@ struct Message {
     return 24 + payload.size();
   }
 };
+
+// One-line human-readable identity of a message (type, request id, sender,
+// payload size) for error reports and logs. The type is printed numerically
+// because the net layer is application-agnostic (see src/mendel/protocol.h
+// for the mendel cluster's type names).
+std::string describe(const Message& message);
 
 class Transport;
 

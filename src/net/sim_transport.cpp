@@ -9,14 +9,14 @@ namespace mendel::net {
 
 void SimTransport::register_actor(NodeId id, Actor* actor) {
   require(actor != nullptr, "SimTransport: null actor");
-  require(actors_.find(id) == actors_.end(),
+  require(!actors_.contains(id),
           "SimTransport: duplicate actor id " + std::to_string(id));
   actors_[id] = actor;
   clocks_[id] = 0.0;
 }
 
 void SimTransport::send(Message message) {
-  if (actors_.find(message.to) == actors_.end()) {
+  if (!actors_.contains(message.to)) {
     throw ProtocolError("SimTransport: send to unregistered node " +
                         std::to_string(message.to));
   }

@@ -13,7 +13,7 @@ ThreadTransport::~ThreadTransport() {
 void ThreadTransport::register_actor(NodeId id, Actor* actor) {
   require(actor != nullptr, "ThreadTransport: null actor");
   require(!started_, "ThreadTransport: register after start()");
-  require(actors_.find(id) == actors_.end(),
+  require(!actors_.contains(id),
           "ThreadTransport: duplicate actor id " + std::to_string(id));
   actors_[id] = actor;
   mailboxes_[id] = std::make_unique<Mailbox>();
@@ -69,13 +69,11 @@ void ThreadTransport::worker_loop(NodeId id, Actor* actor, Mailbox* mailbox) {
   for (;;) {
     Message message;
     {
+      // Explicit wait loop (not a predicate lambda) so Clang's
+      // thread-safety analysis can see queue/stop accessed under mu.
       std::unique_lock lock(mailbox->mu);
-      mailbox->cv.wait(lock,
-                       [&] { return mailbox->stop || !mailbox->queue.empty(); });
-      if (mailbox->queue.empty()) {
-        if (mailbox->stop) return;
-        continue;
-      }
+      while (!mailbox->stop && mailbox->queue.empty()) mailbox->cv.wait(lock);
+      if (mailbox->queue.empty()) return;  // stop && drained
       message = std::move(mailbox->queue.front());
       mailbox->queue.pop_front();
     }
@@ -86,13 +84,16 @@ void ThreadTransport::worker_loop(NodeId id, Actor* actor, Mailbox* mailbox) {
     Context ctx(this, id, now);
     // A throwing handler must still decrement inflight_, or drain_and_stop()
     // would wait forever on a count that can no longer reach zero. Record
-    // the failure for the caller and keep the worker serving its mailbox.
+    // the failure — with the message's identity, so the error list alone
+    // pinpoints the offending traffic — and keep serving the mailbox.
+    const std::string origin = "node " + std::to_string(id) + " handling " +
+                               describe(message) + ": ";
     try {
       actor->handle(message, ctx);
     } catch (const std::exception& e) {
-      record_error("node " + std::to_string(id) + ": " + e.what());
+      record_error(origin + e.what());
     } catch (...) {
-      record_error("node " + std::to_string(id) + ": unknown handler error");
+      record_error(origin + "unknown (non-std::exception) handler error");
     }
     if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::lock_guard lock(idle_mu_);

@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
 #include "src/net/message.h"
 
 namespace mendel::net {
@@ -72,20 +73,23 @@ class ThreadTransport final : public Transport {
 
   // Errors thrown by actor handlers. A throwing handler must not wedge the
   // quiescence accounting (that would deadlock drain_and_stop()), so the
-  // worker loop catches, records here, and keeps serving its mailbox.
-  std::vector<std::string> handler_errors() const;
+  // worker loop catches, records here, and keeps serving its mailbox. Each
+  // entry carries the node, the offending message's type and request id,
+  // and the exception's what() so a CI failure is diagnosable from the
+  // recorded list alone.
+  std::vector<std::string> handler_errors() const MENDEL_EXCLUDES(errors_mu_);
 
  private:
   struct Mailbox {
     std::mutex mu;
     std::condition_variable cv;
-    std::deque<Message> queue;
-    bool stop = false;
+    std::deque<Message> queue MENDEL_GUARDED_BY(mu);
+    bool stop MENDEL_GUARDED_BY(mu) = false;
     std::atomic<bool> failed{false};
   };
 
   void worker_loop(NodeId id, Actor* actor, Mailbox* mailbox);
-  void record_error(std::string what);
+  void record_error(std::string what) MENDEL_EXCLUDES(errors_mu_);
 
   std::map<NodeId, Actor*> actors_;
   std::map<NodeId, std::unique_ptr<Mailbox>> mailboxes_;
@@ -107,7 +111,7 @@ class ThreadTransport final : public Transport {
   std::atomic<std::uint64_t> dropped_{0};
 
   mutable std::mutex errors_mu_;
-  std::vector<std::string> errors_;
+  std::vector<std::string> errors_ MENDEL_GUARDED_BY(errors_mu_);
 };
 
 }  // namespace mendel::net

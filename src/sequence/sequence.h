@@ -82,6 +82,7 @@ class SequenceStore {
   SequenceId add(Sequence sequence);
 
   std::size_t size() const { return sequences_.size(); }
+  bool empty() const { return sequences_.empty(); }
   const Sequence& at(SequenceId id) const;
   bool contains(SequenceId id) const { return id < sequences_.size(); }
 

@@ -1,0 +1,114 @@
+// Deep invariant verification for Mendel clusters and index snapshots.
+//
+// Three entry points, all returning human-readable violation lists
+// (empty = sound):
+//
+//   * audit_client()    — audits a live cluster: every node's local
+//                         vp-tree, bookkeeping, and two-tier DHT placement
+//                         (StorageNode::audit), plus the cluster-wide
+//                         orphan check (every inverted-index block must
+//                         reference a sequence some shard stores).
+//   * audit_snapshot*() — the same audit over a mendel-index-v2 snapshot
+//                         file, without instantiating storage nodes. A
+//                         corrupt or truncated snapshot is reported as a
+//                         violation, never thrown out of the audit.
+//   * protocol_roundtrip_check() — encode→decode→re-encode byte-equality
+//                         self-check for every wire payload type (and the
+//                         coordinator's split GroupQuery encoding).
+//
+// The MENDEL_CHECKED build mode runs the node-local audits automatically
+// inside the storage nodes (after insert batches, rebalance, and load);
+// this library adds the cluster/snapshot scope and the standalone
+// tools/mendel_verify CLI on top.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cluster/topology.h"
+#include "src/mendel/block.h"
+#include "src/mendel/client.h"
+#include "src/scoring/distance.h"
+#include "src/sequence/sequence.h"
+#include "src/vptree/prefix_tree.h"
+
+namespace mendel::verify {
+
+struct AuditReport {
+  std::vector<std::string> violations;
+  std::size_t nodes_audited = 0;
+  std::size_t blocks_audited = 0;
+  std::size_t sequences_audited = 0;
+
+  bool ok() const { return violations.empty(); }
+};
+
+// Caps the violations collected per audit so a systematically corrupt
+// snapshot produces a readable report instead of one line per block.
+inline constexpr std::size_t kMaxAuditViolations = 64;
+
+// --- live cluster -----------------------------------------------------
+
+AuditReport audit_client(const core::Client& client);
+
+// --- snapshots --------------------------------------------------------
+
+// Structural view of one node's shard inside a snapshot.
+struct NodeShardView {
+  std::uint32_t id = 0;
+  std::vector<core::Block> blocks;
+  struct SequenceView {
+    seq::SequenceId id = 0;
+    std::string name;
+    std::vector<seq::Code> codes;
+  };
+  std::vector<SequenceView> sequences;
+};
+
+// Decoded mendel-index-v2 snapshot. The distance matrix and prefix tree
+// are heap-held so the view stays movable while the tree's internal
+// matrix pointer stays valid.
+struct SnapshotView {
+  seq::Alphabet alphabet = seq::Alphabet::kProtein;
+  std::uint64_t database_residues = 0;
+  std::uint32_t num_groups = 0;
+  std::uint32_t nodes_per_group = 0;
+  // Groups of nodes added after the dense initial layout, in id order.
+  std::vector<std::uint32_t> extra_groups;
+  std::unique_ptr<score::DistanceMatrix> distance;
+  std::unique_ptr<vpt::VpPrefixTree> prefix_tree;
+  std::vector<NodeShardView> shards;
+};
+
+// Parses a snapshot byte stream. Throws mendel::Error (ParseError on a
+// truncated stream, InvalidArgument on a bad magic) — audit_snapshot_file
+// catches and reports instead.
+SnapshotView read_snapshot(const std::vector<std::uint8_t>& bytes);
+
+// Re-encodes a view byte-identically to Client::save_index (guarded by a
+// round-trip test); lets tests and tooling build seeded-corruption
+// snapshots without byte surgery.
+std::vector<std::uint8_t> encode_snapshot(const SnapshotView& view);
+
+// Audits a decoded snapshot. `base` supplies the topology parameters the
+// snapshot does not record (ring_virtual_nodes, replication factors);
+// num_groups / nodes_per_group are taken from the snapshot itself, like
+// Client::load_index does.
+AuditReport audit_snapshot(const SnapshotView& view,
+                           const cluster::TopologyConfig& base = {});
+
+// Reads + audits a snapshot file; I/O or parse failures become
+// violations in the report rather than exceptions.
+AuditReport audit_snapshot_file(const std::string& path,
+                                const cluster::TopologyConfig& base = {});
+
+// --- wire protocol ----------------------------------------------------
+
+// Round-trips a representative instance of every protocol payload type
+// through its codec and reports any byte mismatch, partially consumed
+// buffer, or decode failure.
+std::vector<std::string> protocol_roundtrip_check();
+
+}  // namespace mendel::verify

@@ -26,14 +26,17 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
 #include <memory>
 #include <queue>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "src/common/check.h"
 #include "src/common/error.h"
 #include "src/common/rng.h"
 #include "src/vptree/vptree.h"
@@ -196,6 +199,54 @@ class DynamicVpTree {
   template <typename Fn>
   void for_each(Fn&& fn) const {
     for_each_node(root_.get(), fn);
+  }
+
+  // Deep structural self-audit (paper §III-D / Fu et al.'s invariants).
+  // Re-derives every invariant the four rebalancing cases are supposed to
+  // maintain and reports each violation as one human-readable line; an
+  // empty result means the tree is structurally sound. Checked per node:
+  //
+  //   * bookkeeping   — subtree size sums, root size == size(), internal
+  //                     nodes hold no bucket, both children present;
+  //   * balance       — size <= 2 * effective structural capacity, where
+  //                     the effective capacity is re-derived bottom-up
+  //                     from the leaves (stored ancestor capacities go
+  //                     stale by design after a case-2/3 descendant
+  //                     rebuild — they are a soft budget, not an
+  //                     invariant). Only meaningful with rebalance =
+  //                     true; skipped for the naive ablation mode;
+  //   * occupancy     — leaf buckets within max(bucket_capacity,
+  //                     overflow_factor * bucket_capacity);
+  //   * admissibility — every left-subtree element within mu of its
+  //                     node's vantage and inside [left_min, left_max]
+  //                     (respectively > mu and inside the right interval),
+  //                     re-evaluating the metric for every element.
+  //
+  // The admissibility pass costs O(n log n) metric evaluations — audit
+  // scale, not hot-path scale. `metric` defaults to the build metric; pass
+  // a fresh instance for concurrent audits of a shared tree (see
+  // nearest_with).
+  template <typename M>
+  std::vector<std::string> validate_with(const M& metric,
+                                         std::size_t max_violations = 32)
+      const {
+    std::vector<std::string> out;
+    if (root_ == nullptr) {
+      if (size_ != 0) {
+        out.push_back("empty tree reports size " + std::to_string(size_));
+      }
+      return out;
+    }
+    if (root_->size != size_) {
+      out.push_back("root subtree size " + std::to_string(root_->size) +
+                    " != tree size " + std::to_string(size_));
+    }
+    validate_node(metric, root_.get(), "root", out, max_violations);
+    return out;
+  }
+
+  std::vector<std::string> validate(std::size_t max_violations = 32) const {
+    return validate_with(metric_, max_violations);
   }
 
   std::vector<T> collect_all() const {
@@ -466,6 +517,10 @@ class DynamicVpTree {
     std::vector<T> items;
     auto push = [&items](const T& item) { items.push_back(item); };
     for_each_node(node, push);
+    MENDEL_DCHECK(items.size() == node->size,
+                  "vp-tree subtree bookkeeping: collected " << items.size()
+                      << " elements from a subtree recording size "
+                      << node->size);
     return items;
   }
 
@@ -476,6 +531,112 @@ class DynamicVpTree {
     for (const T& item : node->bucket) fn(item);
     for_each_node(node->left.get(), fn);
     for_each_node(node->right.get(), fn);
+  }
+
+  // Returns the subtree's effective structural capacity (leaf capacities
+  // plus vantage slots, re-derived bottom-up) so the balance check can
+  // ignore the stored capacities that case-2/3 rebuilds leave stale on
+  // ancestors.
+  template <typename M>
+  std::size_t validate_node(const M& metric, const Node* node,
+                            const std::string& path,
+                            std::vector<std::string>& out,
+                            std::size_t max_violations) const {
+    if (out.size() >= max_violations) return node->capacity;
+    auto report = [&](const std::string& what) {
+      if (out.size() < max_violations) out.push_back(path + ": " + what);
+    };
+
+    if (node->is_leaf()) {
+      if (node->left || node->right) {
+        report("leaf with children");
+        return node->capacity;
+      }
+      if (node->size != node->bucket.size()) {
+        report("leaf size " + std::to_string(node->size) + " != bucket " +
+               std::to_string(node->bucket.size()));
+      }
+      const auto occupancy_cap = static_cast<std::size_t>(
+          options_.overflow_factor *
+          static_cast<double>(options_.bucket_capacity));
+      if (options_.rebalance &&
+          node->bucket.size() >
+              std::max(options_.bucket_capacity, occupancy_cap)) {
+        report("leaf bucket " + std::to_string(node->bucket.size()) +
+               " exceeds overflow cap " +
+               std::to_string(std::max(options_.bucket_capacity,
+                                       occupancy_cap)));
+      }
+      if (node->capacity != options_.bucket_capacity) {
+        report("leaf capacity " + std::to_string(node->capacity) +
+               " != bucket_capacity " +
+               std::to_string(options_.bucket_capacity));
+      }
+      return options_.bucket_capacity;
+    }
+
+    if (!node->left || !node->right) {
+      report("internal node missing a child");
+      return node->capacity;
+    }
+    if (!node->bucket.empty()) {
+      report("internal node holds a bucket of " +
+             std::to_string(node->bucket.size()));
+    }
+    if (node->size != node->left->size + node->right->size + 1) {
+      report("subtree size " + std::to_string(node->size) +
+             " != left " + std::to_string(node->left->size) + " + right " +
+             std::to_string(node->right->size) + " + vantage");
+    }
+    if (!(node->mu >= 0.0) || !std::isfinite(node->mu)) {
+      report("mu " + std::to_string(node->mu) + " not a finite radius");
+    }
+    if (node->left_min > node->left_max || node->right_min > node->right_max) {
+      report("inverted child distance interval");
+    }
+
+    // Admissibility: the recorded mu and child intervals must contain the
+    // true vantage distance of every element routed below them; search
+    // pruning silently drops results otherwise.
+    auto check_side = [&](const Node* child, bool left_side) {
+      const double lo = left_side ? node->left_min : node->right_min;
+      const double hi = left_side ? node->left_max : node->right_max;
+      auto probe = [&](const T& item) {
+        if (out.size() >= max_violations) return;
+        const double d = metric(node->vantage, item);
+        const bool in_half = left_side ? d <= node->mu : d > node->mu;
+        if (!in_half) {
+          report(std::string(left_side ? "left" : "right") +
+                 "-subtree element at vantage distance " +
+                 std::to_string(d) + " violates mu " +
+                 std::to_string(node->mu));
+        } else if (d < lo || d > hi) {
+          report(std::string(left_side ? "left" : "right") +
+                 "-subtree element distance " + std::to_string(d) +
+                 " outside recorded [" + std::to_string(lo) + ", " +
+                 std::to_string(hi) + "]");
+        }
+      };
+      for_each_node(child, probe);
+    };
+    check_side(node->left.get(), true);
+    check_side(node->right.get(), false);
+
+    const std::size_t effective =
+        validate_node(metric, node->left.get(), path + "/L", out,
+                      max_violations) +
+        validate_node(metric, node->right.get(), path + "/R", out,
+                      max_violations) +
+        1;
+    // The consolidation guarantee: a subtree more than 2x over its
+    // structural capacity would have been rebuilt (leaves may individually
+    // overflow to overflow_factor * bucket_capacity between batches, which
+    // the occupancy check above bounds).
+    if (options_.rebalance && node->size > 2 * effective) {
+      report("unbalanced: size " + std::to_string(node->size) +
+             " > 2 * effective capacity " + std::to_string(effective));
+    }
+    return effective;
   }
 
   template <typename M>

@@ -131,6 +131,70 @@ void VpPrefixTree::hash_multi_walk(const Node* node, seq::CodeSpan window,
   }
 }
 
+std::vector<std::string> VpPrefixTree::validate() const {
+  std::vector<std::string> out;
+  if (!built_) {
+    out.push_back("prefix tree not built");
+    return out;
+  }
+  if (window_length_ == 0) {
+    out.push_back("window_length is 0 on a built tree");
+    return out;
+  }
+
+  // Re-walk the tree exactly as hash() would, collecting every emittable
+  // prefix and checking per-node invariants along the way.
+  std::vector<std::uint64_t> emitted;
+  struct Frame {
+    const Node* node;
+    std::size_t depth;
+    std::uint64_t prefix;
+  };
+  std::vector<Frame> stack{{root_.get(), 1, 1}};
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    if (frame.node == nullptr) {
+      emitted.push_back(frame.prefix);
+      continue;
+    }
+    if (frame.depth >= options_.cutoff_depth) {
+      out.push_back("vantage node at depth " + std::to_string(frame.depth) +
+                    " beyond cutoff " +
+                    std::to_string(options_.cutoff_depth));
+      continue;  // children would only repeat the violation
+    }
+    if (frame.node->vantage.size() != window_length_) {
+      out.push_back("vantage window length " +
+                    std::to_string(frame.node->vantage.size()) + " != " +
+                    std::to_string(window_length_) + " at prefix " +
+                    std::to_string(frame.prefix));
+    }
+    if (!(frame.node->mu >= 0.0) || !std::isfinite(frame.node->mu)) {
+      out.push_back("non-finite or negative mu at prefix " +
+                    std::to_string(frame.prefix));
+    }
+    stack.push_back({frame.node->left.get(), frame.depth + 1,
+                     frame.prefix << 1});
+    stack.push_back({frame.node->right.get(), frame.depth + 1,
+                     (frame.prefix << 1) | 1});
+  }
+  std::sort(emitted.begin(), emitted.end());
+  emitted.erase(std::unique(emitted.begin(), emitted.end()), emitted.end());
+
+  if (!std::is_sorted(leaf_prefixes_.begin(), leaf_prefixes_.end())) {
+    out.push_back("leaf_prefixes not sorted");
+  }
+  if (emitted != leaf_prefixes_) {
+    out.push_back("leaf_prefixes table (" +
+                  std::to_string(leaf_prefixes_.size()) +
+                  " entries) disagrees with the " +
+                  std::to_string(emitted.size()) +
+                  " prefixes the traversal emits");
+  }
+  return out;
+}
+
 void VpPrefixTree::encode(CodecWriter& writer) const {
   require(built(), "VpPrefixTree::encode before build()");
   writer.u32(static_cast<std::uint32_t>(options_.cutoff_depth));

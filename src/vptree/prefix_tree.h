@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/common/codec.h"
@@ -73,6 +74,16 @@ class VpPrefixTree {
   const std::vector<std::uint64_t>& leaf_prefixes() const {
     return leaf_prefixes_;
   }
+
+  // Structural self-audit of the routing state. Re-walks the tree and
+  // reports every violated invariant (vantage window length drift, depth
+  // beyond the cutoff, non-finite radii, and a leaf_prefixes() table that
+  // disagrees with the prefixes the traversal can actually emit — the
+  // group-id consistency the two-tier DHT placement depends on). Empty
+  // result = sound. Every cluster node holds an identical copy of this
+  // tree, so a violation on any node means queries and data placement have
+  // silently diverged.
+  std::vector<std::string> validate() const;
 
   // Wire format for distribution to cluster nodes / index persistence.
   void encode(CodecWriter& writer) const;

@@ -158,7 +158,7 @@ seq::SequenceStore generate_database(const DatabaseSpec& spec) {
 
 std::vector<seq::Sequence> sample_queries(const seq::SequenceStore& store,
                                           const QuerySetSpec& spec) {
-  require(store.size() > 0, "sample_queries: empty store");
+  require(!store.empty(), "sample_queries: empty store");
   require(spec.length > 0, "sample_queries: zero query length");
   Rng rng(spec.seed);
 

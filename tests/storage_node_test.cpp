@@ -39,6 +39,10 @@ struct MiniCluster {
     config.distance = &distance;
     config.alphabet = seq::Alphabet::kProtein;
     config.database_residues = store.total_residues();
+    // These tests address nodes directly with hand-crafted, unrouted
+    // blocks; the MENDEL_CHECKED placement audit would rightly reject
+    // them, so it is opted out at the node level.
+    config.checked_placement_audit = false;
     for (net::NodeId id = 0; id < topology.total_nodes(); ++id) {
       nodes.push_back(std::make_unique<StorageNode>(id, config));
       transport.register_actor(id, nodes.back().get());

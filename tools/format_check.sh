@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Check-only formatting verification: runs clang-format (config:
+# .clang-format at the repo root) in --dry-run mode over every tracked
+# C++ file and fails if any file would be rewritten. Never modifies the
+# tree — reformatting stays a deliberate, reviewable act.
+#
+# Usage:
+#   tools/format_check.sh            # verify, exit 1 on drift
+#   tools/format_check.sh --list     # only list files that would change
+#
+# Environment:
+#   CLANG_FORMAT  override the clang-format binary (default: first of
+#                 clang-format, clang-format-18..14 found on PATH)
+#
+# Exits 0 with a notice when clang-format is unavailable (the local
+# container ships only GCC); CI installs it.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+find_format() {
+  if [[ -n "${CLANG_FORMAT:-}" ]]; then
+    command -v "${CLANG_FORMAT}" || true
+    return
+  fi
+  local candidate
+  for candidate in clang-format clang-format-18 clang-format-17 \
+                   clang-format-16 clang-format-15 clang-format-14; do
+    if command -v "${candidate}" >/dev/null 2>&1; then
+      command -v "${candidate}"
+      return
+    fi
+  done
+}
+
+format_bin="$(find_format)"
+if [[ -z "${format_bin}" ]]; then
+  echo "format_check: clang-format not found on PATH; skipping (install" \
+       "clang-format or set CLANG_FORMAT to enforce the check)" >&2
+  exit 0
+fi
+echo "format_check: using ${format_bin}" \
+     "($("${format_bin}" --version | head -n1))"
+
+mapfile -t files < <(cd "${repo_root}" &&
+  git ls-files '*.cpp' '*.h' | sed "s|^|${repo_root}/|")
+echo "format_check: checking ${#files[@]} files"
+
+if [[ "${1:-}" == "--list" ]]; then
+  for f in "${files[@]}"; do
+    if ! "${format_bin}" --dry-run --Werror "$f" >/dev/null 2>&1; then
+      echo "${f#"${repo_root}"/}"
+    fi
+  done
+  exit 0
+fi
+
+status=0
+printf '%s\n' "${files[@]}" |
+  xargs -n 8 "${format_bin}" --dry-run --Werror || status=$?
+
+if [[ ${status} -ne 0 ]]; then
+  echo "format_check: FAILED — run clang-format -i on the files above" \
+       "(or tools/format_check.sh --list to enumerate them)" >&2
+  exit "${status}"
+fi
+echo "format_check: OK"

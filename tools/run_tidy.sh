@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# Static-analysis gate: run clang-tidy (config: .clang-tidy at the repo
+# root) over every first-party translation unit in the compilation
+# database. Any finding fails the run (WarningsAsErrors: '*'), so CI
+# stays at zero findings instead of accumulating a baseline.
+#
+# Usage:
+#   tools/run_tidy.sh [BUILD_DIR]     # default BUILD_DIR=build
+#   tools/run_tidy.sh --self-test     # prove the gate can fail: lint a
+#                                     # file with a known finding and
+#                                     # require a non-zero exit
+#
+# Environment:
+#   CLANG_TIDY  override the clang-tidy binary (default: first of
+#               clang-tidy, clang-tidy-18..14 found on PATH)
+#   TIDY_JOBS   parallelism (default: nproc)
+#
+# The container used for local development ships only GCC; when no
+# clang-tidy is available the script reports that and exits 0 so local
+# builds are not blocked. CI installs clang-tidy and enforces the gate.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+find_tidy() {
+  if [[ -n "${CLANG_TIDY:-}" ]]; then
+    command -v "${CLANG_TIDY}" || true
+    return
+  fi
+  local candidate
+  for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+                   clang-tidy-15 clang-tidy-14; do
+    if command -v "${candidate}" >/dev/null 2>&1; then
+      command -v "${candidate}"
+      return
+    fi
+  done
+}
+
+tidy_bin="$(find_tidy)"
+if [[ -z "${tidy_bin}" ]]; then
+  echo "run_tidy: clang-tidy not found on PATH; skipping (install" \
+       "clang-tidy or set CLANG_TIDY to enforce the gate)" >&2
+  exit 0
+fi
+echo "run_tidy: using ${tidy_bin} ($("${tidy_bin}" --version | head -n1))"
+
+# --self-test: the gate is only trustworthy if a known-bad file fails it.
+# Generates a finding from each enabled family we rely on and requires a
+# non-zero clang-tidy exit.
+if [[ "${1:-}" == "--self-test" ]]; then
+  tmpdir="$(mktemp -d)"
+  trap 'rm -rf "${tmpdir}"' EXIT
+  cat > "${tmpdir}/bad.cpp" <<'EOF'
+#include <string>
+#include <vector>
+
+bool known_findings(const std::vector<std::string>& items) {
+  // readability-container-size-empty
+  return items.size() == 0;
+}
+EOF
+  if "${tidy_bin}" --quiet "${tmpdir}/bad.cpp" -- -std=c++20 \
+      >"${tmpdir}/out.log" 2>&1; then
+    echo "run_tidy: SELF-TEST FAILED — clang-tidy accepted a file with a" \
+         "known finding; the gate is not enforcing anything" >&2
+    cat "${tmpdir}/out.log" >&2
+    exit 1
+  fi
+  if ! grep -q "readability-container-size-empty" "${tmpdir}/out.log"; then
+    echo "run_tidy: SELF-TEST FAILED — clang-tidy rejected the probe file" \
+         "but not for the expected check:" >&2
+    cat "${tmpdir}/out.log" >&2
+    exit 1
+  fi
+  echo "run_tidy: self-test OK (gate rejects known findings)"
+  exit 0
+fi
+
+build_dir="${1:-${repo_root}/build}"
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "run_tidy: ${build_dir}/compile_commands.json not found." >&2
+  echo "  Configure first:  cmake -B ${build_dir} -S ${repo_root}" >&2
+  exit 1
+fi
+
+# First-party translation units only: the compilation database also holds
+# GoogleTest/benchmark sources we do not lint.
+mapfile -t sources < <(cd "${repo_root}" &&
+  git ls-files 'src/**/*.cpp' 'tools/*.cpp' | sed "s|^|${repo_root}/|")
+echo "run_tidy: linting ${#sources[@]} translation units"
+
+jobs="${TIDY_JOBS:-$(nproc)}"
+status=0
+printf '%s\n' "${sources[@]}" |
+  xargs -P "${jobs}" -n 4 "${tidy_bin}" --quiet -p "${build_dir}" ||
+  status=$?
+
+if [[ ${status} -ne 0 ]]; then
+  echo "run_tidy: FAILED — fix the findings above or, for a true false" \
+       "positive, add a targeted NOLINT(<check>) with a reason" >&2
+  exit "${status}"
+fi
+echo "run_tidy: OK (no findings)"
