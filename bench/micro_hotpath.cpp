@@ -22,6 +22,7 @@
 #include "src/mendel/protocol.h"
 #include "src/mendel/storage_node.h"
 #include "src/net/sim_transport.h"
+#include "src/obs/metrics.h"
 #include "src/scoring/distance.h"
 #include "src/vptree/dynamic_vptree.h"
 #include "src/vptree/prefix_tree.h"
@@ -264,7 +265,14 @@ BENCHMARK(BM_StorageInsertBatch);
 void BM_NodeSearch(benchmark::State& state) {
   const auto& fix = NodeFixture::instance();
   static net::SimTransport transport(quiet_cost());
-  static core::StorageNode node(0, fix.node_config());
+  // Metrics attached (tracing off) so the bench measures the handler as it
+  // runs in production: histogram records are part of the hot path budget.
+  static obs::MetricsRegistry registry;
+  static core::StorageNode node(0, [&] {
+    auto config = fix.node_config();
+    config.metrics = &registry;
+    return config;
+  }());
   static net::FunctionActor sink([](const net::Message&, net::Context&) {});
   static bool loaded = false;
   if (!loaded) {

@@ -4,6 +4,9 @@
 // closed-loop end-to-end query benchmark for the concurrent pipeline.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
 #include <memory>
 
 #include "src/align/banded.h"
@@ -193,8 +196,8 @@ core::ClientOptions closed_loop_options(core::TransportMode mode,
   options.indexing.sample_size = 256;
   options.prefix_tree.cutoff_depth = 4;
   options.cost.measured_cpu = false;
-  options.transport_mode = mode;
-  options.nn_cache_capacity = nn_cache_capacity;
+  options.runtime.transport_mode = mode;
+  options.runtime.nn_cache_capacity = nn_cache_capacity;
   return options;
 }
 
@@ -240,6 +243,48 @@ BENCHMARK(BM_ClosedLoopConcurrent)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// ---- observability smoke ---------------------------------------------------
+//
+// Driven by the CI observability step rather than the benchmark registry:
+// after the selected benchmarks run, MENDEL_METRICS_JSON=<path> dumps the
+// unified metrics snapshot of a one-query pipeline run for
+// tools/check_metrics_schema, and MENDEL_TRACE=1 additionally runs that
+// query traced and prints its reassembled span timeline.
+void observability_smoke(const char* metrics_path, const char* trace_env) {
+  auto options = closed_loop_options(core::TransportMode::kSim, 4096);
+  options.runtime.enable_tracing = trace_env != nullptr;
+  core::Client client(options);
+  client.index(closed_loop_store());
+  const auto queries = closed_loop_queries();
+  const auto ticket = client.submit(queries[0]);
+  const auto outcome = client.wait(ticket);
+  std::cout << "observability smoke: " << outcome.hits.size() << " hits, "
+            << outcome.traffic.messages << " messages\n";
+  if (trace_env != nullptr) {
+    std::cout << client.collect_trace(ticket.id).format();
+  }
+  if (metrics_path != nullptr) {
+    std::ofstream out(metrics_path);
+    out << client.metrics().to_json() << "\n";
+    if (!out) {
+      std::cerr << "cannot write metrics to " << metrics_path << "\n";
+      std::exit(1);
+    }
+    std::cout << "metrics written to " << metrics_path << "\n";
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  const char* metrics_path = std::getenv("MENDEL_METRICS_JSON");
+  const char* trace_env = std::getenv("MENDEL_TRACE");
+  if (metrics_path != nullptr || trace_env != nullptr) {
+    observability_smoke(metrics_path, trace_env);
+  }
+  return 0;
+}

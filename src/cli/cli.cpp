@@ -1,6 +1,7 @@
 #include "src/cli/cli.h"
 
 #include <fstream>
+#include <string_view>
 
 #include "src/align/render.h"
 #include "src/cli/flags.h"
@@ -64,6 +65,14 @@ core::QueryParams query_params_from(const Flags& flags) {
   return params;
 }
 
+// Shared by index/query: dump the unified metrics snapshot as JSON.
+void write_metrics_json(const core::Client& client, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot open metrics output: " + path);
+  out << client.metrics().to_json() << "\n";
+  if (!out) throw IoError("metrics write failed for " + path);
+}
+
 seq::SequenceStore load_store(const std::string& path,
                               seq::Alphabet alphabet) {
   seq::SequenceStore store(alphabet);
@@ -122,6 +131,7 @@ int run_generate(const Flags& flags, std::ostream& out) {
 int run_index(const Flags& flags, std::ostream& out) {
   const std::string db_path = flags.str_required("db");
   const std::string out_path = flags.str_required("out");
+  const std::string metrics_path = flags.str("metrics-json", "");
   const auto alphabet = alphabet_from(flags);
   const auto options = client_options_from(flags);
   flags.reject_unconsumed();
@@ -138,6 +148,10 @@ int run_index(const Flags& flags, std::ostream& out) {
       << options.topology.nodes_per_group << ") in "
       << TextTable::num(watch.seconds(), 2) << "s\n"
       << "index saved to " << out_path << "\n";
+  if (!metrics_path.empty()) {
+    write_metrics_json(client, metrics_path);
+    out << "metrics written to " << metrics_path << "\n";
+  }
   return 0;
 }
 
@@ -162,21 +176,39 @@ int run_query(const Flags& flags, std::ostream& out) {
         matrix_file, matrix_name, alphabet));
     params.matrix = matrix_name;
   }
+  const std::string metrics_path = flags.str("metrics-json", "");
+  // Name of the query whose distributed trace to dump after its result.
+  const std::string trace_query = flags.str("trace", "");
   flags.reject_unconsumed();
 
-  core::Client client(core::ClientOptions{});
+  core::ClientOptions client_options;
+  client_options.runtime.enable_tracing = !trace_query.empty();
+  core::Client client(client_options);
   client.load_index(index_path);
 
   const auto queries = seq::read_fasta_file(queries_path, alphabet);
   require(!queries.empty(), "query FASTA holds no sequences");
+  bool traced_one = false;
 
   const auto& matrix = score::matrix_by_name(params.matrix);
   if (format == "tabular") {
     out << "# query\tsubject\tidentity%\tcolumns\tmismatches\tgaps\tqstart"
            "\tqend\tsstart\tsend\tevalue\tbits\n";
   }
+  std::string trace_dump;
   for (const auto& query : queries) {
-    const auto outcome = client.query(query, params);
+    const auto ticket = client.submit(query, params);
+    const auto outcome = client.wait(ticket);
+    // Match the full header or the FASTA id (up to the first space), so
+    // `--trace query2` finds ">query2 from=20 at=155".
+    const std::string_view query_id =
+        std::string_view(query.name())
+            .substr(0, query.name().find(' '));
+    if (!trace_query.empty() &&
+        (query.name() == trace_query || query_id == trace_query)) {
+      traced_one = true;
+      trace_dump = client.collect_trace(ticket.id).format();
+    }
     if (format == "tabular") {
       for (const auto& hit : outcome.hits) {
         out << align::render_tabular(query.name(), hit) << "\n";
@@ -207,6 +239,18 @@ int run_query(const Flags& flags, std::ostream& out) {
                                      hit.subject_segment, alphabet, matrix);
     }
     out << "\n";
+  }
+  if (!trace_query.empty()) {
+    if (traced_one) {
+      out << "trace for query '" << trace_query << "':\n" << trace_dump;
+    } else {
+      out << "no query named '" << trace_query << "' in " << queries_path
+          << "; nothing traced\n";
+    }
+  }
+  if (!metrics_path.empty()) {
+    write_metrics_json(client, metrics_path);
+    out << "metrics written to " << metrics_path << "\n";
   }
   return 0;
 }
@@ -321,10 +365,13 @@ void print_help(std::ostream& out) {
          "  index    --db DB.fasta --out INDEX.mnd [--alphabet protein|dna]\n"
          "           [--groups N] [--nodes-per-group N] [--replication N]\n"
          "           [--sequence-replication N] [--window N] [--sample N]\n"
-         "           [--cutoff-depth N]\n"
+         "           [--cutoff-depth N] [--metrics-json METRICS.json]\n"
          "  query    --index INDEX.mnd --queries Q.fasta [--format summary|\n"
-         "           tabular|pairwise] [--alphabet protein|dna] plus the\n"
-         "           paper's Table I parameters: [--k N] [--n N]\n"
+         "           tabular|pairwise] [--alphabet protein|dna]\n"
+         "           [--metrics-json METRICS.json] dump the unified metrics\n"
+         "           snapshot after the run; [--trace QUERY_NAME] trace that\n"
+         "           query through the cluster and print its span timeline;\n"
+         "           plus the paper's Table I parameters: [--k N] [--n N]\n"
          "           [--identity F] [--c-score F] [--matrix NAME]\n"
          "           [--trigger F] [--band N] [--evalue F]\n"
          "           [--branch-epsilon F] [--max-hits N] [--min-anchor-span N]\n"

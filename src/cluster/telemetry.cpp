@@ -30,4 +30,17 @@ LoadBalanceReport analyze_load(
   return report;
 }
 
+void publish_load(const LoadBalanceReport& report,
+                  obs::MetricsRegistry& registry) {
+  const auto ppm = [](double v) {
+    return static_cast<std::int64_t>(v * 1e6 + 0.5);
+  };
+  registry.gauge("cluster.nodes")
+      .set(static_cast<std::int64_t>(report.shares.size()));
+  registry.gauge("cluster.load_min_share_ppm").set(ppm(report.min_share));
+  registry.gauge("cluster.load_max_share_ppm").set(ppm(report.max_share));
+  registry.gauge("cluster.load_max_spread_ppm").set(ppm(report.max_spread));
+  registry.gauge("cluster.load_cov_ppm").set(ppm(report.cov));
+}
+
 }  // namespace mendel::cluster

@@ -5,6 +5,8 @@
 #include <span>
 #include <vector>
 
+#include "src/obs/metrics.h"
+
 namespace mendel::cluster {
 
 // Summary of how evenly data is spread over nodes.
@@ -22,5 +24,14 @@ struct LoadBalanceReport {
 };
 
 LoadBalanceReport analyze_load(std::span<const std::uint64_t> per_node_counts);
+
+// Publishes the report into `registry` gauges so load balance shows up in
+// the unified metrics snapshot next to the pipeline stats. Gauges are
+// integral, so the [0,1] shares are stored as parts-per-million:
+// cluster.load_min_share_ppm, cluster.load_max_share_ppm,
+// cluster.load_max_spread_ppm, cluster.load_cov_ppm, plus cluster.nodes.
+// Called whenever placement changes (index / add_sequences / add_node).
+void publish_load(const LoadBalanceReport& report,
+                  obs::MetricsRegistry& registry);
 
 }  // namespace mendel::cluster

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <fstream>
 
+#include "src/cluster/telemetry.h"
 #include "src/common/error.h"
 #include "src/hash/sha1.h"
 #include "src/mendel/protocol.h"
@@ -11,24 +12,55 @@
 
 namespace mendel::core {
 
-Client::Client(ClientOptions options) : options_(std::move(options)) {
-  if (options_.transport_mode == TransportMode::kSim) {
+Client::Client(ClientOptions options)
+    : options_(std::move(options)),
+      client_spans_(options_.runtime.trace_buffer_capacity) {
+  if (options_.runtime.transport_mode == TransportMode::kSim) {
     sim_ = std::make_unique<net::SimTransport>(options_.cost);
     transport_ = sim_.get();
   } else {
     threaded_ = std::make_unique<net::ThreadTransport>();
     transport_ = threaded_.get();
   }
-  if (options_.search_threads > 0) {
-    search_pool_ = std::make_unique<ThreadPool>(options_.search_threads);
+  if (options_.runtime.search_threads > 0) {
+    search_pool_ =
+        std::make_unique<ThreadPool>(options_.runtime.search_threads);
+  }
+  if (options_.runtime.enable_metrics) {
+    c_submitted_ = &registry_.counter("client.queries_submitted");
+    c_completed_ = &registry_.counter("client.queries_completed");
+    c_stalled_ = &registry_.counter("client.queries_stalled");
+    h_turnaround_ = &registry_.histogram("client.turnaround_seconds");
   }
   client_actor_ = std::make_unique<net::FunctionActor>(
       [this](const net::Message& message, net::Context& ctx) {
+        if (message.type == kTraceReport) {
+          auto report = decode_payload<TraceReportPayload>(message.payload);
+          std::lock_guard lock(trace_mu_);
+          auto& spans = trace_reports_[message.request_id];
+          spans.insert(spans.end(),
+                       std::make_move_iterator(report.spans.begin()),
+                       std::make_move_iterator(report.spans.end()));
+          return;
+        }
         if (message.type != kQueryResult) return;
         auto payload = decode_payload<QueryResultPayload>(message.payload);
         Reply reply;
         reply.hits = std::move(payload.hits);
         reply.arrival = ctx.now();
+        if (options_.runtime.enable_tracing) {
+          std::uint64_t parent = 0;
+          {
+            std::lock_guard lock(trace_mu_);
+            auto it = submit_spans_.find(message.request_id);
+            if (it != submit_spans_.end()) {
+              parent = it->second;
+              submit_spans_.erase(it);
+            }
+          }
+          record_client_span("client.reply", message.request_id, parent,
+                             ctx.now(), reply.hits.size());
+        }
         {
           std::lock_guard lock(reply_mu_);
           replies_[message.request_id] = std::move(reply);
@@ -57,7 +89,10 @@ void Client::spawn_nodes(seq::Alphabet alphabet) {
   node_config.alphabet = alphabet;
   node_config.bucket_capacity = options_.bucket_capacity;
   node_config.search_pool = search_pool_.get();
-  node_config.nn_cache_capacity = options_.nn_cache_capacity;
+  node_config.nn_cache_capacity = options_.runtime.nn_cache_capacity;
+  node_config.metrics =
+      options_.runtime.enable_metrics ? &registry_ : nullptr;
+  node_config.trace_buffer_capacity = options_.runtime.trace_buffer_capacity;
 
   nodes_.reserve(topology_->total_nodes());
   for (net::NodeId id = 0; id < topology_->total_nodes(); ++id) {
@@ -113,6 +148,7 @@ IndexReport Client::index(const seq::SequenceStore& store) {
   }
   next_sequence_id_ = static_cast<seq::SequenceId>(store.size());
   indexed_ = true;
+  publish_load_gauges();
   return report;
 }
 
@@ -133,6 +169,7 @@ seq::SequenceId Client::add_sequences(const seq::SequenceStore& more) {
   for (auto& node : nodes_) {
     node->set_database_residues(database_residues_);
   }
+  publish_load_gauges();
   return base;
 }
 
@@ -151,7 +188,10 @@ net::NodeId Client::add_node(std::uint32_t group) {
   node_config.bucket_capacity = options_.bucket_capacity;
   node_config.database_residues = database_residues_;
   node_config.search_pool = search_pool_.get();
-  node_config.nn_cache_capacity = options_.nn_cache_capacity;
+  node_config.nn_cache_capacity = options_.runtime.nn_cache_capacity;
+  node_config.metrics =
+      options_.runtime.enable_metrics ? &registry_ : nullptr;
+  node_config.trace_buffer_capacity = options_.runtime.trace_buffer_capacity;
   nodes_.push_back(std::make_unique<StorageNode>(id, node_config));
   transport_->register_actor(id, nodes_.back().get());
 
@@ -167,6 +207,7 @@ net::NodeId Client::add_node(std::uint32_t group) {
     transport_->send(std::move(message));
   }
   settle();
+  publish_load_gauges();
   return id;
 }
 
@@ -192,7 +233,23 @@ QueryTicket Client::submit(const seq::Sequence& query, QueryParams params) {
   QueryTicket ticket;
   ticket.id = query_id;
   ticket.injected_at = now_seconds();
+  // Deprecated field, still populated for callers that diff against it;
+  // outcome.traffic itself now comes from per-query attribution.
   ticket.traffic_before = transport_->stats();
+
+  if (options_.runtime.enable_tracing) {
+    const std::uint64_t submit_span =
+        record_client_span("client.submit", query_id, /*parent_span=*/0,
+                           ticket.injected_at, request.query.size());
+    request.trace.enabled = 1;
+    request.trace.parent_span = submit_span;
+    std::lock_guard lock(trace_mu_);
+    submit_spans_[query_id] = submit_span;
+  }
+
+  // Open this query's exact traffic bucket before the first message flows.
+  transport_->begin_query_stats(query_id);
+  if (c_submitted_ != nullptr) c_submitted_->add();
 
   net::Message message;
   message.from = net::kClientNode;
@@ -246,12 +303,49 @@ QueryOutcome Client::finish_outcome(const QueryTicket& ticket,
     const double horizon = settle();
     outcome.turnaround =
         (sim_ ? horizon : now_seconds()) - ticket.injected_at;
+    // No reply means no client.reply span consumed the submit-span link.
+    std::lock_guard lock(trace_mu_);
+    submit_spans_.erase(ticket.id);
   }
-  const net::NetworkStats after = transport_->stats();
-  outcome.traffic.messages =
-      after.messages - ticket.traffic_before.messages;
-  outcome.traffic.bytes = after.bytes - ticket.traffic_before.bytes;
+  // Exactly this query's traffic (the transport tagged every message with
+  // this request_id into the bucket opened at submit). The stalled branch
+  // above runs first, so the abort's cancel broadcast is included.
+  outcome.traffic = transport_->take_query_stats(ticket.id);
+  if (h_turnaround_ != nullptr) {
+    h_turnaround_->record_seconds(outcome.turnaround);
+  }
+  if (outcome.completed) {
+    if (c_completed_ != nullptr) c_completed_->add();
+  } else if (c_stalled_ != nullptr) {
+    c_stalled_->add();
+  }
   return outcome;
+}
+
+void Client::publish_load_gauges() {
+  if (!options_.runtime.enable_metrics) return;
+  const auto counts = block_counts();
+  cluster::publish_load(cluster::analyze_load(counts), registry_);
+}
+
+std::uint64_t Client::record_client_span(const char* name,
+                                         std::uint64_t query_id,
+                                         std::uint64_t parent_span,
+                                         double start, std::uint64_t value) {
+  obs::SpanRecord span;
+  span.name = name;
+  span.node = net::kClientNode;
+  span.query_id = query_id;
+  span.span_id = client_spans_.next_span_id(net::kClientNode);
+  span.parent_span = parent_span;
+  span.start = start;
+  // Client spans are point events (admit / receipt); durations live in the
+  // node-side spans, so 0 here keeps sim runs byte-stable.
+  span.duration_ns = 0;
+  span.value = value;
+  const std::uint64_t span_id = span.span_id;
+  client_spans_.add(std::move(span));
+  return span_id;
 }
 
 QueryOutcome Client::wait_sim(const QueryTicket& ticket) {
@@ -312,6 +406,85 @@ std::vector<QueryOutcome> Client::query_batch(
   outcomes.reserve(tickets.size());
   for (const auto& ticket : tickets) outcomes.push_back(wait(ticket));
   return outcomes;
+}
+
+// --- observability ----------------------------------------------------------
+
+obs::MetricsSnapshot Client::metrics() const {
+  obs::MetricsSnapshot snap = registry_.snapshot();
+  const auto add_counter = [&snap](const char* name, std::uint64_t value) {
+    snap.counters.push_back({name, value});
+  };
+
+  // NodeCounters stay plain per-node structs (no atomics on the node hot
+  // paths); fold their cluster totals in as synthetic node.* entries.
+  const NodeCounters totals = total_counters();
+  add_counter("node.blocks_inserted", totals.blocks_inserted);
+  add_counter("node.sequences_stored", totals.sequences_stored);
+  add_counter("node.blocks_restored", totals.blocks_restored);
+  add_counter("node.sequences_restored", totals.sequences_restored);
+  add_counter("node.nn_searches", totals.nn_searches);
+  add_counter("node.nn_cache_hits", totals.nn_cache_hits);
+  add_counter("node.nn_cache_misses", totals.nn_cache_misses);
+  add_counter("node.seeds_emitted", totals.seeds_emitted);
+  add_counter("node.fetches_served", totals.fetches_served);
+  add_counter("node.group_queries", totals.group_queries);
+  add_counter("node.queries_coordinated", totals.queries_coordinated);
+  add_counter("node.anchors_extended", totals.anchors_extended);
+  add_counter("node.gapped_extensions", totals.gapped_extensions);
+
+  const net::NetworkStats traffic = transport_->stats();
+  add_counter("net.messages", traffic.messages);
+  add_counter("net.bytes", traffic.bytes);
+  if (sim_ != nullptr) {
+    add_counter("net.dropped_messages", sim_->dropped_messages());
+  } else {
+    add_counter("net.dropped_messages", threaded_->dropped_messages());
+    add_counter("net.handler_errors", threaded_->handler_errors().size());
+  }
+
+  std::uint64_t buffered = client_spans_.size();
+  std::uint64_t dropped = client_spans_.dropped();
+  for (const auto& node : nodes_) {
+    buffered += node->span_buffer().size();
+    dropped += node->span_buffer().dropped();
+  }
+  snap.gauges.push_back(
+      {"trace.spans_buffered", static_cast<std::int64_t>(buffered)});
+  add_counter("trace.spans_dropped", dropped);
+
+  snap.sort();
+  return snap;
+}
+
+obs::QueryTrace Client::collect_trace(std::uint64_t query_id) {
+  require(indexed_, "Client::collect_trace before index()/load_index()");
+  for (net::NodeId id = 0; id < topology_->total_nodes(); ++id) {
+    if (transport_down(id)) continue;
+    net::Message collect;
+    collect.from = net::kClientNode;
+    collect.to = id;
+    collect.type = kCollectTrace;
+    collect.request_id = query_id;
+    transport_->send(std::move(collect));
+  }
+  settle();
+
+  obs::QueryTrace trace;
+  trace.query_id = query_id;
+  {
+    std::lock_guard lock(trace_mu_);
+    auto it = trace_reports_.find(query_id);
+    if (it != trace_reports_.end()) {
+      trace.spans = std::move(it->second);
+      trace_reports_.erase(it);
+    }
+  }
+  for (auto& span : client_spans_.take(query_id)) {
+    trace.spans.push_back(std::move(span));
+  }
+  trace.sort();
+  return trace;
 }
 
 // --- telemetry --------------------------------------------------------------
@@ -486,6 +659,7 @@ void Client::load_index(const std::string& path) {
   }
   next_sequence_id_ = watermark;
   indexed_ = true;
+  publish_load_gauges();
 }
 
 }  // namespace mendel::core

@@ -52,6 +52,8 @@
 #include "src/mendel/storage_node.h"
 #include "src/net/sim_transport.h"
 #include "src/net/thread_transport.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace mendel::core {
 
@@ -60,12 +62,12 @@ enum class TransportMode {
   kThreaded,  // one OS thread per node (wall time, real concurrency)
 };
 
-struct ClientOptions {
-  cluster::TopologyConfig topology;
-  IndexingOptions indexing;
-  vpt::PrefixTreeOptions prefix_tree;
-  net::CostModel cost;
-  std::size_t bucket_capacity = 32;
+// Runtime knobs, grouped apart from the index-shape options: everything
+// here may differ between two deployments of the same index (transport,
+// parallelism, caching, observability) without affecting results. Plain
+// aggregate with member defaults, so `RuntimeOptions{}` and partial
+// designated initialization both work.
+struct RuntimeOptions {
   // Runtime selection (see the header comment).
   TransportMode transport_mode = TransportMode::kSim;
   // Worker threads shared by all storage nodes for intra-node subquery
@@ -74,6 +76,24 @@ struct ClientOptions {
   unsigned search_threads = 0;
   // Per-node subquery NN cache entries (0 disables the cache).
   std::size_t nn_cache_capacity = 4096;
+  // Registers pipeline-stage latency histograms and client counters in the
+  // metrics registry. Off, the hot paths skip even the clock reads.
+  bool enable_metrics = true;
+  // Stamps every submitted query's dataflow with an enabled TraceContext so
+  // nodes record spans (collect with Client::collect_trace). Off, no spans
+  // are recorded anywhere.
+  bool enable_tracing = false;
+  // Bound on each node's span buffer (see obs::SpanBuffer).
+  std::size_t trace_buffer_capacity = 1 << 16;
+};
+
+struct ClientOptions {
+  cluster::TopologyConfig topology;
+  IndexingOptions indexing;
+  vpt::PrefixTreeOptions prefix_tree;
+  net::CostModel cost;
+  std::size_t bucket_capacity = 32;
+  RuntimeOptions runtime;
 };
 
 struct QueryOutcome {
@@ -82,10 +102,10 @@ struct QueryOutcome {
   // ranked result: virtual time under TransportMode::kSim (what Figures
   // 6a–6c measure), wall time under kThreaded.
   double turnaround = 0.0;
-  // Network traffic observed between this query's injection and its
-  // completion. Exact when queries run one at a time; with concurrent
-  // queries in flight it is an upper bound (traffic of overlapping queries
-  // is attributed to every query it overlaps).
+  // Exactly this query's network traffic, even with other queries in
+  // flight: the transport tags every message whose request_id equals the
+  // query id into a per-query bucket between submit() and wait() (the
+  // dataflow reuses the query id as request_id end to end).
   net::NetworkStats traffic;
   // False when the query's dataflow stalled (e.g. a node failed silently
   // mid-query and a fan-in never completed). The client then broadcasts
@@ -97,6 +117,10 @@ struct QueryOutcome {
 struct QueryTicket {
   std::uint64_t id = 0;
   double injected_at = 0.0;
+  // Deprecated: cluster-wide totals at submit time. QueryOutcome.traffic is
+  // now computed from the transport's per-query attribution, which is exact
+  // under concurrency; the after-minus-before diff over this field was only
+  // an upper bound. Kept (and still populated) so existing callers build.
   net::NetworkStats traffic_before;
 };
 
@@ -149,9 +173,28 @@ class Client {
   std::vector<QueryOutcome> query_batch(
       const std::vector<seq::Sequence>& queries, QueryParams params = {});
 
+  // --- observability -----------------------------------------------------
+  // One coherent reading of every stat the cluster keeps: the registry's
+  // own instruments (pipeline-stage latency histograms, client counters)
+  // plus synthetic entries folding in the per-node NodeCounters totals
+  // (node.*), transport traffic (net.*) and span-buffer health (trace.*).
+  // Serialize with MetricsSnapshot::to_json()/to_prometheus().
+  obs::MetricsSnapshot metrics() const;
+  // The registry behind metrics(); for attaching extra instruments.
+  obs::MetricsRegistry& metrics_registry() { return registry_; }
+  // Collects a traced query's spans from every alive node (kCollectTrace
+  // broadcast) plus the client's own submit/reply spans, and reassembles
+  // the timeline. Call after wait(); requires runtime.enable_tracing.
+  // Spans live in bounded per-node buffers until collected, so collect (or
+  // ignore) traces promptly when tracing many queries.
+  obs::QueryTrace collect_trace(std::uint64_t query_id);
+
   // --- telemetry ---------------------------------------------------------
   const cluster::Topology& topology() const;
   std::vector<std::uint64_t> block_counts() const;
+  // Deprecated: summed NodeCounters across nodes. Prefer metrics(), which
+  // includes these totals as node.* counters next to everything else. Kept
+  // so existing callers build.
   NodeCounters total_counters() const;
   // The simulator instance (TransportMode::kSim only).
   net::SimTransport& transport();
@@ -207,6 +250,14 @@ class Client {
   QueryOutcome wait_threaded(const QueryTicket& ticket);
   QueryOutcome finish_outcome(const QueryTicket& ticket,
                               std::optional<Reply> reply);
+  // Records a client-side span (node = net::kClientNode) and returns its id
+  // (0 when tracing is off).
+  std::uint64_t record_client_span(const char* name, std::uint64_t query_id,
+                                   std::uint64_t parent_span, double start,
+                                   std::uint64_t value);
+  // Refreshes the cluster.load_* gauges from the current block placement;
+  // called whenever placement changes (index/add_sequences/add_node/load).
+  void publish_load_gauges();
 
   ClientOptions options_;
   std::unique_ptr<cluster::Topology> topology_;
@@ -238,6 +289,23 @@ class Client {
   std::mutex cancel_mu_;
   std::map<net::NodeId, std::vector<std::uint64_t>> deferred_cancels_
       MENDEL_GUARDED_BY(cancel_mu_);
+
+  // --- observability state ------------------------------------------------
+  obs::MetricsRegistry registry_;
+  // Client counters / turnaround histogram; null when metrics are off.
+  obs::Counter* c_submitted_ = nullptr;
+  obs::Counter* c_completed_ = nullptr;
+  obs::Counter* c_stalled_ = nullptr;
+  obs::LatencyHistogram* h_turnaround_ = nullptr;
+  // The client's own spans (client.submit / client.reply) plus, keyed by
+  // query id, the submit span each reply should parent to and the span
+  // reports nodes send back for kCollectTrace.
+  obs::SpanBuffer client_spans_;
+  std::mutex trace_mu_;
+  std::unordered_map<std::uint64_t, std::uint64_t> submit_spans_
+      MENDEL_GUARDED_BY(trace_mu_);
+  std::unordered_map<std::uint64_t, std::vector<obs::SpanRecord>>
+      trace_reports_ MENDEL_GUARDED_BY(trace_mu_);
 };
 
 }  // namespace mendel::core

@@ -52,18 +52,21 @@ Subquery Subquery::decode(CodecReader& r) {
 
 void QueryRequestPayload::encode(CodecWriter& w) const {
   params.encode(w);
+  trace.encode(w);
   encode_codes(w, query);
 }
 
 QueryRequestPayload QueryRequestPayload::decode(CodecReader& r) {
   QueryRequestPayload p;
   p.params = QueryParams::decode(r);
+  p.trace = obs::TraceContext::decode(r);
   p.query = decode_codes(r);
   return p;
 }
 
 void GroupQueryPayload::encode(CodecWriter& w) const {
   params.encode(w);
+  trace.encode(w);
   encode_codes(w, query);
   w.vec(subqueries,
         [](CodecWriter& ww, const Subquery& s) { s.encode(ww); });
@@ -72,6 +75,7 @@ void GroupQueryPayload::encode(CodecWriter& w) const {
 GroupQueryPayload GroupQueryPayload::decode(CodecReader& r) {
   GroupQueryPayload p;
   p.params = QueryParams::decode(r);
+  p.trace = obs::TraceContext::decode(r);
   p.query = decode_codes(r);
   p.subqueries =
       r.vec<Subquery>([](CodecReader& rr) { return Subquery::decode(rr); });
@@ -79,9 +83,11 @@ GroupQueryPayload GroupQueryPayload::decode(CodecReader& r) {
 }
 
 std::vector<std::uint8_t> encode_group_query_prefix(
-    const QueryParams& params, const std::vector<seq::Code>& query) {
+    const QueryParams& params, const obs::TraceContext& trace,
+    const std::vector<seq::Code>& query) {
   CodecWriter w;
   params.encode(w);
+  trace.encode(w);
   encode_codes(w, query);
   return w.take();
 }
@@ -98,6 +104,7 @@ std::vector<std::uint8_t> encode_group_query(
 
 void NodeSearchPayload::encode(CodecWriter& w) const {
   params.encode(w);
+  trace.encode(w);
   w.vec(subqueries,
         [](CodecWriter& ww, const Subquery& s) { s.encode(ww); });
 }
@@ -105,6 +112,7 @@ void NodeSearchPayload::encode(CodecWriter& w) const {
 NodeSearchPayload NodeSearchPayload::decode(CodecReader& r) {
   NodeSearchPayload p;
   p.params = QueryParams::decode(r);
+  p.trace = obs::TraceContext::decode(r);
   p.subqueries =
       r.vec<Subquery>([](CodecReader& rr) { return Subquery::decode(rr); });
   return p;
@@ -177,6 +185,7 @@ void FetchRangePayload::encode(CodecWriter& w) const {
   w.u32(sequence);
   w.u32(start);
   w.u32(length);
+  trace.encode(w);
 }
 
 FetchRangePayload FetchRangePayload::decode(CodecReader& r) {
@@ -186,6 +195,7 @@ FetchRangePayload FetchRangePayload::decode(CodecReader& r) {
   p.sequence = r.u32();
   p.start = r.u32();
   p.length = r.u32();
+  p.trace = obs::TraceContext::decode(r);
   return p;
 }
 
@@ -251,6 +261,18 @@ QueryResultPayload QueryResultPayload::decode(CodecReader& r) {
     h.subject_segment = rr.bytes();
     return h;
   });
+  return p;
+}
+
+void TraceReportPayload::encode(CodecWriter& w) const {
+  w.vec(spans,
+        [](CodecWriter& ww, const obs::SpanRecord& s) { s.encode(ww); });
+}
+
+TraceReportPayload TraceReportPayload::decode(CodecReader& r) {
+  TraceReportPayload p;
+  p.spans = r.vec<obs::SpanRecord>(
+      [](CodecReader& rr) { return obs::SpanRecord::decode(rr); });
   return p;
 }
 

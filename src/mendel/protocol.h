@@ -32,6 +32,7 @@
 #include "src/mendel/block.h"
 #include "src/mendel/params.h"
 #include "src/net/message.h"
+#include "src/obs/trace.h"
 
 namespace mendel::core {
 
@@ -53,6 +54,11 @@ enum MessageType : std::uint32_t {
   // locally stored block and sequence against the shared topology and ship
   // anything this node no longer owns to its current owners.
   kRebalance = 31,
+  // Observability: the client broadcasts kCollectTrace (request_id = query
+  // id) after a traced query completes; each node drains that query's spans
+  // from its SpanBuffer and replies kTraceReport.
+  kCollectTrace = 40,
+  kTraceReport = 41,
 };
 
 // --- Indexing ---------------------------------------------------------
@@ -84,8 +90,15 @@ struct Subquery {
   static Subquery decode(CodecReader& r);
 };
 
+// The query-dataflow payloads below carry an obs::TraceContext so every
+// node doing work for a query knows whether to record spans and which
+// upstream span caused the work (the query id itself is the message's
+// request_id). Result payloads don't need one: the receiver's pending
+// state already holds the query's context.
+
 struct QueryRequestPayload {
   QueryParams params;
+  obs::TraceContext trace;
   std::vector<seq::Code> query;
 
   void encode(CodecWriter& w) const;
@@ -94,6 +107,7 @@ struct QueryRequestPayload {
 
 struct GroupQueryPayload {
   QueryParams params;
+  obs::TraceContext trace;
   std::vector<seq::Code> query;
   std::vector<Subquery> subqueries;
 
@@ -102,18 +116,20 @@ struct GroupQueryPayload {
 };
 
 // Split GroupQueryPayload encoding: the coordinator serializes the
-// params+query prefix once and appends each group's subquery set, instead
-// of copying the full query into a payload struct per selected group.
-// encode_group_query(prefix, subs) yields byte-identical output to
-// GroupQueryPayload{params, query, subs}.encode().
+// params+trace+query prefix once and appends each group's subquery set,
+// instead of copying the full query into a payload struct per selected
+// group. encode_group_query(prefix, subs) yields byte-identical output to
+// GroupQueryPayload{params, trace, query, subs}.encode().
 std::vector<std::uint8_t> encode_group_query_prefix(
-    const QueryParams& params, const std::vector<seq::Code>& query);
+    const QueryParams& params, const obs::TraceContext& trace,
+    const std::vector<seq::Code>& query);
 std::vector<std::uint8_t> encode_group_query(
     const std::vector<std::uint8_t>& prefix,
     const std::vector<Subquery>& subqueries);
 
 struct NodeSearchPayload {
   QueryParams params;
+  obs::TraceContext trace;
   std::vector<Subquery> subqueries;
 
   void encode(CodecWriter& w) const;
@@ -192,6 +208,7 @@ struct FetchRangePayload {
   std::uint32_t sequence = 0;
   std::uint32_t start = 0;
   std::uint32_t length = 0;
+  obs::TraceContext trace;
 
   void encode(CodecWriter& w) const;
   static FetchRangePayload decode(CodecReader& r);
@@ -217,6 +234,16 @@ struct QueryResultPayload {
 
   void encode(CodecWriter& w) const;
   static QueryResultPayload decode(CodecReader& r);
+};
+
+// --- Observability ------------------------------------------------------
+
+// One node's spans for one query, answering kCollectTrace.
+struct TraceReportPayload {
+  std::vector<obs::SpanRecord> spans;
+
+  void encode(CodecWriter& w) const;
+  static TraceReportPayload decode(CodecReader& r);
 };
 
 // Helper: serialize any payload struct into message bytes.

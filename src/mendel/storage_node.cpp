@@ -6,21 +6,66 @@
 #include "src/align/ungapped.h"
 #include "src/common/check.h"
 #include "src/common/error.h"
+#include "src/common/stopwatch.h"
 #include "src/mendel/anchors.h"
 #include "src/scoring/matrix.h"
 
 namespace mendel::core {
+
+namespace {
+
+// Virtual-clock deltas (Context::now() differences) converted to span
+// nanoseconds; deterministic under the simulator because both endpoints
+// come from the virtual clock.
+std::uint64_t delta_ns(double begin, double end) {
+  const double seconds = end - begin;
+  return seconds <= 0.0 ? 0
+                        : static_cast<std::uint64_t>(seconds * 1e9 + 0.5);
+}
+
+}  // namespace
 
 StorageNode::StorageNode(net::NodeId id, StorageNodeConfig config)
     : id_(id),
       config_(config),
       tree_(BlockRefMetric{config.distance, &arena_, &probe_},
             vpt::DynamicVpTreeOptions{config.bucket_capacity, true, 2.0,
-                                      0x6e6f6465ULL + id}) {
+                                      0x6e6f6465ULL + id}),
+      span_buffer_(config.trace_buffer_capacity) {
   require(config_.topology != nullptr, "StorageNode: null topology");
   require(config_.prefix_tree != nullptr, "StorageNode: null prefix tree");
   require(config_.distance != nullptr, "StorageNode: null distance matrix");
   max_residue_distance_ = config_.distance->max_entry();
+  if (config_.metrics != nullptr) {
+    // Handles resolved once; the per-message path never touches the
+    // registry's name table.
+    h_handler_ = &config_.metrics->histogram("node.handler_seconds");
+    h_search_ = &config_.metrics->histogram("node.search_seconds");
+    h_subquery_ = &config_.metrics->histogram("node.subquery_seconds");
+    h_group_fanin_ = &config_.metrics->histogram("group.fanin_wait_seconds");
+    h_coord_fanin_ = &config_.metrics->histogram("coord.fanin_wait_seconds");
+  }
+}
+
+std::uint64_t StorageNode::record_span(const char* name,
+                                       std::uint64_t query_id,
+                                       const obs::TraceContext& trace,
+                                       double start,
+                                       std::uint64_t duration_ns,
+                                       std::uint64_t value) {
+  if (!trace.on()) return 0;
+  obs::SpanRecord span;
+  span.name = name;
+  span.node = id_;
+  span.query_id = query_id;
+  span.span_id = span_buffer_.next_span_id(id_);
+  span.parent_span = trace.parent_span;
+  span.start = start;
+  span.duration_ns = duration_ns;
+  span.value = value;
+  const std::uint64_t span_id = span.span_id;
+  span_buffer_.add(std::move(span));
+  return span_id;
 }
 
 std::vector<StorageNode::BlockRef> StorageNode::admit_blocks(
@@ -84,6 +129,13 @@ net::NodeId StorageNode::pick_sequence_home(std::uint64_t key) const {
 }
 
 void StorageNode::handle(const net::Message& message, net::Context& ctx) {
+  // Sampled 1-in-16: a query dispatches on the order of a thousand messages
+  // (per-subquery fetches), so two clock reads on every one is measurable
+  // against the observability overhead budget. Uniform sampling keeps the
+  // distribution shape; a null histogram makes ScopedTimer skip the clock.
+  const bool time_dispatch =
+      h_handler_ != nullptr && (handler_ticks_++ % kHandlerSample) == 0;
+  const obs::ScopedTimer dispatch_timer(time_dispatch ? h_handler_ : nullptr);
   switch (message.type) {
     case kStoreSequence:
       on_store_sequence(message);
@@ -118,6 +170,9 @@ void StorageNode::handle(const net::Message& message, net::Context& ctx) {
       return;
     case kRebalance:
       on_rebalance(ctx);
+      return;
+    case kCollectTrace:
+      on_collect_trace(message, ctx);
       return;
     default:
       throw ProtocolError("StorageNode " + std::to_string(id_) +
@@ -182,8 +237,20 @@ void StorageNode::on_fetch_range(const net::Message& message,
     reply.sequence_name = it->second.name;
     reply.codes.assign(codes.begin() + start, codes.begin() + end);
   }
+  record_span("node.fetch", message.request_id, request.trace, ctx.now(), 0,
+              reply.codes.size());
   ctx.send(message.from, kFetchRangeResult, message.request_id,
            encode_payload(reply));
+}
+
+// --- observability -------------------------------------------------------
+
+void StorageNode::on_collect_trace(const net::Message& message,
+                                   net::Context& ctx) {
+  TraceReportPayload report;
+  report.spans = span_buffer_.take(message.request_id);
+  ctx.send(message.from, kTraceReport, message.request_id,
+           encode_payload(report));
 }
 
 // --- coordinator: query entry ----------------------------------------------
@@ -246,11 +313,19 @@ void StorageNode::on_query_request(const net::Message& message,
     for (std::uint32_t group : groups) per_group[group].push_back(sub);
   }
 
+  // The routing span parents every downstream group's work; the pending
+  // trace context carries it to the coordinator's own later stages.
+  const std::uint64_t route_span =
+      record_span("coord.route", query_id, request.trace, ctx.now(), 0,
+                  subqueries.size());
+  pending.trace = request.trace.child(route_span);
+  pending.created = ctx.now();
+
   // Dispatch one GroupQuery per selected group to an alive entry node.
-  // The params+query prefix is serialized once; only each group's
+  // The params+trace+query prefix is serialized once; only each group's
   // subquery set differs per message.
   const auto prefix =
-      encode_group_query_prefix(request.params, request.query);
+      encode_group_query_prefix(request.params, pending.trace, request.query);
   std::size_t dispatched = 0;
   for (auto& [group, subs] : per_group) {
     const auto alive = alive_group_members(group);
@@ -287,8 +362,14 @@ void StorageNode::on_group_query(const net::Message& message,
   // Flat-hash dispersal means any node of the group may hold relevant
   // blocks: replicate the search to every alive member (paper §V-B).
   const auto members = alive_group_members(group);
+  const std::uint64_t broadcast_span =
+      record_span("group.broadcast", query_id, request.trace, ctx.now(), 0,
+                  members.size());
+  pending.trace = request.trace.child(broadcast_span);
+  pending.created = ctx.now();
   NodeSearchPayload search;
   search.params = request.params;
+  search.trace = pending.trace;
   search.subqueries = std::move(request.subqueries);
   const auto encoded = encode_payload(search);
   for (net::NodeId member : members) {
@@ -366,6 +447,12 @@ void StorageNode::on_node_search(const net::Message& message,
   auto request = decode_payload<NodeSearchPayload>(message.payload);
   const auto& matrix = score::matrix_by_name(request.params.matrix);
   const std::size_t count = request.subqueries.size();
+  // Span duration is wall time under the threaded transport only; under
+  // virtual time a measured duration would differ run to run and break
+  // trace byte-stability.
+  const bool measure_span = request.trace.on() && !ctx.virtual_time();
+  Stopwatch search_watch;
+  const obs::ScopedTimer search_timer(h_search_);
 
   // Phase 1 (handler thread): resolve each subquery against the NN cache.
   // Only misses pay for a vp-tree search.
@@ -408,6 +495,7 @@ void StorageNode::on_node_search(const net::Message& message,
   // writes back to the handler thread.
   std::vector<std::vector<Seed>> fresh(count);
   auto search_one = [&](std::size_t j) {
+    const obs::ScopedTimer subquery_timer(h_subquery_);
     const std::size_t i = misses[j];
     fresh[i] = search_subquery(request.subqueries[i].window, request.params,
                                matrix);
@@ -442,6 +530,9 @@ void StorageNode::on_node_search(const net::Message& message,
     }
   }
   counters_.seeds_emitted += reply.seeds.size();
+  record_span("node.search", message.request_id, request.trace, ctx.now(),
+              measure_span ? delta_ns(0.0, search_watch.seconds()) : 0,
+              count);
   ctx.send(message.from, kNodeSearchResult, message.request_id,
            encode_payload(reply));
 }
@@ -462,6 +553,10 @@ void StorageNode::on_node_search_result(const net::Message& message,
                        << " got a search result from node " << message.from
                        << " with none outstanding");
   if (--pending.awaiting_nodes > 0) return;
+  if (h_group_fanin_ != nullptr) {
+    // Broadcast → last search result; virtual seconds under the simulator.
+    h_group_fanin_->record_seconds(ctx.now() - pending.created);
+  }
   group_entry_merge_and_fetch(message.request_id, pending, ctx);
 }
 
@@ -523,6 +618,11 @@ void StorageNode::group_entry_merge_and_fetch(std::uint64_t query_id,
   pending.merged = std::move(merged);
   pending.fetched.assign(pending.merged.size(), std::nullopt);
 
+  const std::uint64_t merge_span =
+      record_span("group.merge", query_id, pending.trace, ctx.now(), 0,
+                  pending.merged.size());
+  const obs::TraceContext fetch_trace = pending.trace.child(merge_span);
+
   // Batched range fetches: one per merged seed, margin either side.
   const std::uint32_t margin = pending.params.extension_margin;
   std::size_t sent = 0;
@@ -534,6 +634,7 @@ void StorageNode::group_entry_merge_and_fetch(std::uint64_t query_id,
     FetchRangePayload fetch;
     fetch.purpose = static_cast<std::uint8_t>(FetchPurpose::kGroupExtension);
     fetch.token = static_cast<std::uint32_t>(i);
+    fetch.trace = fetch_trace;
     fetch.sequence = m.sequence;
     const std::uint32_t span = m.q_end - m.q_begin;
     fetch.start = m.s_begin > margin ? m.s_begin - margin : 0;
@@ -582,6 +683,8 @@ void StorageNode::group_entry_extend_and_reply(std::uint64_t query_id,
 
   GroupResultPayload reply;
   reply.anchors = merge_anchors(std::move(anchors));
+  record_span("group.extend", query_id, pending.trace, ctx.now(), 0,
+              reply.anchors.size());
   ctx.send(pending.coordinator, kGroupResult, query_id,
            encode_payload(reply));
   group_pending_.erase(query_id);
@@ -603,6 +706,10 @@ void StorageNode::on_group_result(const net::Message& message,
                        << " got a group result from node " << message.from
                        << " with none outstanding");
   if (--pending.awaiting_groups > 0) return;
+  if (h_coord_fanin_ != nullptr) {
+    // Route → last group result; virtual seconds under the simulator.
+    h_coord_fanin_->record_seconds(ctx.now() - pending.created);
+  }
   coordinator_bin_and_fetch(message.request_id, pending, ctx);
 }
 
@@ -612,6 +719,14 @@ void StorageNode::coordinator_bin_and_fetch(std::uint64_t query_id,
   // Second aggregation stage (paper §V-B): combine overlapping anchors on
   // the same diagonal across groups, then bin by sequence.
   pending.anchors = merge_anchors(std::move(pending.anchors));
+
+  // The fan-in span covers route → last group result. The duration comes
+  // from clock deltas, so it is virtual (and deterministic) under the
+  // simulator and wall time under the threaded transport.
+  const std::uint64_t fanin_span = record_span(
+      "coord.fanin", query_id, pending.trace, pending.created,
+      delta_ns(pending.created, ctx.now()), pending.anchors.size());
+  const obs::TraceContext fetch_trace = pending.trace.child(fanin_span);
 
   std::map<std::uint32_t, SequenceBin> bins;
   for (const Anchor& anchor : pending.anchors) {
@@ -667,6 +782,7 @@ void StorageNode::coordinator_bin_and_fetch(std::uint64_t query_id,
     FetchRangePayload fetch;
     fetch.purpose = static_cast<std::uint8_t>(FetchPurpose::kGappedExtension);
     fetch.token = static_cast<std::uint32_t>(i);
+    fetch.trace = fetch_trace;
     fetch.sequence = bin.sequence;
     fetch.start = lo > margin ? lo - margin : 0;
     fetch.length = (lo - fetch.start) + (hi - lo) + 2 * margin;
@@ -789,6 +905,8 @@ void StorageNode::coordinator_finish(std::uint64_t query_id,
   if (reply.hits.size() > pending.params.max_hits) {
     reply.hits.resize(pending.params.max_hits);
   }
+  record_span("coord.finish", query_id, pending.trace, ctx.now(), 0,
+              reply.hits.size());
   ctx.send(pending.client, kQueryResult, query_id, encode_payload(reply));
   coord_pending_.erase(query_id);
 }

@@ -42,6 +42,8 @@
 #include "src/common/thread_pool.h"
 #include "src/mendel/protocol.h"
 #include "src/net/message.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/scoring/distance.h"
 #include "src/scoring/karlin.h"
 #include "src/vptree/dynamic_vptree.h"
@@ -74,6 +76,13 @@ struct StorageNodeConfig {
   // out; the vp-tree structural audit still runs. No effect outside
   // MENDEL_CHECKED builds.
   bool checked_placement_audit = true;
+  // Shared metrics registry for pipeline-stage latency histograms. nullptr
+  // (the default) disables histogram instrumentation entirely — the hot
+  // paths then skip even the clock reads.
+  obs::MetricsRegistry* metrics = nullptr;
+  // Bound on this node's trace span buffer; spans past it are counted as
+  // dropped rather than growing node memory while no collector runs.
+  std::size_t trace_buffer_capacity = 1 << 16;
 };
 
 // Per-node work counters (telemetry for benches and tests).
@@ -121,6 +130,9 @@ class StorageNode final : public net::Actor {
     std::lock_guard lock(nn_cache_mu_);
     return nn_cache_.size();
   }
+
+  // Spans recorded for traced queries, awaiting a kCollectTrace broadcast.
+  const obs::SpanBuffer& span_buffer() const { return span_buffer_; }
 
   // Membership view for fault tolerance: nodes marked down are excluded
   // from fan-outs and home-node selection. (The paper leaves fault
@@ -224,6 +236,10 @@ class StorageNode final : public net::Actor {
     std::vector<MergedSeed> merged;
     std::vector<std::optional<FetchedRange>> fetched;
     std::size_t awaiting_fetches = 0;
+    // observability: trace context for downstream spans (parent = this
+    // entry's group.broadcast span) and the fan-in wait origin.
+    obs::TraceContext trace;
+    double created = 0.0;
   };
 
   // ---- coordinator pending state ----
@@ -241,6 +257,10 @@ class StorageNode final : public net::Actor {
     std::vector<SequenceBin> bins;
     std::vector<std::optional<FetchedRange>> fetched;
     std::size_t awaiting_fetches = 0;
+    // observability: trace context for downstream spans (parent = this
+    // coordinator's coord.route span) and the fan-in wait origin.
+    obs::TraceContext trace;
+    double created = 0.0;
   };
 
   // Handlers, one per message type.
@@ -254,6 +274,13 @@ class StorageNode final : public net::Actor {
   void on_fetch_range_result(const net::Message& message, net::Context& ctx);
   void on_group_result(const net::Message& message, net::Context& ctx);
   void on_rebalance(net::Context& ctx);
+  void on_collect_trace(const net::Message& message, net::Context& ctx);
+
+  // Records one span for a traced query and returns its id so callers can
+  // parent downstream work on it; no-op (returns 0) when `trace` is off.
+  std::uint64_t record_span(const char* name, std::uint64_t query_id,
+                            const obs::TraceContext& trace, double start,
+                            std::uint64_t duration_ns, std::uint64_t value);
 
   // Stage transitions.
   void group_entry_merge_and_fetch(std::uint64_t query_id,
@@ -336,6 +363,20 @@ class StorageNode final : public net::Actor {
   mutable std::mutex nn_cache_mu_;
   std::unordered_map<std::string, std::vector<Seed>> nn_cache_
       MENDEL_GUARDED_BY(nn_cache_mu_);
+
+  // Observability: span storage for traced queries and cached histogram
+  // handles (null when config_.metrics is null — instrumentation then
+  // costs a single pointer test per site).
+  obs::SpanBuffer span_buffer_;
+  // Dispatch-time histogram sampling (handler thread only): every
+  // kHandlerSample-th message pays the two clock reads.
+  static constexpr std::uint64_t kHandlerSample = 16;
+  std::uint64_t handler_ticks_ = 0;
+  obs::LatencyHistogram* h_handler_ = nullptr;
+  obs::LatencyHistogram* h_search_ = nullptr;
+  obs::LatencyHistogram* h_subquery_ = nullptr;
+  obs::LatencyHistogram* h_group_fanin_ = nullptr;
+  obs::LatencyHistogram* h_coord_fanin_ = nullptr;
 };
 
 }  // namespace mendel::core

@@ -59,14 +59,21 @@ class Transport;
 // messages and observe its own clock.
 class Context {
  public:
-  Context(Transport* transport, NodeId self, double now)
-      : transport_(transport), self_(self), now_(now) {}
+  Context(Transport* transport, NodeId self, double now,
+          bool virtual_time = false)
+      : transport_(transport), self_(self), now_(now),
+        virtual_time_(virtual_time) {}
 
   NodeId self() const { return self_; }
 
   // Current time in seconds: virtual time under SimTransport, wall time
   // under ThreadTransport.
   double now() const { return now_; }
+
+  // True under the simulator, where now() is virtual and measuring wall
+  // durations would break run-to-run determinism (trace spans record
+  // duration 0 instead).
+  bool virtual_time() const { return virtual_time_; }
 
   void send(NodeId to, std::uint32_t type, std::uint64_t request_id,
             std::vector<std::uint8_t> payload);
@@ -75,6 +82,7 @@ class Context {
   Transport* transport_;
   NodeId self_;
   double now_;
+  bool virtual_time_;
 };
 
 class Actor {
@@ -115,6 +123,22 @@ class Transport {
   virtual void send(Message message) = 0;
 
   virtual NetworkStats stats() const = 0;
+
+  // --- per-query traffic attribution ------------------------------------
+  // Opt-in exact accounting: after begin_query_stats(id), every message
+  // whose request_id equals `id` is also counted into a per-query bucket
+  // until take_query_stats(id) removes and returns it. Because the query
+  // dataflow reuses the query id as request_id end to end, the bucket is
+  // exactly that query's traffic even with other queries in flight. Only
+  // registered ids pay the bookkeeping; the defaults make the feature a
+  // no-op for Transport subclasses that don't implement it.
+  virtual void begin_query_stats(std::uint64_t query_id) {
+    (void)query_id;
+  }
+  virtual NetworkStats take_query_stats(std::uint64_t query_id) {
+    (void)query_id;
+    return {};
+  }
 };
 
 }  // namespace mendel::net

@@ -22,6 +22,22 @@ void SimTransport::send(Message message) {
   }
   stats_.messages += 1;
   stats_.bytes += message.wire_size();
+  if (!query_stats_.empty()) {
+    // A query's ~thousand messages all carry the same request_id, so one
+    // memoized bucket pointer replaces a map lookup per message. std::map
+    // value pointers survive unrelated insert/erase; begin/take invalidate
+    // the memo when they touch the cached id.
+    if (message.request_id != last_stats_id_ || !last_stats_valid_) {
+      auto it = query_stats_.find(message.request_id);
+      last_stats_id_ = message.request_id;
+      last_stats_ = it == query_stats_.end() ? nullptr : &it->second;
+      last_stats_valid_ = true;
+    }
+    if (last_stats_ != nullptr) {
+      last_stats_->messages += 1;
+      last_stats_->bytes += message.wire_size();
+    }
+  }
   if (in_handler_) {
     // A handler's outbound messages depart when the handler's node clock
     // advances past its (yet unknown) completion time; buffer them and
@@ -53,7 +69,7 @@ double SimTransport::run_until_idle() {
     // Execute the real handler, measuring its CPU cost.
     in_handler_ = true;
     Stopwatch watch;
-    Context ctx(this, event.message.to, start);
+    Context ctx(this, event.message.to, start, /*virtual_time=*/true);
     try {
       actor->handle(event.message, ctx);
     } catch (...) {

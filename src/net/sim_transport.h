@@ -71,6 +71,21 @@ class SimTransport final : public Transport {
   double node_clock(NodeId id) const;
   NetworkStats stats() const override { return stats_; }
 
+  // Per-query traffic attribution (see Transport). The engine is
+  // single-threaded, so a plain map suffices.
+  void begin_query_stats(std::uint64_t query_id) override {
+    query_stats_[query_id] = {};
+    last_stats_valid_ = false;  // send() memoizes a bucket pointer
+  }
+  NetworkStats take_query_stats(std::uint64_t query_id) override {
+    auto it = query_stats_.find(query_id);
+    if (it == query_stats_.end()) return {};
+    NetworkStats out = it->second;
+    query_stats_.erase(it);
+    last_stats_valid_ = false;
+    return out;
+  }
+
   // Total measured handler CPU seconds charged so far (all nodes).
   double total_cpu_seconds() const { return total_cpu_; }
 
@@ -101,6 +116,12 @@ class SimTransport final : public Transport {
   std::map<NodeId, bool> failed_;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   NetworkStats stats_;
+  std::map<std::uint64_t, NetworkStats> query_stats_;
+  // Memoized query_stats_ bucket for the current request_id (send() hot
+  // path); invalidated whenever begin/take mutate the map.
+  std::uint64_t last_stats_id_ = 0;
+  NetworkStats* last_stats_ = nullptr;
+  bool last_stats_valid_ = false;
   std::uint64_t next_seq_ = 0;
   std::uint64_t dropped_ = 0;
   double external_now_ = 0.0;

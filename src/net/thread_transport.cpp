@@ -43,6 +43,22 @@ void ThreadTransport::send(Message message) {
   // counts at send and drops at delivery).
   messages_.fetch_add(1, std::memory_order_relaxed);
   bytes_.fetch_add(message.wire_size(), std::memory_order_relaxed);
+  // Per-query attribution only when someone registered a query: the atomic
+  // gate keeps the untracked hot path free of locks and hash lookups.
+  if (message.request_id != 0 &&
+      tracked_queries_.load(std::memory_order_acquire) != 0) {
+    if (StatSlot* slot = find_stat_slot(message.request_id)) {
+      slot->messages.fetch_add(1, std::memory_order_relaxed);
+      slot->bytes.fetch_add(message.wire_size(), std::memory_order_relaxed);
+    } else if (overflow_tracked_.load(std::memory_order_acquire) != 0) {
+      std::lock_guard lock(stats_mu_);
+      auto stats_it = overflow_stats_.find(message.request_id);
+      if (stats_it != overflow_stats_.end()) {
+        stats_it->second.messages += 1;
+        stats_it->second.bytes += message.wire_size();
+      }
+    }
+  }
   if (mailbox->failed.load(std::memory_order_relaxed)) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -121,6 +137,52 @@ void ThreadTransport::drain_and_stop() {
   }
   for (auto& worker : workers_) worker.join();
   stopped_ = true;
+}
+
+void ThreadTransport::begin_query_stats(std::uint64_t query_id) {
+  if (query_id == 0) return;  // 0 is the "untracked" sentinel in send()
+  std::lock_guard lock(stats_mu_);
+  if (find_stat_slot(query_id) != nullptr ||
+      overflow_stats_.contains(query_id)) {
+    return;  // already tracked
+  }
+  const std::size_t h = static_cast<std::size_t>(query_id) % kStatSlots;
+  for (std::size_t p = 0; p < kStatProbe; ++p) {
+    StatSlot& slot = stat_slots_[(h + p) % kStatSlots];
+    // Only begin/take mutate ids, both under stats_mu_, so a plain check
+    // suffices; the release store publishes the zeroed counters to the
+    // lock-free readers in send().
+    if (slot.id.load(std::memory_order_relaxed) != 0) continue;
+    slot.messages.store(0, std::memory_order_relaxed);
+    slot.bytes.store(0, std::memory_order_relaxed);
+    slot.id.store(query_id, std::memory_order_release);
+    tracked_queries_.fetch_add(1, std::memory_order_release);
+    return;
+  }
+  overflow_stats_.emplace(query_id, NetworkStats{});
+  overflow_tracked_.fetch_add(1, std::memory_order_release);
+  tracked_queries_.fetch_add(1, std::memory_order_release);
+}
+
+NetworkStats ThreadTransport::take_query_stats(std::uint64_t query_id) {
+  std::lock_guard lock(stats_mu_);
+  if (StatSlot* slot = find_stat_slot(query_id)) {
+    // The caller settles the query before taking its stats, so no send()
+    // for this id races the release of the slot.
+    NetworkStats out;
+    out.messages = slot->messages.load(std::memory_order_relaxed);
+    out.bytes = slot->bytes.load(std::memory_order_relaxed);
+    slot->id.store(0, std::memory_order_release);
+    tracked_queries_.fetch_sub(1, std::memory_order_release);
+    return out;
+  }
+  auto it = overflow_stats_.find(query_id);
+  if (it == overflow_stats_.end()) return {};
+  NetworkStats out = it->second;
+  overflow_stats_.erase(it);
+  overflow_tracked_.fetch_sub(1, std::memory_order_release);
+  tracked_queries_.fetch_sub(1, std::memory_order_release);
+  return out;
 }
 
 NetworkStats ThreadTransport::stats() const {

@@ -10,6 +10,7 @@
 // scalability figures (see sim_transport.h for why).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <deque>
@@ -18,6 +19,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/thread_annotations.h"
@@ -61,6 +63,14 @@ class ThreadTransport final : public Transport {
   void drain_and_stop();
 
   NetworkStats stats() const override;
+
+  // Per-query traffic attribution (see Transport). Counting happens on the
+  // send() hot path, so the common cases stay lock-free: an atomic count of
+  // tracked queries gates the whole feature (zero → no lookup at all), and
+  // tracked ids hash into a small array of mutex-guarded shard maps so
+  // concurrent queries rarely contend on one lock.
+  void begin_query_stats(std::uint64_t query_id) override;
+  NetworkStats take_query_stats(std::uint64_t query_id) override;
 
   // --- fault injection (mirrors SimTransport) ---------------------------
   // A failed node's inbound messages are dropped at send() time.
@@ -112,6 +122,38 @@ class ThreadTransport final : public Transport {
 
   mutable std::mutex errors_mu_;
   std::vector<std::string> errors_ MENDEL_GUARDED_BY(errors_mu_);
+
+  // Per-query traffic buckets. send() is the cross-node hot path and a
+  // tracked query routes every one of its ~thousand messages through it,
+  // so attribution must not take a lock there: a tracked id claims one
+  // slot in a fixed open-addressed table and senders bump its relaxed
+  // atomic counters after a lock-free probe. begin/take serialize slot
+  // claim and release on stats_mu_ (cold, twice per query). When the table
+  // is full — batches larger than kStatSlots in flight — excess ids fall
+  // back to a mutex-guarded overflow map: attribution stays exact, only
+  // slower, and send() consults it only while overflow_tracked_ is
+  // nonzero.
+  struct StatSlot {
+    std::atomic<std::uint64_t> id{0};  // 0 = free (the untracked sentinel)
+    std::atomic<std::uint64_t> messages{0};
+    std::atomic<std::uint64_t> bytes{0};
+  };
+  static constexpr std::size_t kStatSlots = 128;
+  static constexpr std::size_t kStatProbe = 8;
+  StatSlot* find_stat_slot(std::uint64_t query_id) {
+    const std::size_t h = static_cast<std::size_t>(query_id) % kStatSlots;
+    for (std::size_t p = 0; p < kStatProbe; ++p) {
+      StatSlot& slot = stat_slots_[(h + p) % kStatSlots];
+      if (slot.id.load(std::memory_order_acquire) == query_id) return &slot;
+    }
+    return nullptr;
+  }
+  std::array<StatSlot, kStatSlots> stat_slots_;
+  std::mutex stats_mu_;
+  std::unordered_map<std::uint64_t, NetworkStats> overflow_stats_
+      MENDEL_GUARDED_BY(stats_mu_);
+  std::atomic<std::size_t> overflow_tracked_{0};
+  std::atomic<std::size_t> tracked_queries_{0};
 };
 
 }  // namespace mendel::net

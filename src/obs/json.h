@@ -1,0 +1,63 @@
+// Minimal JSON document model + recursive-descent parser.
+//
+// The observability exports (MetricsSnapshot::to_json, QueryTrace::to_json)
+// are produced by hand-rolled writers; this parser is the other half of the
+// round trip, used by the export-format tests and by the
+// tools/check_metrics_schema validator. It covers the full JSON grammar
+// (objects, arrays, strings with escapes, numbers, booleans, null) but is
+// deliberately not a general-purpose library: documents are parsed eagerly
+// into a tree of value nodes, and numbers are held as doubles (metric
+// counters fit a double's 53-bit mantissa comfortably; exports clamp there).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mendel::obs {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  // Parses a complete document; throws mendel::ParseError on malformed
+  // input or trailing garbage.
+  static Json parse(std::string_view text);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  // Typed accessors; throw ParseError when the type does not match (the
+  // callers are validators, so a mismatch is a diagnosable input error).
+  bool boolean() const;
+  double number() const;
+  const std::string& str() const;
+  const std::vector<Json>& array() const;
+  const std::vector<std::pair<std::string, Json>>& object() const;
+
+  // Object member lookup (first match); nullptr when absent or not an
+  // object.
+  const Json* find(std::string_view key) const;
+
+  // Serializes a string with JSON escaping (shared with the writers).
+  static void escape(std::string_view s, std::string& out);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+
+  class Parser;
+};
+
+}  // namespace mendel::obs

@@ -1,0 +1,275 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/obs/json.h"
+
+namespace mendel::obs {
+
+namespace {
+
+// Shortest round-trippable representation for doubles in exports; trims
+// the trailing ".0" noise printf would add for integral values.
+std::string format_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  double parsed = 0.0;
+  if (std::sscanf(buf, "%lf", &parsed) == 1 && parsed == v) {
+    for (int prec = 1; prec < 17; ++prec) {
+      char shorter[32];
+      std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+      if (std::sscanf(shorter, "%lf", &parsed) == 1 && parsed == v) {
+        return shorter;
+      }
+    }
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::size_t Counter::this_thread_shard() {
+  // Distinct threads get distinct slots (mod kShards) in arrival order; a
+  // thread's slot never changes, so its increments stay on one line.
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+void LatencyHistogram::record_ns(std::uint64_t ns) {
+  const std::size_t bin = ns == 0 ? 0 : std::bit_width(ns);
+  bins_[std::min<std::size_t>(bin, kBins - 1)].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+  std::uint64_t seen = min_ns_.load(std::memory_order_relaxed);
+  while (ns < seen && !min_ns_.compare_exchange_weak(
+                          seen, ns, std::memory_order_relaxed)) {
+  }
+  seen = max_ns_.load(std::memory_order_relaxed);
+  while (ns > seen && !max_ns_.compare_exchange_weak(
+                          seen, ns, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t HistogramValue::percentile_ns(double p) const {
+  if (count == 0) return 0;
+  const double clamped = std::min(100.0, std::max(0.0, p));
+  // Nearest-rank: the smallest bin whose cumulative count reaches rank.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(clamped / 100.0 *
+                                        static_cast<double>(count) +
+                                    0.5));
+  std::uint64_t cumulative = 0;
+  for (const auto& [idx, n] : bins) {
+    cumulative += n;
+    if (cumulative >= rank) return LatencyHistogram::bin_upper_ns(idx);
+  }
+  return max_ns;
+}
+
+std::uint64_t MetricsSnapshot::counter(std::string_view name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+std::int64_t MetricsSnapshot::gauge(std::string_view name) const {
+  for (const auto& g : gauges) {
+    if (g.name == name) return g.value;
+  }
+  return 0;
+}
+
+const HistogramValue* MetricsSnapshot::histogram(std::string_view name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+void MetricsSnapshot::sort() {
+  auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::sort(counters.begin(), counters.end(), by_name);
+  std::sort(gauges.begin(), gauges.end(), by_name);
+  std::sort(histograms.begin(), histograms.end(), by_name);
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\n  \"counters\": {";
+  char buf[64];
+  bool first = true;
+  for (const auto& c : counters) {
+    out += first ? "\n    \"" : ",\n    \"";
+    first = false;
+    Json::escape(c.name, out);
+    std::snprintf(buf, sizeof(buf), "\": %" PRIu64, c.value);
+    out += buf;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& g : gauges) {
+    out += first ? "\n    \"" : ",\n    \"";
+    first = false;
+    Json::escape(g.name, out);
+    std::snprintf(buf, sizeof(buf), "\": %" PRId64, g.value);
+    out += buf;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& h : histograms) {
+    out += first ? "\n    \"" : ",\n    \"";
+    first = false;
+    Json::escape(h.name, out);
+    std::snprintf(buf, sizeof(buf),
+                  "\": {\"count\": %" PRIu64 ", \"sum_ns\": %" PRIu64, h.count,
+                  h.sum_ns);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ", \"min_ns\": %" PRIu64, h.min_ns);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ", \"max_ns\": %" PRIu64, h.max_ns);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ", \"p50_ns\": %" PRIu64,
+                  h.percentile_ns(50));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ", \"p90_ns\": %" PRIu64,
+                  h.percentile_ns(90));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ", \"p99_ns\": %" PRIu64,
+                  h.percentile_ns(99));
+    out += buf;
+    out += ", \"bins\": [";
+    bool first_bin = true;
+    for (const auto& [idx, n] : h.bins) {
+      if (!first_bin) out += ", ";
+      first_bin = false;
+      std::snprintf(buf, sizeof(buf), "[%u, %" PRIu64 "]", idx, n);
+      out += buf;
+    }
+    out += "]}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::string MetricsSnapshot::to_prometheus() const {
+  auto sanitize = [](std::string_view name) {
+    std::string s(name);
+    for (char& c : s) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == ':';
+      if (!ok) c = '_';
+    }
+    return s;
+  };
+  std::string out;
+  char buf[96];
+  for (const auto& c : counters) {
+    const std::string name = sanitize(c.name);
+    out += "# TYPE " + name + " counter\n";
+    std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", c.value);
+    out += name + buf;
+  }
+  for (const auto& g : gauges) {
+    const std::string name = sanitize(g.name);
+    out += "# TYPE " + name + " gauge\n";
+    std::snprintf(buf, sizeof(buf), " %" PRId64 "\n", g.value);
+    out += name + buf;
+  }
+  for (const auto& h : histograms) {
+    // Buckets and _sum are exported in seconds; make the name say so, but
+    // registry names already carry the unit by convention ("*_seconds") —
+    // don't double it.
+    std::string name = sanitize(h.name);
+    if (!name.ends_with("_seconds")) name += "_seconds";
+    out += "# TYPE " + name + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (const auto& [idx, n] : h.bins) {
+      cumulative += n;
+      const double le =
+          static_cast<double>(LatencyHistogram::bin_upper_ns(idx)) * 1e-9;
+      out += name + "_bucket{le=\"" + format_double(le) + "\"} ";
+      std::snprintf(buf, sizeof(buf), "%" PRIu64 "\n", cumulative);
+      out += buf;
+    }
+    out += name + "_bucket{le=\"+Inf\"} ";
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 "\n", h.count);
+    out += buf;
+    out += name + "_sum " +
+           format_double(static_cast<double>(h.sum_ns) * 1e-9) + "\n";
+    std::snprintf(buf, sizeof(buf), "_count %" PRIu64 "\n", h.count);
+    out += name + buf;
+  }
+  return out;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+LatencyHistogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<LatencyHistogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.push_back({name, counter->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.push_back({name, gauge->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    HistogramValue v;
+    v.name = name;
+    v.count = hist->count();
+    v.sum_ns = hist->sum_ns();
+    const std::uint64_t raw_min = hist->min_ns_.load(std::memory_order_relaxed);
+    v.min_ns = v.count == 0 ? 0 : raw_min;
+    v.max_ns = hist->max_ns_.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < LatencyHistogram::kBins; ++i) {
+      const std::uint64_t n = hist->bin(i);
+      if (n != 0) v.bins.emplace_back(static_cast<std::uint32_t>(i), n);
+    }
+    snap.histograms.push_back(std::move(v));
+  }
+  // The maps iterate in name order already; sort() documents the invariant
+  // for callers that append synthetic entries afterwards.
+  return snap;
+}
+
+}  // namespace mendel::obs

@@ -413,13 +413,17 @@ std::vector<std::string> protocol_roundtrip_check() {
 
   roundtrip("QueryParams", sample_params(), out);
 
+  const obs::TraceContext sample_trace{1, (7ULL << 32) | 3};
+
   core::QueryRequestPayload request;
   request.params = sample_params();
+  request.trace = sample_trace;
   request.query = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
   roundtrip("QueryRequestPayload", request, out);
 
   core::GroupQueryPayload group_query;
   group_query.params = sample_params();
+  group_query.trace = sample_trace;
   group_query.query = request.query;
   group_query.subqueries = {subquery};
   roundtrip("GroupQueryPayload", group_query, out);
@@ -427,8 +431,8 @@ std::vector<std::string> protocol_roundtrip_check() {
   // The coordinator serializes GroupQuery through the split prefix+subs
   // path; it must stay byte-identical to the struct codec.
   {
-    const auto prefix = core::encode_group_query_prefix(group_query.params,
-                                                        group_query.query);
+    const auto prefix = core::encode_group_query_prefix(
+        group_query.params, group_query.trace, group_query.query);
     const auto split =
         core::encode_group_query(prefix, group_query.subqueries);
     if (split != core::encode_payload(group_query)) {
@@ -440,6 +444,7 @@ std::vector<std::string> protocol_roundtrip_check() {
 
   core::NodeSearchPayload node_search;
   node_search.params = sample_params();
+  node_search.trace = sample_trace.child((2ULL << 32) | 1);
   node_search.subqueries = {subquery, subquery};
   roundtrip("NodeSearchPayload", node_search, out);
 
@@ -461,6 +466,7 @@ std::vector<std::string> protocol_roundtrip_check() {
   fetch.sequence = 7;
   fetch.start = 96;
   fetch.length = 160;
+  fetch.trace = sample_trace;
   roundtrip("FetchRangePayload", fetch, out);
 
   core::FetchRangeResultPayload fetched;
@@ -476,6 +482,19 @@ std::vector<std::string> protocol_roundtrip_check() {
   core::QueryResultPayload result;
   result.hits = {sample_hit()};
   roundtrip("QueryResultPayload", result, out);
+
+  core::TraceReportPayload trace_report;
+  obs::SpanRecord span;
+  span.name = "node.search";
+  span.node = 7;
+  span.query_id = 99;
+  span.span_id = (7ULL << 32) | 3;
+  span.parent_span = (2ULL << 32) | 1;
+  span.start = 0.015625;  // exactly representable: byte-stable via f64
+  span.duration_ns = 123456;
+  span.value = 12;
+  trace_report.spans = {span, span};
+  roundtrip("TraceReportPayload", trace_report, out);
 
   return out;
 }

@@ -133,7 +133,7 @@ core::ClientOptions parity_options(core::TransportMode mode) {
   options.indexing.sample_size = 256;
   options.prefix_tree.cutoff_depth = 4;
   options.cost.measured_cpu = false;
-  options.transport_mode = mode;
+  options.runtime.transport_mode = mode;
   return options;
 }
 
@@ -171,7 +171,7 @@ TEST(TransportParity, ConcurrentBatchMatchesSimBatch) {
   const auto sim_outcomes = sim_client.query_batch(queries);
 
   auto threaded_options = parity_options(core::TransportMode::kThreaded);
-  threaded_options.search_threads = 2;
+  threaded_options.runtime.search_threads = 2;
   core::Client threaded_client(threaded_options);
   threaded_client.index(store);
   const auto threaded_outcomes = threaded_client.query_batch(queries);
