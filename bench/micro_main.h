@@ -1,0 +1,47 @@
+// Shared entry-point plumbing for the google-benchmark binaries.
+//
+// Benchmark numbers recorded in BENCH_*.json are only meaningful from an
+// optimized build — an early PR recorded baselines from a debug tree and
+// the mistake was invisible in the JSON. Every micro bench therefore (a)
+// prints a loud stderr warning when compiled without NDEBUG, and (b) tags
+// the benchmark context with `mendel_build_type` and the active SIMD
+// dispatch level, so a recorded JSON carries the evidence of how it was
+// produced. (The `library_build_type` field google-benchmark emits
+// describes the *benchmark library's* build, not this code — do not trust
+// it for that purpose.)
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/common/simd.h"
+
+namespace mendel::bench {
+
+inline constexpr bool kOptimizedBuild =
+#ifdef NDEBUG
+    true;
+#else
+    false;
+#endif
+
+// Call instead of benchmark::Initialize(). Adds the provenance context
+// tags and warns about unoptimized builds before any numbers appear.
+inline void init_micro_bench(int* argc, char** argv) {
+  if (!kOptimizedBuild) {
+    std::fprintf(stderr,
+                 "********************************************************\n"
+                 "* WARNING: benchmark built without NDEBUG (debug/assert *\n"
+                 "* build). Numbers are NOT comparable to BENCH_*.json    *\n"
+                 "* baselines; rebuild with -DCMAKE_BUILD_TYPE=Release.   *\n"
+                 "********************************************************\n");
+  }
+  benchmark::AddCustomContext("mendel_build_type",
+                              kOptimizedBuild ? "release" : "debug");
+  benchmark::AddCustomContext("mendel_simd_level",
+                              simd::level_name(simd::active_level()));
+  benchmark::Initialize(argc, argv);
+}
+
+}  // namespace mendel::bench

@@ -9,6 +9,7 @@
 #include <iostream>
 #include <memory>
 
+#include "bench/micro_main.h"
 #include "src/align/banded.h"
 #include "src/align/smith_waterman.h"
 #include "src/align/ungapped.h"
@@ -277,7 +278,7 @@ void observability_smoke(const char* metrics_path, const char* trace_env) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
+  mendel::bench::init_micro_bench(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -4,18 +4,18 @@
 #include <limits>
 #include <vector>
 
+#include "src/align/banded_detail.h"
+#include "src/common/simd.h"
+
 namespace mendel::align {
 
+using detail::kFromIx;
+using detail::kFromIy;
+using detail::kFromM;
+using detail::kNegInf;
+using detail::kStop;
+
 namespace {
-
-enum : std::uint8_t {
-  kStop = 0,
-  kFromM = 1,
-  kFromIx = 2,  // gap in subject (consumes query residue)
-  kFromIy = 3,  // gap in query (consumes subject residue)
-};
-
-constexpr int kNegInf = std::numeric_limits<int>::min() / 4;
 
 struct Cell {
   int m = kNegInf;
@@ -29,6 +29,19 @@ GappedAlignment banded_local_align(seq::CodeSpan query, seq::CodeSpan subject,
                                    const score::ScoringMatrix& scores,
                                    score::GapPenalties gaps,
                                    const BandedParams& params) {
+  if (detail::banded_simd_compiled() &&
+      simd::active_level() == simd::Level::kAVX2) {
+    return detail::banded_local_align_simd(query, subject, scores, gaps,
+                                           params);
+  }
+  return banded_local_align_reference(query, subject, scores, gaps, params);
+}
+
+GappedAlignment banded_local_align_reference(seq::CodeSpan query,
+                                             seq::CodeSpan subject,
+                                             const score::ScoringMatrix& scores,
+                                             score::GapPenalties gaps,
+                                             const BandedParams& params) {
   GappedAlignment result;
   const std::size_t m = query.size();
   const std::size_t n = subject.size();
@@ -139,70 +152,9 @@ GappedAlignment banded_local_align(seq::CodeSpan query, seq::CodeSpan subject,
     std::swap(prev, curr);
   }
 
-  if (best == 0) return result;
-
-  // Traceback.
-  std::size_t q = best_q;
-  std::ptrdiff_t s = best_s;
-  std::uint8_t state = kFromM;
-  std::vector<std::pair<std::size_t, char>> rev_runs;
-  auto push_op = [&](char op) {
-    if (!rev_runs.empty() && rev_runs.back().second == op) {
-      ++rev_runs.back().first;
-    } else {
-      rev_runs.emplace_back(1, op);
-    }
-  };
-
-  std::size_t identities = 0, columns = 0, gap_columns = 0;
-  while (q > 0 && s > 0) {
-    const std::ptrdiff_t b =
-        s - band_start(static_cast<std::ptrdiff_t>(q));
-    const std::uint8_t packed = tb[q * width + static_cast<std::size_t>(b)];
-    if (state == kFromM) {
-      const std::uint8_t src = packed & 0x3;
-      ++columns;
-      if (query[q - 1] == subject[static_cast<std::size_t>(s - 1)]) {
-        ++identities;
-      }
-      push_op('M');
-      --q;
-      --s;
-      if (src == kStop) break;
-      state = src;
-    } else if (state == kFromIx) {
-      const std::uint8_t src = (packed >> 2) & 0x3;
-      ++columns;
-      ++gap_columns;
-      push_op('D');
-      --q;
-      state = src == kFromIx ? kFromIx : kFromM;
-    } else {
-      const std::uint8_t src = (packed >> 4) & 0x3;
-      ++columns;
-      ++gap_columns;
-      push_op('I');
-      --s;
-      state = src == kFromIy ? kFromIy : kFromM;
-    }
-  }
-
-  std::string cigar;
-  for (auto it = rev_runs.rbegin(); it != rev_runs.rend(); ++it) {
-    cigar += std::to_string(it->first);
-    cigar += it->second;
-  }
-
-  result.hsp.q_begin = q;
-  result.hsp.q_end = best_q;
-  result.hsp.s_begin = static_cast<std::size_t>(s);
-  result.hsp.s_end = static_cast<std::size_t>(best_s);
-  result.hsp.score = best;
-  result.columns = columns;
-  result.identities = identities;
-  result.gap_columns = gap_columns;
-  result.cigar = std::move(cigar);
-  return result;
+  return detail::banded_traceback(query, subject, tb, width,
+                                  params.center_diag, radius, best, best_q,
+                                  best_s);
 }
 
 }  // namespace mendel::align

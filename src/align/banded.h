@@ -24,9 +24,39 @@ struct BandedParams {
   std::size_t band_radius = 16;
 };
 
+// Dispatched entry point: runs the striped SIMD row fill when the active
+// dispatch level supports it, the scalar reference otherwise. Both produce
+// identical alignments (score, coordinates, CIGAR) — the SIMD fill keeps
+// exact kNegInf dead-cell discipline and replicates the reference's
+// tie-break order bit for bit; tests/simd_kernel_test.cpp pins this.
 GappedAlignment banded_local_align(seq::CodeSpan query, seq::CodeSpan subject,
                                    const score::ScoringMatrix& scores,
                                    score::GapPenalties gaps,
                                    const BandedParams& params);
+
+// The scalar oracle: cell-at-a-time affine band DP. This defines the
+// semantics; keep it boring.
+GappedAlignment banded_local_align_reference(seq::CodeSpan query,
+                                             seq::CodeSpan subject,
+                                             const score::ScoringMatrix& scores,
+                                             score::GapPenalties gaps,
+                                             const BandedParams& params);
+
+namespace detail {
+
+// True when this binary carries the vectorized banded fill (x86 with the
+// MENDEL_SIMD option on). Defined in banded_simd.cpp.
+bool banded_simd_compiled();
+
+// The striped implementation; falls back to the reference when not
+// compiled in. Callers normally go through banded_local_align(); the fuzz
+// test calls this directly to pin SIMD == reference.
+GappedAlignment banded_local_align_simd(seq::CodeSpan query,
+                                        seq::CodeSpan subject,
+                                        const score::ScoringMatrix& scores,
+                                        score::GapPenalties gaps,
+                                        const BandedParams& params);
+
+}  // namespace detail
 
 }  // namespace mendel::align

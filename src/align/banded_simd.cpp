@@ -1,0 +1,233 @@
+// Striped SIMD row fill for the banded affine-gap local aligner.
+//
+// Per DP row, the M and Ix lanes depend only on the previous row, so they
+// vectorize cleanly: 8 band cells per AVX2 pass, substitution scores
+// gathered from the ScoringMatrix row of the current query residue, dead
+// cells kept at *exactly* kNegInf via saturating maxes so every stored
+// value — and every traceback bit — matches the scalar reference cell for
+// cell. Iy has a within-row serial dependency (affine gaps extend
+// leftward), so a scalar sweep finishes each row: it resolves Iy, fixes up
+// out-of-band lanes, writes the packed traceback byte, and tracks the best
+// cell in the reference's exact first-occurrence order.
+//
+// The band never moves more than one subject position per query row, so
+// the previous row's cell (q-1, s-1) sits at the same band index b and
+// (q-1, s) at b+1 — one aligned and one unaligned load per chunk, no
+// shuffles. A zero-padded subject copy keeps the per-lane code loads in
+// bounds for rows whose band hangs off either end of the subject.
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "src/align/banded.h"
+#include "src/align/banded_detail.h"
+#include "src/common/simd.h"
+
+#if defined(MENDEL_SIMD_X86)
+#include <immintrin.h>
+#endif
+
+namespace mendel::align::detail {
+
+bool banded_simd_compiled() {
+#if defined(MENDEL_SIMD_X86)
+  return true;
+#else
+  return false;
+#endif
+}
+
+#if !defined(MENDEL_SIMD_X86)
+
+GappedAlignment banded_local_align_simd(seq::CodeSpan query,
+                                        seq::CodeSpan subject,
+                                        const score::ScoringMatrix& scores,
+                                        score::GapPenalties gaps,
+                                        const BandedParams& params) {
+  return banded_local_align_reference(query, subject, scores, gaps, params);
+}
+
+#else
+
+namespace {
+
+// Fills curr_m / curr_ix and the packed M|Ix traceback bits for one row,
+// lanes [0, padded). prev arrays must be readable through index padded
+// (the Ix shift) and hold exact kNegInf in every dead lane.
+__attribute__((target("avx2"))) void fill_row_avx2(
+    const int* prev_m, const int* prev_ix, const int* prev_iy,
+    const int* score_row, const seq::Code* row_codes, std::size_t padded,
+    int open, int extend, int* curr_m, int* curr_ix, int* packed_row) {
+  const __m256i neginf = _mm256_set1_epi32(kNegInf);
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i open_v = _mm256_set1_epi32(open);
+  const __m256i extend_v = _mm256_set1_epi32(extend);
+  const __m256i from_m_ix = _mm256_set1_epi32(kFromM << 2);
+  const __m256i from_ix_ix = _mm256_set1_epi32(kFromIx << 2);
+  const __m256i from_m_v = _mm256_set1_epi32(kFromM);
+  const __m256i from_ix_v = _mm256_set1_epi32(kFromIx);
+  const __m256i from_iy_v = _mm256_set1_epi32(kFromIy);
+
+  for (std::size_t b = 0; b < padded; b += 8) {
+    const __m256i diag_m =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(prev_m + b));
+    const __m256i diag_ix =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(prev_ix + b));
+    const __m256i diag_iy =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(prev_iy + b));
+    const __m256i up_m =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(prev_m + b + 1));
+    const __m256i up_ix =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(prev_ix + b + 1));
+
+    // Ix: open from up.m or extend from up.ix; the saturating max pins
+    // dead inputs at exactly kNegInf (kNegInf - open > INT_MIN, no wrap).
+    const __m256i ix_open =
+        _mm256_max_epi32(_mm256_sub_epi32(up_m, open_v), neginf);
+    const __m256i ix_ext =
+        _mm256_max_epi32(_mm256_sub_epi32(up_ix, extend_v), neginf);
+    const __m256i ix = _mm256_max_epi32(ix_ext, ix_open);
+    // Reference rule: ix_ext >= ix_open takes the extension.
+    const __m256i open_wins = _mm256_cmpgt_epi32(ix_open, ix_ext);
+    const __m256i ix_bits =
+        _mm256_blendv_epi8(from_ix_ix, from_m_ix, open_wins);
+
+    // M: best of {0, diag.m, diag.ix, diag.iy} with the reference's
+    // strictly-greater source chain (m, then ix, then iy).
+    __m256i bp = _mm256_max_epi32(diag_m, zero);
+    __m256i src =
+        _mm256_and_si256(_mm256_cmpgt_epi32(diag_m, zero), from_m_v);
+    const __m256i take_ix = _mm256_cmpgt_epi32(diag_ix, bp);
+    bp = _mm256_max_epi32(bp, diag_ix);
+    src = _mm256_blendv_epi8(src, from_ix_v, take_ix);
+    const __m256i take_iy = _mm256_cmpgt_epi32(diag_iy, bp);
+    bp = _mm256_max_epi32(bp, diag_iy);
+    src = _mm256_blendv_epi8(src, from_iy_v, take_iy);
+
+    const __m256i codes = _mm256_cvtepu8_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(row_codes + b)));
+    const __m256i sub = _mm256_i32gather_epi32(score_row, codes, 4);
+    const __m256i mm = _mm256_add_epi32(bp, sub);
+    const __m256i alive = _mm256_cmpgt_epi32(mm, zero);
+    const __m256i m = _mm256_blendv_epi8(neginf, mm, alive);
+    src = _mm256_and_si256(src, alive);  // dead M keeps kStop bits
+
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(curr_m + b), m);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(curr_ix + b), ix);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(packed_row + b),
+                        _mm256_or_si256(src, ix_bits));
+  }
+}
+
+}  // namespace
+
+GappedAlignment banded_local_align_simd(seq::CodeSpan query,
+                                        seq::CodeSpan subject,
+                                        const score::ScoringMatrix& scores,
+                                        score::GapPenalties gaps,
+                                        const BandedParams& params) {
+  GappedAlignment result;
+  const std::size_t m = query.size();
+  const std::size_t n = subject.size();
+  if (m == 0 || n == 0) return result;
+
+  const int open = gaps.open + gaps.extend;
+  const int extend = gaps.extend;
+  const auto radius = static_cast<std::ptrdiff_t>(params.band_radius);
+  const std::size_t width = static_cast<std::size_t>(2 * radius + 1);
+  const std::size_t padded = (width + 7) / 8 * 8;
+
+  // State rows, one extra lane past `padded` for the Ix shift load; every
+  // lane not holding a live cell stays at exact kNegInf.
+  std::vector<int> prev_m(padded + 8, kNegInf), prev_ix(padded + 8, kNegInf),
+      prev_iy(padded + 8, kNegInf);
+  std::vector<int> curr_m(padded + 8, kNegInf), curr_ix(padded + 8, kNegInf),
+      curr_iy(padded + 8, kNegInf);
+  std::vector<int> packed_row(padded + 8, 0);
+  std::vector<std::uint8_t> tb((m + 1) * width, 0);
+
+  // Zero-padded subject: row q lane b reads code spad[q - 1 + b] for
+  // subject position s - 1 = (center - radius) + (q - 1 + b). Out-of-range
+  // lanes read pad zeros and are overwritten dead in the scalar sweep.
+  const std::ptrdiff_t offset = params.center_diag - radius;
+  std::vector<seq::Code> spad(m + padded + 8, 0);
+  {
+    const std::ptrdiff_t lo =
+        std::max<std::ptrdiff_t>(0, -offset);
+    const std::ptrdiff_t hi = std::min<std::ptrdiff_t>(
+        static_cast<std::ptrdiff_t>(spad.size()),
+        static_cast<std::ptrdiff_t>(n) - offset);
+    for (std::ptrdiff_t j = lo; j < hi; ++j) {
+      spad[static_cast<std::size_t>(j)] =
+          subject[static_cast<std::size_t>(offset + j)];
+    }
+  }
+
+  int best = 0;
+  std::size_t best_q = 0;
+  std::ptrdiff_t best_s = 0;
+
+  for (std::size_t q = 1; q <= m; ++q) {
+    const std::ptrdiff_t s_lo =
+        static_cast<std::ptrdiff_t>(q) + params.center_diag - radius;
+    fill_row_avx2(prev_m.data(), prev_ix.data(), prev_iy.data(),
+                  scores.row(query[q - 1]), spad.data() + (q - 1), padded,
+                  open, extend, curr_m.data(), curr_ix.data(),
+                  packed_row.data());
+
+    // Scalar sweep: out-of-band fixup, the serial Iy lane, traceback bytes,
+    // and best-cell tracking — all in the reference's ascending-b order.
+    for (std::size_t b = 0; b < width; ++b) {
+      const std::ptrdiff_t s = s_lo + static_cast<std::ptrdiff_t>(b);
+      if (s < 1 || s > static_cast<std::ptrdiff_t>(n)) {
+        curr_m[b] = kNegInf;
+        curr_ix[b] = kNegInf;
+        curr_iy[b] = kNegInf;
+        continue;  // tb row is pre-zeroed
+      }
+      int packed = packed_row[b];
+      if (b + 1 == width) {
+        packed &= ~(0x3 << 2);  // reference leaves Ix bits clear at the rim
+      }
+      int iy = kNegInf;
+      if (b >= 1) {
+        const int lm = curr_m[b - 1];
+        const int liy = curr_iy[b - 1];
+        const int iy_open = lm == kNegInf ? kNegInf : lm - open;
+        const int iy_ext = liy == kNegInf ? kNegInf : liy - extend;
+        if (iy_ext >= iy_open) {
+          iy = iy_ext;
+          packed |= kFromIy << 4;
+        } else {
+          iy = iy_open;
+          packed |= kFromM << 4;
+        }
+      }
+      curr_iy[b] = iy;
+      tb[q * width + b] = static_cast<std::uint8_t>(packed);
+      const int mm = curr_m[b];
+      if (mm != kNegInf && mm > best) {
+        best = mm;
+        best_q = q;
+        best_s = s;
+      }
+    }
+    // Padding lanes were vector-scribbled; the next row's shift loads need
+    // them dead again.
+    for (std::size_t b = width; b < padded + 8; ++b) {
+      curr_m[b] = kNegInf;
+      curr_ix[b] = kNegInf;
+      curr_iy[b] = kNegInf;
+    }
+    std::swap(prev_m, curr_m);
+    std::swap(prev_ix, curr_ix);
+    std::swap(prev_iy, curr_iy);
+  }
+
+  return banded_traceback(query, subject, tb, width, params.center_diag,
+                          radius, best, best_q, best_s);
+}
+
+#endif  // MENDEL_SIMD_X86
+
+}  // namespace mendel::align::detail

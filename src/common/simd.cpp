@@ -1,0 +1,134 @@
+#include "src/common/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "src/common/logging.h"
+
+namespace mendel::simd {
+
+namespace {
+
+Level detect() {
+#if defined(MENDEL_SIMD_X86)
+  // SSE2 is part of the x86-64 baseline; AVX2 needs a CPUID check because
+  // the kernels are compiled with per-function target("avx2") attributes
+  // regardless of the host the binary was built on.
+  if (__builtin_cpu_supports("avx2")) return Level::kAVX2;
+  return Level::kSSE2;
+#elif defined(MENDEL_SIMD_ARM)
+  return Level::kNEON;
+#else
+  return Level::kScalar;
+#endif
+}
+
+Level initial_level() {
+  Level level = detect();
+  if (const char* env = std::getenv("MENDEL_SIMD_LEVEL")) {
+    Level requested = Level::kScalar;
+    if (parse_level(env, requested)) {
+      if (level_compiled(requested) &&
+          static_cast<int>(requested) <= static_cast<int>(detect())) {
+        level = requested;
+      } else {
+        MENDEL_LOG_WARN << "MENDEL_SIMD_LEVEL=" << env
+                        << " is not runnable on this host; using "
+                        << level_name(level);
+      }
+    } else {
+      MENDEL_LOG_WARN << "MENDEL_SIMD_LEVEL=" << env
+                      << " is not a known level; using " << level_name(level);
+    }
+  }
+  return level;
+}
+
+std::atomic<Level>& active_slot() {
+  static std::atomic<Level> active{initial_level()};
+  return active;
+}
+
+}  // namespace
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kSSE2:
+      return "sse2";
+    case Level::kAVX2:
+      return "avx2";
+    case Level::kNEON:
+      return "neon";
+  }
+  return "unknown";
+}
+
+bool level_compiled(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return true;
+    case Level::kSSE2:
+    case Level::kAVX2:
+#if defined(MENDEL_SIMD_X86)
+      return true;
+#else
+      return false;
+#endif
+    case Level::kNEON:
+#if defined(MENDEL_SIMD_ARM)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+Level detected_level() {
+  static const Level level = detect();
+  return level;
+}
+
+std::vector<Level> available_levels() {
+  std::vector<Level> levels{Level::kScalar};
+  const Level best = detected_level();
+  for (Level l : {Level::kSSE2, Level::kAVX2, Level::kNEON}) {
+    if (level_compiled(l) && static_cast<int>(l) <= static_cast<int>(best)) {
+      levels.push_back(l);
+    }
+  }
+  return levels;
+}
+
+Level active_level() {
+  return active_slot().load(std::memory_order_relaxed);
+}
+
+Level set_active_level(Level level) {
+  // Clamp to the best runnable level not preferred above the request.
+  Level effective = Level::kScalar;
+  for (Level l : available_levels()) {
+    if (static_cast<int>(l) <= static_cast<int>(level)) effective = l;
+  }
+  active_slot().store(effective, std::memory_order_relaxed);
+  return effective;
+}
+
+bool parse_level(const std::string& name, Level& out) {
+  if (name == "scalar") {
+    out = Level::kScalar;
+  } else if (name == "sse2") {
+    out = Level::kSSE2;
+  } else if (name == "avx2") {
+    out = Level::kAVX2;
+  } else if (name == "neon") {
+    out = Level::kNEON;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace mendel::simd

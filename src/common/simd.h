@@ -1,0 +1,83 @@
+// Portable SIMD capability model and runtime dispatch level.
+//
+// The hot-path kernels (quantized window distances in src/scoring, batched
+// leaf scans in src/vptree via StorageNode's metric, and the striped banded
+// DP in src/align) each ship several implementations: a scalar reference
+// plus 128/256-bit integer-lane variants. Which one runs is a process-wide
+// *level*, resolved once at startup as
+//
+//     min(what this binary was compiled with, what the CPU reports)
+//
+// and overridable two ways:
+//   * the MENDEL_SIMD_LEVEL environment variable ("scalar", "sse2",
+//     "avx2", "neon") — how the benchmarks record scalar baselines from
+//     the same binary;
+//   * set_active_level() — how the exactness fuzz test walks every
+//     compiled-in level in one process.
+//
+// Compile-time gating: the MENDEL_SIMD CMake option (default ON) defines
+// MENDEL_SIMD_DISABLED when OFF, which compiles the dispatcher down to
+// "scalar only" without touching any call site. The AVX2 kernels are built
+// with per-function target attributes, so the rest of the binary keeps the
+// default architecture flags and the runtime check is what keeps illegal
+// instructions off pre-AVX2 silicon.
+#pragma once
+
+#include <string>
+#include <vector>
+
+// Architecture gates shared by every kernel translation unit. x86-64 with
+// GCC/Clang gets SSE2 (baseline) and AVX2 (per-function target attribute);
+// ARM with NEON gets the 128-bit kernels; everything else is scalar-only.
+#if !defined(MENDEL_SIMD_DISABLED) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define MENDEL_SIMD_X86 1
+#endif
+#if !defined(MENDEL_SIMD_DISABLED) && defined(__ARM_NEON)
+#define MENDEL_SIMD_ARM 1
+#endif
+
+namespace mendel::simd {
+
+// Ordered by preference within an architecture family; the numeric order
+// is only used to clamp requests (a request for a level the host lacks
+// resolves to the best available one below it).
+enum class Level : int {
+  kScalar = 0,
+  kSSE2 = 1,
+  kAVX2 = 2,
+  kNEON = 3,
+};
+
+// Stable lowercase name ("scalar", "sse2", "avx2", "neon") for logs,
+// benchmark context tags, and the kernel.simd_level gauge.
+const char* level_name(Level level);
+
+// True when this binary contains kernels for `level` (compile-time gate:
+// architecture + MENDEL_SIMD option).
+bool level_compiled(Level level);
+
+// Best level this binary can run on this CPU: compiled-in support clamped
+// by runtime CPU feature detection. Never changes during a process.
+Level detected_level();
+
+// Every runnable level on this host, ascending (always starts with
+// kScalar). The fuzz test iterates this to pin SIMD == scalar per level.
+std::vector<Level> available_levels();
+
+// The level the dispatched kernels currently use. Initialized to
+// detected_level(), unless the MENDEL_SIMD_LEVEL environment variable
+// names a (runnable) level. Reads are relaxed-atomic: hot paths may cache
+// the value per call batch.
+Level active_level();
+
+// Requests a dispatch level; the effective level (request clamped to what
+// is runnable here) is returned and becomes active. Intended for tests and
+// benchmark baselines, not for concurrent use while searches are running.
+Level set_active_level(Level level);
+
+// Parses a level name as accepted by MENDEL_SIMD_LEVEL; returns false on
+// unknown names.
+bool parse_level(const std::string& name, Level& out);
+
+}  // namespace mendel::simd

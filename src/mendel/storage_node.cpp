@@ -6,6 +6,7 @@
 #include "src/align/ungapped.h"
 #include "src/common/check.h"
 #include "src/common/error.h"
+#include "src/common/simd.h"
 #include "src/common/stopwatch.h"
 #include "src/mendel/anchors.h"
 #include "src/scoring/matrix.h"
@@ -44,6 +45,12 @@ StorageNode::StorageNode(net::NodeId id, StorageNodeConfig config)
     h_subquery_ = &config_.metrics->histogram("node.subquery_seconds");
     h_group_fanin_ = &config_.metrics->histogram("group.fanin_wait_seconds");
     h_coord_fanin_ = &config_.metrics->histogram("coord.fanin_wait_seconds");
+    c_batched_scans_ = &config_.metrics->counter("kernel.batched_scans");
+    c_scalar_fallbacks_ = &config_.metrics->counter("kernel.scalar_fallbacks");
+    // Process-wide dispatch level; every node in a process reports the
+    // same value, which is exactly the property worth asserting on.
+    config_.metrics->gauge("kernel.simd_level")
+        .set(static_cast<std::int64_t>(simd::active_level()));
   }
 }
 
@@ -413,7 +420,8 @@ std::vector<Seed> StorageNode::search_subquery(
   // The probe rides in a per-call metric so concurrent subquery searches
   // never share mutable state; the tree itself is only read.
   const seq::CodeSpan probe_span(window);
-  const BlockRefMetric metric{config_.distance, &arena_, &probe_span};
+  const BlockRefMetric metric{config_.distance, &arena_, &probe_span,
+                              c_batched_scans_, c_scalar_fallbacks_};
   const BlockRef probe_ref{0, 0, BlockRef::kProbeSlot};
   // Exact radius cap from the identity filter: a candidate passing
   // identity >= i differs in at most (1-i)*k positions, each costing at
@@ -1130,6 +1138,13 @@ std::vector<std::string> StorageNode::audit(std::size_t max_violations) const {
   // Local vp-tree structure (balance, occupancy, mu admissibility).
   for (auto& violation : tree_.validate(max_violations)) {
     out.push_back(me + " vp-tree: " + std::move(violation));
+  }
+
+  // SIMD layout contract: the batched kernels gather straight off the
+  // arena buffer, so base alignment and row padding are load-bearing.
+  if (!arena_.layout_ok()) {
+    out.push_back(me + ": window arena violates the SIMD layout contract "
+                       "(base alignment / row stride padding)");
   }
 
   // Bookkeeping: tree contents, dedup keys and arena slots must agree.

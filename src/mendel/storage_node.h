@@ -26,7 +26,9 @@
 // a local result vector; counters and the NN cache stay handler-thread-only.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <optional>
 #include <set>
@@ -186,12 +188,21 @@ class StorageNode final : public net::Actor {
 
   // Metric adapter: L1 window distance between arena-resident windows,
   // with the early-abandoning variant the vp-tree uses for bucket scans
-  // and vantage pruning. Lengths are validated once at admission (arena
-  // append) and search entry, so the kernels skip the per-call check.
+  // and vantage pruning, plus the batched leaf-scan entry point that runs
+  // the SIMD kernels over whole bucket chunks. Lengths are validated once
+  // at admission (arena append) and search entry, so the kernels skip the
+  // per-call check.
   struct BlockRefMetric {
+    // Bucket chunk handed to one distance_batch kernel call.
+    static constexpr std::size_t kBatchChunk = 64;
+
     const score::DistanceMatrix* distance;
     const vpt::WindowArena* arena;
     const seq::CodeSpan* probe;
+    // Kernel observability (kernel.batched_scans / kernel.scalar_fallbacks);
+    // null on metrics-less nodes and on the tree's internal rebuild metric.
+    obs::Counter* batched_scans = nullptr;
+    obs::Counter* scalar_fallbacks = nullptr;
 
     const seq::Code* codes(const BlockRef& ref) const {
       return ref.slot == BlockRef::kProbeSlot ? probe->data()
@@ -205,6 +216,59 @@ class StorageNode final : public net::Actor {
                    double bound) const {
       return score::window_distance_bounded_unchecked(
           *distance, codes(a), codes(b), arena->window_length(), bound);
+    }
+    // Batched bucket scan: same item-wise contract as bounded(). Falls back
+    // to the item-at-a-time path when the matrix has no quantized twin or
+    // the arena is too large for 32-bit gather offsets.
+    void bounded_batch(const BlockRef& a, const BlockRef* items,
+                       std::size_t count, double bound, double* out) const {
+      const score::QuantizedDistance* q = distance->quantized();
+      const std::size_t len = arena->window_length();
+      const bool gatherable =
+          arena->size() * arena->stride() <
+          static_cast<std::size_t>(std::numeric_limits<std::int32_t>::max()) -
+              vpt::WindowArena::kGuardTail;
+      if (q == nullptr || !gatherable) {
+        if (q == nullptr && scalar_fallbacks != nullptr) {
+          scalar_fallbacks->add();
+        }
+        for (std::size_t j = 0; j < count; ++j) {
+          out[j] = bounded(a, items[j], bound);
+        }
+        return;
+      }
+      const seq::Code* probe_codes = codes(a);
+      const std::int64_t qthresh = q->threshold(bound);
+      const auto& kernels = score::qkernels();
+      std::array<std::uint32_t, kBatchChunk> slots;
+      std::array<std::int64_t, kBatchChunk> qdists;
+      for (std::size_t offset = 0; offset < count;) {
+        const std::size_t run = std::min(count - offset, kBatchChunk);
+        bool arena_only = true;
+        for (std::size_t j = 0; j < run && arena_only; ++j) {
+          arena_only = items[offset + j].slot != BlockRef::kProbeSlot;
+        }
+        if (!arena_only) {
+          // A probe sentinel never lives in tree buckets, but the metric
+          // contract doesn't depend on that: route odd chunks item-wise.
+          for (std::size_t j = 0; j < run; ++j) {
+            out[offset + j] = bounded(a, items[offset + j], bound);
+          }
+          offset += run;
+          continue;
+        }
+        for (std::size_t j = 0; j < run; ++j) {
+          slots[j] = items[offset + j].slot;
+        }
+        kernels.distance_batch(*q, probe_codes, arena->base(),
+                               arena->stride(), slots.data(), run, len,
+                               qthresh, qdists.data());
+        for (std::size_t j = 0; j < run; ++j) {
+          out[offset + j] = q->to_double(qdists[j]);
+        }
+        if (batched_scans != nullptr) batched_scans->add();
+        offset += run;
+      }
     }
   };
 
@@ -377,6 +441,10 @@ class StorageNode final : public net::Actor {
   obs::LatencyHistogram* h_subquery_ = nullptr;
   obs::LatencyHistogram* h_group_fanin_ = nullptr;
   obs::LatencyHistogram* h_coord_fanin_ = nullptr;
+  // Kernel path visibility: which SIMD level this process dispatches to
+  // and how often searches take the batched vs scalar-fallback path.
+  obs::Counter* c_batched_scans_ = nullptr;
+  obs::Counter* c_scalar_fallbacks_ = nullptr;
 };
 
 }  // namespace mendel::core

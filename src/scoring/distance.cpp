@@ -19,6 +19,7 @@ DistanceMatrix DistanceMatrix::hamming(seq::Alphabet alphabet) {
       d.cells_[a * kMaxCodes + b] = a == b ? 0.0 : 1.0;
     }
   }
+  d.requantize();
   return d;
 }
 
@@ -34,6 +35,7 @@ DistanceMatrix DistanceMatrix::paper_from_scores(const ScoringMatrix& scores) {
                                            static_cast<seq::Code>(a))));
     }
   }
+  d.requantize();
   return d;
 }
 
@@ -54,7 +56,7 @@ DistanceMatrix DistanceMatrix::metric_from_scores(
       d.cells_[a * kMaxCodes + b] = std::max(0.0, value);
     }
   }
-  d.repair_triangle_inequality();
+  d.repair_triangle_inequality();  // requantizes
   return d;
 }
 
@@ -104,6 +106,13 @@ void DistanceMatrix::repair_triangle_inequality() {
       }
     }
   }
+  requantize();
+}
+
+bool DistanceMatrix::requantize() {
+  quantized_ = QuantizedDistance::build(cells_.data(),
+                                        seq::cardinality(alphabet_));
+  return quantized_ != nullptr;
 }
 
 double DistanceMatrix::max_entry() const {

@@ -20,9 +20,11 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 
 #include "src/common/error.h"
 #include "src/scoring/matrix.h"
+#include "src/scoring/quantized.h"
 #include "src/sequence/sequence.h"
 
 namespace mendel::score {
@@ -50,6 +52,9 @@ class DistanceMatrix {
   }
   void set(seq::Code a, seq::Code b, double value) {
     cells_[a * kMaxCodes + b] = value;
+    // A hand-edited matrix loses its quantized twin until requantize() is
+    // called again; the window kernels fall back to the double reference.
+    quantized_.reset();
   }
 
   // Contiguous row of per-residue distances from code `a` — the window
@@ -74,24 +79,67 @@ class DistanceMatrix {
   // Largest per-residue distance; window distance is bounded by len * this.
   double max_entry() const;
 
+  // Integer twin of this matrix for the SIMD window kernels, or null when
+  // the cells are not exactly representable (callers then use the double
+  // reference path). Shared between copies — the twin is immutable.
+  const QuantizedDistance* quantized() const { return quantized_.get(); }
+
+  // (Re)builds the quantized twin from the current cells. Factories call
+  // this automatically; call it after a series of set() edits to restore
+  // the SIMD path. Returns whether a twin exists afterwards.
+  bool requantize();
+
  private:
   seq::Alphabet alphabet_;
   // Flattened row-major LUT: cells_[a * kMaxCodes + b] == d(a, b).
   std::array<double, kMaxCodes * kMaxCodes> cells_{};
+  std::shared_ptr<const QuantizedDistance> quantized_;
 };
+
+// Checked double references for the window kernels. These define the
+// semantics; the quantized SIMD path below is pinned bit-identical to them
+// (for bounded: identical whenever the result is <= bound) by
+// tests/simd_kernel_test.cpp.
+namespace detail {
+
+inline double window_distance_scalar(const DistanceMatrix& d,
+                                     const seq::Code* a, const seq::Code* b,
+                                     std::size_t length) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < length; ++i) total += d.row(a[i])[b[i]];
+  return total;
+}
+
+inline double window_distance_bounded_scalar(const DistanceMatrix& d,
+                                             const seq::Code* a,
+                                             const seq::Code* b,
+                                             std::size_t length,
+                                             double bound) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < length; ++i) {
+    total += d.row(a[i])[b[i]];
+    if (total > bound) return total;
+  }
+  return total;
+}
+
+}  // namespace detail
 
 // Unchecked hot-path kernels: the caller guarantees equal lengths (vp-tree
 // metrics validate once per structure, not once per distance call). Both
 // variants accumulate in ascending index order, so for any bound the
 // bounded kernel returns exactly the unbounded sum whenever that sum is
-// <= bound.
+// <= bound. Matrices with a quantized twin run the dispatched integer
+// kernels; the result is bit-identical to the double reference because
+// every partial sum is an exactly representable small rational.
 inline double window_distance_unchecked(const DistanceMatrix& d,
                                         const seq::Code* a,
                                         const seq::Code* b,
                                         std::size_t length) {
-  double total = 0.0;
-  for (std::size_t i = 0; i < length; ++i) total += d.row(a[i])[b[i]];
-  return total;
+  if (const QuantizedDistance* q = d.quantized()) {
+    return q->to_double(qkernels().distance(*q, a, b, length));
+  }
+  return detail::window_distance_scalar(d, a, b, length);
 }
 
 inline double window_distance_bounded_unchecked(const DistanceMatrix& d,
@@ -99,12 +147,11 @@ inline double window_distance_bounded_unchecked(const DistanceMatrix& d,
                                                 const seq::Code* b,
                                                 std::size_t length,
                                                 double bound) {
-  double total = 0.0;
-  for (std::size_t i = 0; i < length; ++i) {
-    total += d.row(a[i])[b[i]];
-    if (total > bound) return total;
+  if (const QuantizedDistance* q = d.quantized()) {
+    return q->to_double(
+        qkernels().distance_bounded(*q, a, b, length, q->threshold(bound)));
   }
-  return total;
+  return detail::window_distance_bounded_scalar(d, a, b, length, bound);
 }
 
 // L1 window distance: sum of per-residue distances over two equal-length

@@ -38,6 +38,10 @@ class ScoringMatrix {
     return cells_[a][b];
   }
 
+  // Contiguous int32 row of scores against code `a` — the SIMD banded DP
+  // gathers substitution scores straight out of this.
+  const int* row(seq::Code a) const { return cells_[a].data(); }
+
   void set(seq::Code a, seq::Code b, int value) { cells_[a][b] = value; }
 
   // Largest diagonal entry (best possible per-column score).

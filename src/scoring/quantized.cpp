@@ -1,0 +1,423 @@
+#include "src/scoring/quantized.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "src/common/simd.h"
+#include "src/scoring/matrix.h"
+
+#if defined(MENDEL_SIMD_X86)
+#include <immintrin.h>
+#endif
+#if defined(MENDEL_SIMD_ARM)
+#include <arm_neon.h>
+#endif
+
+namespace mendel::score {
+
+static_assert(QuantizedDistance::kMaxCodes == ScoringMatrix::kMaxCodes,
+              "quantized LUT geometry must match the scoring matrices");
+
+namespace {
+
+// Per-lane int32 accumulation is safe while length * 65535 < 2^31; longer
+// windows (never seen in practice — blocks are tens of residues) take the
+// scalar int64 path.
+constexpr std::size_t kMaxVectorLength = 32000;
+
+constexpr std::size_t kCodesStride = QuantizedDistance::kMaxCodes;
+
+// --- scalar reference kernels (always compiled, always the fallback) -----
+
+std::int64_t qdist_scalar(const QuantizedDistance& q, const seq::Code* a,
+                          const seq::Code* b, std::size_t length) {
+  const std::uint16_t* lut = q.lut16();
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < length; ++i) {
+    total += lut[a[i] * kCodesStride + b[i]];
+  }
+  return total;
+}
+
+std::int64_t qdist_bounded_scalar(const QuantizedDistance& q,
+                                  const seq::Code* a, const seq::Code* b,
+                                  std::size_t length, std::int64_t qthresh) {
+  const std::uint16_t* lut = q.lut16();
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < length; ++i) {
+    total += lut[a[i] * kCodesStride + b[i]];
+    if (total > qthresh) return total;
+  }
+  return total;
+}
+
+void qbatch_scalar(const QuantizedDistance& q, const seq::Code* probe,
+                   const seq::Code* base, std::size_t stride,
+                   const std::uint32_t* slots, std::size_t count,
+                   std::size_t length, std::int64_t qthresh,
+                   std::int64_t* out) {
+  for (std::size_t j = 0; j < count; ++j) {
+    out[j] = qdist_bounded_scalar(
+        q, probe, base + static_cast<std::size_t>(slots[j]) * stride, length,
+        qthresh);
+  }
+}
+
+#if defined(MENDEL_SIMD_X86)
+
+// --- SSE2 (x86-64 baseline, no target attribute needed) ------------------
+//
+// Without gathers the general LUT walk stays scalar; the win at this level
+// is the mismatch-indicator (Hamming) path, which compares 16 residues per
+// iteration and reduces match bytes with psadbw.
+
+inline std::int64_t hamming_sse2(const seq::Code* a, const seq::Code* b,
+                                 std::size_t length) {
+  std::int64_t matches = 0;
+  const __m128i ones = _mm_set1_epi8(1);
+  std::size_t i = 0;
+  __m128i acc = _mm_setzero_si128();
+  for (; i + 16 <= length; i += 16) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    const __m128i eq = _mm_and_si128(_mm_cmpeq_epi8(va, vb), ones);
+    acc = _mm_add_epi64(acc, _mm_sad_epu8(eq, _mm_setzero_si128()));
+  }
+  matches = _mm_cvtsi128_si64(acc) +
+            _mm_cvtsi128_si64(_mm_unpackhi_epi64(acc, acc));
+  std::int64_t mismatches = static_cast<std::int64_t>(i) - matches;
+  for (; i < length; ++i) mismatches += a[i] == b[i] ? 0 : 1;
+  return mismatches;
+}
+
+std::int64_t qdist_sse2(const QuantizedDistance& q, const seq::Code* a,
+                        const seq::Code* b, std::size_t length) {
+  if (!q.indicator() || length < 16) return qdist_scalar(q, a, b, length);
+  return hamming_sse2(a, b, length);
+}
+
+std::int64_t qdist_bounded_sse2(const QuantizedDistance& q,
+                                const seq::Code* a, const seq::Code* b,
+                                std::size_t length, std::int64_t qthresh) {
+  if (!q.indicator() || length < 16) {
+    return qdist_bounded_scalar(q, a, b, length, qthresh);
+  }
+  // Mismatch counts are bounded by length, so for short windows the full
+  // count is cheaper than mid-stream threshold checks.
+  return hamming_sse2(a, b, length);
+}
+
+void qbatch_sse2(const QuantizedDistance& q, const seq::Code* probe,
+                 const seq::Code* base, std::size_t stride,
+                 const std::uint32_t* slots, std::size_t count,
+                 std::size_t length, std::int64_t qthresh,
+                 std::int64_t* out) {
+  if (!q.indicator() || length < 16) {
+    qbatch_scalar(q, probe, base, stride, slots, count, length, qthresh, out);
+    return;
+  }
+  for (std::size_t j = 0; j < count; ++j) {
+    out[j] = hamming_sse2(
+        probe, base + static_cast<std::size_t>(slots[j]) * stride, length);
+  }
+}
+
+// --- AVX2 (per-function target attribute + runtime CPUID dispatch) -------
+
+__attribute__((target("avx2"))) inline std::int64_t hsum_epi32(__m256i v) {
+  const __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  __m128i s = _mm_add_epi32(lo, hi);
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0x4e));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0xb1));
+  return _mm_cvtsi128_si32(s);
+}
+
+__attribute__((target("avx2"))) inline std::int64_t hamming_avx2(
+    const seq::Code* a, const seq::Code* b, std::size_t length) {
+  std::int64_t matches = 0;
+  const __m256i ones = _mm256_set1_epi8(1);
+  std::size_t i = 0;
+  __m256i acc = _mm256_setzero_si256();
+  for (; i + 32 <= length; i += 32) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i eq = _mm256_and_si256(_mm256_cmpeq_epi8(va, vb), ones);
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(eq, _mm256_setzero_si256()));
+  }
+  const __m128i pair = _mm_add_epi64(_mm256_castsi256_si128(acc),
+                                     _mm256_extracti128_si256(acc, 1));
+  matches = _mm_cvtsi128_si64(pair) +
+            _mm_cvtsi128_si64(_mm_unpackhi_epi64(pair, pair));
+  std::int64_t mismatches = static_cast<std::int64_t>(i) - matches;
+  for (; i < length; ++i) mismatches += a[i] == b[i] ? 0 : 1;
+  return mismatches;
+}
+
+// General LUT path: widen 8 residue pairs, form LUT indices, gather int32
+// distances. Accumulates in epi32 lanes; the caller guards length.
+__attribute__((target("avx2"))) std::int64_t qdist_avx2(
+    const QuantizedDistance& q, const seq::Code* a, const seq::Code* b,
+    std::size_t length) {
+  if (length >= kMaxVectorLength) return qdist_scalar(q, a, b, length);
+  if (q.indicator() && length >= 32) return hamming_avx2(a, b, length);
+  const std::int32_t* lut = q.lut32();
+  const __m256i stride_v =
+      _mm256_set1_epi32(static_cast<int>(kCodesStride));
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 8 <= length; i += 8) {
+    const __m256i av = _mm256_cvtepu8_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(a + i)));
+    const __m256i bv = _mm256_cvtepu8_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(b + i)));
+    const __m256i idx =
+        _mm256_add_epi32(_mm256_mullo_epi32(av, stride_v), bv);
+    acc = _mm256_add_epi32(acc, _mm256_i32gather_epi32(lut, idx, 4));
+  }
+  std::int64_t total = hsum_epi32(acc);
+  const std::uint16_t* lut16 = q.lut16();
+  for (; i < length; ++i) total += lut16[a[i] * kCodesStride + b[i]];
+  return total;
+}
+
+__attribute__((target("avx2"))) std::int64_t qdist_bounded_avx2(
+    const QuantizedDistance& q, const seq::Code* a, const seq::Code* b,
+    std::size_t length, std::int64_t qthresh) {
+  if (length >= kMaxVectorLength) {
+    return qdist_bounded_scalar(q, a, b, length, qthresh);
+  }
+  if (q.indicator() && length >= 32) return hamming_avx2(a, b, length);
+  const std::int32_t* lut = q.lut32();
+  const __m256i stride_v =
+      _mm256_set1_epi32(static_cast<int>(kCodesStride));
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  std::size_t since_check = 0;
+  for (; i + 8 <= length; i += 8) {
+    const __m256i av = _mm256_cvtepu8_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(a + i)));
+    const __m256i bv = _mm256_cvtepu8_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(b + i)));
+    const __m256i idx =
+        _mm256_add_epi32(_mm256_mullo_epi32(av, stride_v), bv);
+    acc = _mm256_add_epi32(acc, _mm256_i32gather_epi32(lut, idx, 4));
+    // The tau test runs once per 32-residue chunk instead of per residue:
+    // cells are non-negative, so a partial sum past the threshold already
+    // settles the abandon decision.
+    since_check += 8;
+    if (since_check >= 32 && i + 8 < length) {
+      since_check = 0;
+      const std::int64_t partial = hsum_epi32(acc);
+      if (partial > qthresh) return partial;
+    }
+  }
+  std::int64_t total = hsum_epi32(acc);
+  const std::uint16_t* lut16 = q.lut16();
+  for (; i < length; ++i) {
+    total += lut16[a[i] * kCodesStride + b[i]];
+    if (total > qthresh) return total;
+  }
+  return total;
+}
+
+// Batched leaf scan: 8 arena windows per pass, position-major. Two gathers
+// per position (window residues, then the probe's LUT row), interleaved
+// int32 accumulators, and a once-per-chunk all-lanes-abandoned test.
+// Residues are fetched with 4-byte gathers masked to the low byte, which
+// is why the arena guarantees a readable 32-byte guard tail.
+__attribute__((target("avx2"))) void qbatch_avx2(
+    const QuantizedDistance& q, const seq::Code* probe, const seq::Code* base,
+    std::size_t stride, const std::uint32_t* slots, std::size_t count,
+    std::size_t length, std::int64_t qthresh, std::int64_t* out) {
+  if (length >= kMaxVectorLength) {
+    qbatch_scalar(q, probe, base, stride, slots, count, length, qthresh, out);
+    return;
+  }
+  if (q.indicator() && length >= 32) {
+    for (std::size_t j = 0; j < count; ++j) {
+      out[j] = hamming_avx2(
+          probe, base + static_cast<std::size_t>(slots[j]) * stride, length);
+    }
+    return;
+  }
+  const std::int32_t* lut = q.lut32();
+  // Lane-local abandon threshold: clamp into int32 so the vector compare
+  // can never fire on a lane whose true threshold is still far away.
+  const int thresh32 = static_cast<int>(std::min<std::int64_t>(
+      qthresh, std::numeric_limits<std::int32_t>::max()));
+  const __m256i thresh_v = _mm256_set1_epi32(thresh32);
+  const __m256i byte_mask = _mm256_set1_epi32(0xff);
+  std::size_t j = 0;
+  for (; j + 8 <= count; j += 8) {
+    const __m256i slot_v = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(slots + j));
+    __m256i off = _mm256_mullo_epi32(
+        slot_v, _mm256_set1_epi32(static_cast<int>(stride)));
+    __m256i acc = _mm256_setzero_si256();
+    std::size_t since_check = 0;
+    for (std::size_t i = 0; i < length; ++i) {
+      const __m256i raw = _mm256_i32gather_epi32(
+          reinterpret_cast<const int*>(base), off, 1);
+      const __m256i codes = _mm256_and_si256(raw, byte_mask);
+      const std::int32_t* row = lut + probe[i] * kCodesStride;
+      acc = _mm256_add_epi32(acc, _mm256_i32gather_epi32(row, codes, 4));
+      off = _mm256_add_epi32(off, _mm256_set1_epi32(1));
+      if (++since_check >= 32 && i + 1 < length) {
+        since_check = 0;
+        const __m256i over = _mm256_cmpgt_epi32(acc, thresh_v);
+        if (_mm256_movemask_epi8(over) == -1) break;  // every lane abandoned
+      }
+    }
+    alignas(32) std::int32_t lanes[8];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+    for (std::size_t l = 0; l < 8; ++l) out[j + l] = lanes[l];
+  }
+  for (; j < count; ++j) {
+    out[j] = qdist_bounded_scalar(
+        q, probe, base + static_cast<std::size_t>(slots[j]) * stride, length,
+        qthresh);
+  }
+}
+
+#endif  // MENDEL_SIMD_X86
+
+#if defined(MENDEL_SIMD_ARM)
+
+// --- NEON: 128-bit mismatch counting; the general LUT walk is scalar ----
+
+inline std::int64_t hamming_neon(const seq::Code* a, const seq::Code* b,
+                                 std::size_t length) {
+  std::int64_t mismatches = 0;
+  std::size_t i = 0;
+  for (; i + 16 <= length; i += 16) {
+    const uint8x16_t va = vld1q_u8(a + i);
+    const uint8x16_t vb = vld1q_u8(b + i);
+    const uint8x16_t ne = vmvnq_u8(vceqq_u8(va, vb));
+    mismatches += vaddvq_u8(vandq_u8(ne, vdupq_n_u8(1)));
+  }
+  for (; i < length; ++i) mismatches += a[i] == b[i] ? 0 : 1;
+  return mismatches;
+}
+
+std::int64_t qdist_neon(const QuantizedDistance& q, const seq::Code* a,
+                        const seq::Code* b, std::size_t length) {
+  if (!q.indicator() || length < 16) return qdist_scalar(q, a, b, length);
+  return hamming_neon(a, b, length);
+}
+
+std::int64_t qdist_bounded_neon(const QuantizedDistance& q,
+                                const seq::Code* a, const seq::Code* b,
+                                std::size_t length, std::int64_t qthresh) {
+  if (!q.indicator() || length < 16) {
+    return qdist_bounded_scalar(q, a, b, length, qthresh);
+  }
+  return hamming_neon(a, b, length);
+}
+
+void qbatch_neon(const QuantizedDistance& q, const seq::Code* probe,
+                 const seq::Code* base, std::size_t stride,
+                 const std::uint32_t* slots, std::size_t count,
+                 std::size_t length, std::int64_t qthresh,
+                 std::int64_t* out) {
+  if (!q.indicator() || length < 16) {
+    qbatch_scalar(q, probe, base, stride, slots, count, length, qthresh, out);
+    return;
+  }
+  for (std::size_t j = 0; j < count; ++j) {
+    out[j] = hamming_neon(
+        probe, base + static_cast<std::size_t>(slots[j]) * stride, length);
+  }
+}
+
+#endif  // MENDEL_SIMD_ARM
+
+constexpr QKernelTable kScalarTable{qdist_scalar, qdist_bounded_scalar,
+                                    qbatch_scalar};
+
+const QKernelTable kTables[4] = {
+    kScalarTable,
+#if defined(MENDEL_SIMD_X86)
+    {qdist_sse2, qdist_bounded_sse2, qbatch_sse2},
+    {qdist_avx2, qdist_bounded_avx2, qbatch_avx2},
+#else
+    kScalarTable,
+    kScalarTable,
+#endif
+#if defined(MENDEL_SIMD_ARM)
+    {qdist_neon, qdist_bounded_neon, qbatch_neon},
+#else
+    kScalarTable,
+#endif
+};
+
+}  // namespace
+
+std::shared_ptr<const QuantizedDistance> QuantizedDistance::build(
+    const double* cells, std::size_t cardinality) {
+  std::int64_t scale = 0;
+  for (std::int64_t candidate : {1, 2, 4, 8}) {
+    bool exact = true;
+    for (std::size_t i = 0; i < kCells && exact; ++i) {
+      const double v = cells[i];
+      if (!(v >= 0.0) || !std::isfinite(v)) {
+        return nullptr;  // negative / NaN cells are never representable
+      }
+      const double scaled = v * static_cast<double>(candidate);
+      exact = scaled == std::floor(scaled) && scaled <= 65535.0;
+    }
+    if (exact) {
+      scale = candidate;
+      break;
+    }
+  }
+  if (scale == 0) return nullptr;
+
+  auto q = std::shared_ptr<QuantizedDistance>(new QuantizedDistance());
+  q->scale_ = scale;
+  for (std::size_t i = 0; i < kCells; ++i) {
+    const auto v = static_cast<std::uint16_t>(
+        cells[i] * static_cast<double>(scale));
+    q->lut16_[i] = v;
+    q->lut32_[i] = v;
+  }
+  bool indicator = true;
+  const std::size_t n = std::min(cardinality, kMaxCodes);
+  for (std::size_t a = 0; a < n && indicator; ++a) {
+    for (std::size_t b = 0; b < n && indicator; ++b) {
+      const std::uint16_t expected = a == b ? 0 : 1;
+      indicator = q->lut16_[a * kMaxCodes + b] == expected;
+    }
+  }
+  // The byte-compare kernels count raw mismatches, so the indicator path
+  // additionally requires scale == 1 (a scaled indicator would need a
+  // multiply the kernels don't do).
+  q->indicator_ = indicator && scale == 1;
+  return q;
+}
+
+std::int64_t QuantizedDistance::threshold(double bound) const {
+  if (std::isnan(bound)) {
+    // total > NaN is always false: the scalar kernel never abandons.
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  const double scaled = bound * static_cast<double>(scale_);
+  if (scaled >= 9.0e18) return std::numeric_limits<std::int64_t>::max();
+  if (scaled < 0.0) return -1;  // every non-negative sum abandons
+  return static_cast<std::int64_t>(std::floor(scaled));
+}
+
+const QKernelTable& qkernels() {
+  return qkernels_for(static_cast<int>(simd::active_level()));
+}
+
+const QKernelTable& qkernels_for(int level) {
+  return kTables[level & 3];
+}
+
+}  // namespace mendel::score

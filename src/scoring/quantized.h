@@ -1,0 +1,111 @@
+// Quantized distance LUT + the dispatched integer window kernels.
+//
+// The DistanceMatrix cells Mendel actually ships are exact small rationals:
+// Hamming is {0, 1}, and the symmetrized substitution-derived metrics are
+// multiples of 1/2 (the (B[a][a]+B[b][b])/2 - B[a][b] transform halves
+// integer scores; Floyd–Warshall repair only ever adds such values). A
+// QuantizedDistance captures that exactly: every cell times a power-of-two
+// `scale` is a non-negative integer <= 65535, stored twice — as uint16 for
+// the scalar/NEON kernels and as int32 for the AVX2 gather kernels. Window
+// distances accumulate in integers and divide by `scale` once at the end,
+// which is exact in double (the scalar double kernel sums the same
+// half-integer values, all exactly representable), so the quantized path
+// returns bit-identical distances to the scalar reference — pinned by
+// tests/simd_kernel_test.cpp.
+//
+// Matrices that are not exactly representable (a test matrix with 0.3
+// cells, a user-loaded matrix with irrational entries) simply get no
+// QuantizedDistance; every caller falls back to the checked double
+// reference automatically.
+//
+// Early-abandon contract: because cells are non-negative, "some prefix sum
+// exceeds bound" is equivalent to "the full sum exceeds bound", so the
+// bounded kernels may test the running total once per vector chunk instead
+// of once per residue and still make exactly the scalar kernel's
+// keep/abandon decision. Abandoning kernels return a value > bound;
+// within-bound results are exact.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "src/sequence/sequence.h"
+
+namespace mendel::score {
+
+class QuantizedDistance {
+ public:
+  // Mirrors ScoringMatrix::kMaxCodes (a static_assert in quantized.cpp
+  // keeps them in sync without an include cycle).
+  static constexpr std::size_t kMaxCodes = 24;
+  static constexpr std::size_t kCells = kMaxCodes * kMaxCodes;
+
+  // Builds the quantized twin of a flattened row-major double LUT
+  // (cells[a * kMaxCodes + b]); null when any cell is not exactly
+  // q / scale for a non-negative integer q <= 65535 and scale in
+  // {1, 2, 4, 8}. `cardinality` is the alphabet size actually used — the
+  // mismatch-indicator detection (the byte-compare Hamming fast path)
+  // only inspects the codes that can appear in windows.
+  static std::shared_ptr<const QuantizedDistance> build(
+      const double* cells, std::size_t cardinality);
+
+  std::int64_t scale() const { return scale_; }
+  // True when d(a, b) == (a == b ? 0 : 1/scale) over the alphabet: window
+  // distance is then a scaled Hamming distance and the kernels count
+  // mismatching bytes 16/32 at a time instead of walking the LUT.
+  bool indicator() const { return indicator_; }
+  const std::uint16_t* lut16() const { return lut16_.data(); }
+  const std::int32_t* lut32() const { return lut32_.data(); }
+
+  // Scaled integer -> the exact double the scalar kernel would produce.
+  double to_double(std::int64_t q) const {
+    return static_cast<double>(q) / static_cast<double>(scale_);
+  }
+
+  // Largest integer threshold such that (q > threshold) == (q/scale >
+  // bound) for every integer q >= 0; +/-infinity and negative bounds
+  // included.
+  std::int64_t threshold(double bound) const;
+
+ private:
+  QuantizedDistance() = default;
+
+  std::int64_t scale_ = 1;
+  bool indicator_ = false;
+  std::array<std::uint16_t, kCells> lut16_{};
+  std::array<std::int32_t, kCells> lut32_{};
+};
+
+// Dispatched kernel table, one per simd::Level. All kernels take scaled
+// integer thresholds and return scaled integer distances; `a` is the probe
+// side (its codes index LUT rows).
+struct QKernelTable {
+  // Full window distance.
+  std::int64_t (*distance)(const QuantizedDistance& q, const seq::Code* a,
+                           const seq::Code* b, std::size_t length);
+  // Early-abandoning variant: exact when <= qthresh, otherwise any value
+  // > qthresh.
+  std::int64_t (*distance_bounded)(const QuantizedDistance& q,
+                                   const seq::Code* a, const seq::Code* b,
+                                   std::size_t length, std::int64_t qthresh);
+  // Batched leaf scan: scores `count` arena windows (rows of `base`, row j
+  // at base + slots[j] * stride) against one probe. out[j] is exact when
+  // <= qthresh; once every window in a vector chunk is past qthresh the
+  // remaining positions may be skipped (each such out[j] is > qthresh).
+  // Requires the arena layout guarantees of vpt::WindowArena: base 32-byte
+  // aligned with a readable 32-byte guard tail after the last row.
+  void (*distance_batch)(const QuantizedDistance& q, const seq::Code* probe,
+                         const seq::Code* base, std::size_t stride,
+                         const std::uint32_t* slots, std::size_t count,
+                         std::size_t length, std::int64_t qthresh,
+                         std::int64_t* out);
+};
+
+// The kernel table for simd::active_level() (one relaxed atomic read).
+const QKernelTable& qkernels();
+// The table for one specific level; levels that are not compiled in alias
+// the scalar table. The fuzz test uses this to compare levels directly.
+const QKernelTable& qkernels_for(int level);
+
+}  // namespace mendel::score

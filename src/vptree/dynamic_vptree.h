@@ -26,6 +26,7 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
@@ -324,6 +325,18 @@ class DynamicVpTree {
   static constexpr bool has_bounded_metric =
       requires(const M& m, const T& a, const T& b, double bound) {
         { m.bounded(a, b, bound) } -> std::convertible_to<double>;
+      };
+
+  // Detects a Metric that can score a whole run of contiguous items against
+  // one target per call (the SIMD batched leaf scan): out[j] must be exact
+  // whenever it is <= bound, and any value > bound otherwise — the same
+  // contract as bounded(), item-wise. Bucket scans hand the metric chunks
+  // of the leaf's contiguous item array.
+  template <typename M>
+  static constexpr bool has_batched_metric =
+      requires(const M& m, const T& a, const T* items, std::size_t count,
+               double bound, double* out) {
+        { m.bounded_batch(a, items, count, bound, out) };
       };
 
   using Iter = typename std::vector<T>::iterator;
@@ -644,13 +657,36 @@ class DynamicVpTree {
               KnnState& state) const {
     if (node == nullptr) return;
     if (node->is_leaf()) {
-      for (const T& item : node->bucket) {
-        if constexpr (has_bounded_metric<M>) {
-          const double tau = state.tau();
-          const double d = metric.bounded(target, item, tau);
-          if (d <= tau) state.offer(&item, d);
-        } else {
-          state.offer(&item, metric(target, item));
+      if constexpr (has_batched_metric<M>) {
+        // Chunked batch scan. The abandon bound is tau at chunk entry;
+        // admission re-reads tau per item, so the heap evolves exactly as
+        // in the item-at-a-time path (tau only shrinks, and a distance
+        // admitted under the current tau was necessarily <= the entry tau
+        // and therefore exact).
+        constexpr std::size_t kChunk = 64;
+        std::array<double, kChunk> dists;
+        const T* items = node->bucket.data();
+        const std::size_t total = node->bucket.size();
+        for (std::size_t offset = 0; offset < total;) {
+          const std::size_t run = std::min(total - offset, kChunk);
+          metric.bounded_batch(target, items + offset, run, state.tau(),
+                               dists.data());
+          for (std::size_t j = 0; j < run; ++j) {
+            if (dists[j] <= state.tau()) {
+              state.offer(&items[offset + j], dists[j]);
+            }
+          }
+          offset += run;
+        }
+      } else {
+        for (const T& item : node->bucket) {
+          if constexpr (has_bounded_metric<M>) {
+            const double tau = state.tau();
+            const double d = metric.bounded(target, item, tau);
+            if (d <= tau) state.offer(&item, d);
+          } else {
+            state.offer(&item, metric(target, item));
+          }
         }
       }
       return;

@@ -7,12 +7,31 @@
 // walk sequential memory — the hot path the paper's n-NN searches spend
 // their time in — instead of chasing a pointer per candidate.
 //
+// Layout contract for the batched SIMD leaf scans (src/scoring/quantized):
+//   * the buffer base is 32-byte aligned;
+//   * each slot row starts at slot * stride(), stride() = window_length()
+//     rounded up to kRowAlignment, so rows never straddle a growth
+//     boundary (growth reallocates the whole buffer geometrically and
+//     slots stay index-stable);
+//   * a zeroed kGuardTail-byte tail follows the last row, so a 4-byte
+//     gather at the final residue of the final row stays in bounds;
+//   * padding bytes are always zero (rows are written once, on append).
+// StorageNode::audit() asserts the alignment half of this contract.
+//
+// kRowAlignment is deliberately 8, not the 32-byte vector width: the
+// batched kernels address rows through *indexed gathers* (slot * stride),
+// which need rows not to straddle the buffer, not to start 32-byte
+// aligned — and padding k=8 windows to 32 bytes would quadruple the
+// resident set of the very scans this layout exists to speed up.
+//
 // Slots are append-only and stable; compaction (after rebalance evicts
 // blocks) is a rebuild into a fresh arena.
 #pragma once
 
 #include <cstdint>
-#include <vector>
+#include <cstring>
+#include <memory>
+#include <new>
 
 #include "src/common/error.h"
 #include "src/sequence/sequence.h"
@@ -21,42 +40,97 @@ namespace mendel::vpt {
 
 class WindowArena {
  public:
+  static constexpr std::size_t kRowAlignment = 8;
+  static constexpr std::size_t kBaseAlignment = 32;
+  static constexpr std::size_t kGuardTail = 32;
+
   // Window length is fixed by the first appended window; every later
   // append must match. 0 means "no windows yet".
   std::size_t window_length() const { return window_length_; }
-  std::size_t size() const {
-    return window_length_ == 0 ? 0 : codes_.size() / window_length_;
-  }
-  bool empty() const { return codes_.empty(); }
+  // Bytes between consecutive slot rows (window_length() padded up to
+  // kRowAlignment).
+  std::size_t stride() const { return stride_; }
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
 
   // Appends a window and returns its slot index.
   std::uint32_t append(seq::CodeSpan window) {
     require(!window.empty(), "WindowArena: empty window");
     if (window_length_ == 0) {
       window_length_ = window.size();
+      stride_ = round_up(window_length_, kRowAlignment);
     } else {
       require(window.size() == window_length_,
               "WindowArena: window length mismatch");
     }
-    const auto slot = static_cast<std::uint32_t>(size());
-    codes_.insert(codes_.end(), window.begin(), window.end());
+    if (count_ == capacity_) grow();
+    const auto slot = static_cast<std::uint32_t>(count_++);
+    std::memcpy(buffer_.get() + slot * stride_, window.data(),
+                window_length_);
     return slot;
   }
 
   const seq::Code* at(std::uint32_t slot) const {
-    return codes_.data() + static_cast<std::size_t>(slot) * window_length_;
+    return buffer_.get() + static_cast<std::size_t>(slot) * stride_;
   }
   seq::CodeSpan span(std::uint32_t slot) const {
     return {at(slot), window_length_};
   }
 
+  // Buffer base for the batched kernels (slot row j = base() + j *
+  // stride()); null while empty.
+  const seq::Code* base() const { return buffer_.get(); }
+
+  // Layout-contract check for audits: base alignment and row padding.
+  bool layout_ok() const {
+    if (buffer_ == nullptr) return count_ == 0;
+    const bool aligned =
+        reinterpret_cast<std::uintptr_t>(buffer_.get()) % kBaseAlignment == 0;
+    return aligned && stride_ % kRowAlignment == 0 &&
+           stride_ >= window_length_;
+  }
+
   // Drops all windows; the length stays fixed so in-flight searches keep a
-  // consistent geometry across a rebuild.
-  void clear() { codes_.clear(); }
+  // consistent geometry across a rebuild. The buffer is retained — rebuilds
+  // refill to a similar size — and its padding re-zeroed so the guard
+  // contract holds for the next epoch.
+  void clear() {
+    if (buffer_ != nullptr && count_ > 0) {
+      std::memset(buffer_.get(), 0, capacity_ * stride_ + kGuardTail);
+    }
+    count_ = 0;
+  }
 
  private:
+  struct AlignedDelete {
+    void operator()(seq::Code* p) const {
+      ::operator delete[](p, std::align_val_t{kBaseAlignment});
+    }
+  };
+  using Buffer = std::unique_ptr<seq::Code[], AlignedDelete>;
+
+  static constexpr std::size_t round_up(std::size_t v, std::size_t align) {
+    return (v + align - 1) / align * align;
+  }
+
+  // Geometric growth (slot indices are stable, addresses are not — the
+  // tree only ever stores slots).
+  void grow() {
+    const std::size_t next = capacity_ == 0 ? 1024 : capacity_ * 2;
+    const std::size_t bytes = next * stride_ + kGuardTail;
+    auto* raw = static_cast<seq::Code*>(
+        ::operator new[](bytes, std::align_val_t{kBaseAlignment}));
+    std::memset(raw, 0, bytes);
+    if (count_ > 0) std::memcpy(raw, buffer_.get(), count_ * stride_);
+    buffer_.reset(raw);
+    capacity_ = next;
+  }
+
   std::size_t window_length_ = 0;
-  std::vector<seq::Code> codes_;
+  std::size_t stride_ = 0;
+  std::size_t count_ = 0;
+  std::size_t capacity_ = 0;
+  Buffer buffer_;
 };
 
 }  // namespace mendel::vpt

@@ -1,0 +1,334 @@
+// Randomized exactness pinning for the SIMD kernels.
+//
+// The dispatched kernels (quantized window distances, batched leaf scans,
+// striped banded DP) are only admissible because they are *exact*: every
+// result the search pipeline can observe must be bit-identical to the
+// scalar references. This suite fuzzes thousands of random windows,
+// matrices, tau values, and band geometries against those references on
+// every SIMD level runnable on the build host — so a scalar-only CI leg
+// degenerates to scalar-vs-scalar (vacuous but harmless) while an AVX2 leg
+// pins the vector kernels.
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/align/banded.h"
+#include "src/common/rng.h"
+#include "src/common/simd.h"
+#include "src/scoring/distance.h"
+#include "src/scoring/matrix.h"
+#include "src/scoring/quantized.h"
+#include "src/sequence/alphabet.h"
+#include "src/vptree/window_arena.h"
+
+namespace mendel {
+namespace {
+
+using score::DistanceMatrix;
+using score::QuantizedDistance;
+
+std::vector<seq::Code> random_window(Rng& rng, std::size_t length,
+                                     std::size_t cardinality) {
+  std::vector<seq::Code> w(length);
+  for (auto& c : w) c = static_cast<seq::Code>(rng.below(cardinality));
+  return w;
+}
+
+// A random exactly-representable matrix: cells are k/scale with k <=
+// 65535, zero diagonal, symmetric. requantize() must accept it.
+DistanceMatrix random_exact_matrix(Rng& rng, seq::Alphabet alphabet,
+                                   std::int64_t scale) {
+  DistanceMatrix d(alphabet);
+  const std::size_t n = seq::cardinality(alphabet);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      const double v = static_cast<double>(rng.below(200)) /
+                       static_cast<double>(scale);
+      d.set(static_cast<seq::Code>(a), static_cast<seq::Code>(b), v);
+      d.set(static_cast<seq::Code>(b), static_cast<seq::Code>(a), v);
+    }
+  }
+  EXPECT_TRUE(d.requantize());
+  return d;
+}
+
+class SimdLevelGuard {
+ public:
+  SimdLevelGuard() : saved_(simd::active_level()) {}
+  ~SimdLevelGuard() { simd::set_active_level(saved_); }
+
+ private:
+  simd::Level saved_;
+};
+
+TEST(SimdDispatch, LevelsAreRunnableAndRestorable) {
+  SimdLevelGuard guard;
+  const auto levels = simd::available_levels();
+  ASSERT_FALSE(levels.empty());
+  EXPECT_EQ(levels.front(), simd::Level::kScalar);
+  for (simd::Level level : levels) {
+    EXPECT_EQ(simd::set_active_level(level), level);
+    EXPECT_EQ(simd::active_level(), level);
+  }
+}
+
+TEST(Quantization, ShippedMatricesHaveExactTwins) {
+  EXPECT_NE(score::default_distance(seq::Alphabet::kDna).quantized(),
+            nullptr);
+  EXPECT_NE(score::default_distance(seq::Alphabet::kProtein).quantized(),
+            nullptr);
+  // The DNA default is a plain mismatch indicator: the Hamming byte-compare
+  // fast path must engage.
+  const auto* dna = score::default_distance(seq::Alphabet::kDna).quantized();
+  EXPECT_TRUE(dna->indicator());
+  EXPECT_EQ(dna->scale(), 1);
+  // The symmetrized BLOSUM62 metric is half-integral, not an indicator.
+  const auto* prot =
+      score::default_distance(seq::Alphabet::kProtein).quantized();
+  EXPECT_FALSE(prot->indicator());
+}
+
+TEST(Quantization, UnrepresentableMatrixFallsBackToDouble) {
+  DistanceMatrix d = DistanceMatrix::hamming(seq::Alphabet::kDna);
+  ASSERT_NE(d.quantized(), nullptr);
+  d.set(0, 1, 0.3);  // not k/scale for scale in {1,2,4,8}
+  d.set(1, 0, 0.3);
+  EXPECT_EQ(d.quantized(), nullptr);
+  EXPECT_FALSE(d.requantize());
+  // The double path still answers.
+  const std::vector<seq::Code> a{0, 1, 2, 3}, b{1, 0, 2, 3};
+  EXPECT_DOUBLE_EQ(score::window_distance_unchecked(d, a.data(), b.data(), 4),
+                   0.6);
+}
+
+TEST(Quantization, ThresholdEdgeCases) {
+  const DistanceMatrix d = DistanceMatrix::hamming(seq::Alphabet::kDna);
+  const QuantizedDistance* q = d.quantized();
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->threshold(std::numeric_limits<double>::quiet_NaN()),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(q->threshold(std::numeric_limits<double>::infinity()),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(q->threshold(-1.0), -1);
+  EXPECT_EQ(q->threshold(-0.0), 0);
+  EXPECT_EQ(q->threshold(3.0), 3);
+  EXPECT_EQ(q->threshold(3.5), 3);
+}
+
+// Distance + bounded distance: every level vs the double scalar reference.
+TEST(SimdKernels, WindowDistanceBitIdenticalAcrossLevels) {
+  SimdLevelGuard guard;
+  Rng rng(0x51D0001);
+  std::vector<DistanceMatrix> matrices;
+  matrices.push_back(DistanceMatrix::hamming(seq::Alphabet::kDna));
+  matrices.push_back(
+      DistanceMatrix::metric_from_scores(score::blosum62()));
+  matrices.push_back(DistanceMatrix::paper_from_scores(score::pam250()));
+  matrices.push_back(random_exact_matrix(rng, seq::Alphabet::kProtein, 2));
+  matrices.push_back(random_exact_matrix(rng, seq::Alphabet::kDna, 8));
+
+  for (const DistanceMatrix& d : matrices) {
+    ASSERT_NE(d.quantized(), nullptr);
+    const std::size_t card = seq::cardinality(d.alphabet());
+    for (int iter = 0; iter < 400; ++iter) {
+      const std::size_t len = 1 + rng.below(96);
+      const auto a = random_window(rng, len, card);
+      const auto b = random_window(rng, len, card);
+      const double ref =
+          score::detail::window_distance_scalar(d, a.data(), b.data(), len);
+      // A mix of decisive, marginal, and degenerate bounds.
+      const double bounds[] = {ref, ref / 2.0, ref * 2.0 + 1.0, 0.0,
+                               rng.uniform() * static_cast<double>(len)};
+      for (simd::Level level : simd::available_levels()) {
+        simd::set_active_level(level);
+        EXPECT_EQ(score::window_distance_unchecked(d, a.data(), b.data(), len),
+                  ref)
+            << "level " << simd::level_name(level);
+        for (double bound : bounds) {
+          const double got = score::window_distance_bounded_unchecked(
+              d, a.data(), b.data(), len, bound);
+          const double want = score::detail::window_distance_bounded_scalar(
+              d, a.data(), b.data(), len, bound);
+          // Identical keep/abandon decision...
+          ASSERT_EQ(got <= bound, want <= bound)
+              << "level " << simd::level_name(level) << " bound " << bound;
+          // ...and bit-identical value whenever the result is kept.
+          if (want <= bound) {
+            ASSERT_EQ(got, want)
+                << "level " << simd::level_name(level) << " bound " << bound;
+          }
+        }
+      }
+    }
+  }
+}
+
+// Batched leaf scan vs the item-at-a-time scalar kernel, straight at the
+// kernel-table layer (arena layout contract included).
+TEST(SimdKernels, BatchedScanMatchesScalarPerItem) {
+  Rng rng(0x51D0002);
+  std::vector<DistanceMatrix> matrices;
+  matrices.push_back(DistanceMatrix::hamming(seq::Alphabet::kDna));
+  matrices.push_back(
+      DistanceMatrix::metric_from_scores(score::blosum62()));
+  for (const DistanceMatrix& d : matrices) {
+    const QuantizedDistance* q = d.quantized();
+    ASSERT_NE(q, nullptr);
+    const std::size_t card = seq::cardinality(d.alphabet());
+    for (std::size_t len : {1UL, 7UL, 8UL, 16UL, 33UL, 64UL}) {
+      vpt::WindowArena arena;
+      const std::size_t windows = 70;
+      for (std::size_t i = 0; i < windows; ++i) {
+        arena.append(seq::CodeSpan(random_window(rng, len, card)));
+      }
+      ASSERT_TRUE(arena.layout_ok());
+      const auto probe = random_window(rng, len, card);
+      std::vector<std::uint32_t> slots(windows);
+      for (std::size_t i = 0; i < windows; ++i) {
+        slots[i] = static_cast<std::uint32_t>(rng.below(windows));
+      }
+      const auto& scalar = score::qkernels_for(0);
+      for (int iter = 0; iter < 24; ++iter) {
+        const std::int64_t qthresh = static_cast<std::int64_t>(
+            rng.below(len * 4 + 2)) - 1;
+        std::vector<std::int64_t> want(windows);
+        scalar.distance_batch(*q, probe.data(), arena.base(), arena.stride(),
+                              slots.data(), windows, len, qthresh,
+                              want.data());
+        for (simd::Level level : simd::available_levels()) {
+          const auto& k =
+              score::qkernels_for(static_cast<int>(level));
+          std::vector<std::int64_t> got(windows, -42);
+          k.distance_batch(*q, probe.data(), arena.base(), arena.stride(),
+                           slots.data(), windows, len, qthresh, got.data());
+          for (std::size_t j = 0; j < windows; ++j) {
+            ASSERT_EQ(got[j] > qthresh, want[j] > qthresh)
+                << "level " << simd::level_name(level) << " len " << len
+                << " slot " << j;
+            if (want[j] <= qthresh) {
+              ASSERT_EQ(got[j], want[j])
+                  << "level " << simd::level_name(level) << " len " << len;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+bool alignments_identical(const align::GappedAlignment& a,
+                          const align::GappedAlignment& b) {
+  return a.hsp.score == b.hsp.score && a.hsp.q_begin == b.hsp.q_begin &&
+         a.hsp.q_end == b.hsp.q_end && a.hsp.s_begin == b.hsp.s_begin &&
+         a.hsp.s_end == b.hsp.s_end && a.columns == b.columns &&
+         a.identities == b.identities && a.gap_columns == b.gap_columns &&
+         a.cigar == b.cigar;
+}
+
+// Striped banded DP vs the scalar oracle: identical alignment, not just
+// identical score — coordinates, CIGAR, and column stats included.
+TEST(SimdKernels, BandedAlignmentIdenticalToReference) {
+  Rng rng(0x51D0003);
+  const score::ScoringMatrix dna = score::dna_matrix();
+  const score::ScoringMatrix& prot = score::blosum62();
+  for (int iter = 0; iter < 600; ++iter) {
+    const bool protein = iter % 2 == 1;
+    const score::ScoringMatrix& scores = protein ? prot : dna;
+    const std::size_t card = seq::cardinality(scores.alphabet());
+    const std::size_t qlen = 1 + rng.below(80);
+    const std::size_t slen = 1 + rng.below(80);
+    // Half the time: a mutated copy so real alignments exist; otherwise
+    // independent noise exercises the dead-cell plumbing.
+    std::vector<seq::Code> query = random_window(rng, qlen, card);
+    std::vector<seq::Code> subject;
+    if (iter % 2 == 0 && qlen <= slen) {
+      subject = query;
+      subject.resize(slen);
+      for (std::size_t i = qlen; i < slen; ++i) {
+        subject[i] = static_cast<seq::Code>(rng.below(card));
+      }
+      for (std::size_t i = 0; i < slen / 8; ++i) {
+        subject[rng.below(slen)] = static_cast<seq::Code>(rng.below(card));
+      }
+    } else {
+      subject = random_window(rng, slen, card);
+    }
+    align::BandedParams params;
+    params.band_radius = 1 + rng.below(24);
+    params.center_diag =
+        static_cast<std::ptrdiff_t>(rng.below(2 * slen + 1)) -
+        static_cast<std::ptrdiff_t>(slen);
+    const score::GapPenalties gaps{
+        static_cast<int>(1 + rng.below(12)),
+        static_cast<int>(1 + rng.below(3))};
+    const auto ref = align::banded_local_align_reference(
+        seq::CodeSpan(query), seq::CodeSpan(subject), scores, gaps, params);
+    const auto simd_result = align::detail::banded_local_align_simd(
+        seq::CodeSpan(query), seq::CodeSpan(subject), scores, gaps, params);
+    ASSERT_TRUE(alignments_identical(ref, simd_result))
+        << "iter " << iter << ": ref score " << ref.hsp.score << " cigar "
+        << ref.hsp.score << " vs simd score " << simd_result.hsp.score;
+  }
+}
+
+// The public entry point must dispatch consistently at every level.
+TEST(SimdKernels, BandedDispatchMatchesReferenceAtEveryLevel) {
+  SimdLevelGuard guard;
+  Rng rng(0x51D0004);
+  const score::ScoringMatrix& scores = score::blosum62();
+  const std::size_t card = seq::cardinality(scores.alphabet());
+  for (int iter = 0; iter < 50; ++iter) {
+    const auto query = random_window(rng, 40 + rng.below(40), card);
+    const auto subject = random_window(rng, 40 + rng.below(40), card);
+    align::BandedParams params;
+    params.band_radius = 16;
+    params.center_diag = 0;
+    const auto ref = align::banded_local_align_reference(
+        seq::CodeSpan(query), seq::CodeSpan(subject), scores,
+        scores.default_gaps(), params);
+    for (simd::Level level : simd::available_levels()) {
+      simd::set_active_level(level);
+      const auto got = align::banded_local_align(
+          seq::CodeSpan(query), seq::CodeSpan(subject), scores,
+          scores.default_gaps(), params);
+      ASSERT_TRUE(alignments_identical(ref, got))
+          << "level " << simd::level_name(level);
+    }
+  }
+}
+
+// Arena growth keeps slots stable, rows aligned, and contents intact.
+TEST(WindowArena, GeometricGrowthPreservesLayoutAndContents) {
+  Rng rng(0x51D0005);
+  vpt::WindowArena arena;
+  const std::size_t len = 8;
+  std::vector<std::vector<seq::Code>> shadow;
+  for (std::size_t i = 0; i < 5000; ++i) {
+    auto w = random_window(rng, len, 4);
+    const std::uint32_t slot = arena.append(seq::CodeSpan(w));
+    EXPECT_EQ(slot, i);
+    shadow.push_back(std::move(w));
+  }
+  ASSERT_TRUE(arena.layout_ok());
+  EXPECT_EQ(arena.stride() % vpt::WindowArena::kRowAlignment, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(arena.base()) %
+                vpt::WindowArena::kBaseAlignment,
+            0u);
+  for (std::size_t i = 0; i < shadow.size(); ++i) {
+    const auto span = arena.span(static_cast<std::uint32_t>(i));
+    ASSERT_TRUE(std::equal(span.begin(), span.end(), shadow[i].begin()));
+  }
+  // clear() keeps geometry and re-zeroes padding for the next epoch.
+  arena.clear();
+  EXPECT_EQ(arena.size(), 0u);
+  EXPECT_EQ(arena.window_length(), len);
+  const std::uint32_t slot = arena.append(seq::CodeSpan(shadow[0]));
+  EXPECT_EQ(slot, 0u);
+  ASSERT_TRUE(arena.layout_ok());
+}
+
+}  // namespace
+}  // namespace mendel
