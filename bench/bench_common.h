@@ -23,6 +23,8 @@ namespace mendel::bench {
 struct BenchArgs {
   bool csv = false;
   bool quick = false;
+  // Harness-specific extra panel (fig6b: the out-of-core DNA sweep).
+  bool oocore = false;
   std::uint64_t seed = 0x62656e6368ULL;
 };
 
@@ -33,11 +35,14 @@ inline BenchArgs parse_args(int argc, char** argv) {
       args.csv = true;
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       args.quick = true;
+    } else if (std::strcmp(argv[i], "--oocore") == 0) {
+      args.oocore = true;
     } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
       args.seed = std::strtoull(argv[i] + 7, nullptr, 10);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--csv] [--quick] [--seed=N]\n", argv[0]);
+                   "usage: %s [--csv] [--quick] [--oocore] [--seed=N]\n",
+                   argv[0]);
       std::exit(2);
     }
   }

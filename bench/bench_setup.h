@@ -11,9 +11,11 @@ namespace mendel::bench {
 
 // The scaled stand-in for the paper's nr database (see DESIGN.md §2):
 // protein families plus background, sized by `residue_target`.
-inline seq::SequenceStore make_database(std::size_t residue_target,
-                                        std::uint64_t seed) {
+inline seq::SequenceStore make_database(
+    std::size_t residue_target, std::uint64_t seed,
+    seq::Alphabet alphabet = seq::Alphabet::kProtein) {
   workload::DatabaseSpec spec;
+  spec.alphabet = alphabet;
   // Lengths up to 3500 so the Fig 6a sweep (queries to 3000 residues) has
   // eligible donors; mean length ~1900. Keep the family/background mix
   // fixed and scale counts with the residue target.
@@ -40,6 +42,21 @@ inline core::ClientOptions cluster_options(std::uint32_t groups = 10,
   options.indexing.sample_size = 4000;
   options.prefix_tree.cutoff_depth = 6;
   return options;
+}
+
+// DNA variants of bench_params(): the scoring matrix is matrix-relative
+// (a perfect DNA column scores +2), so protein-calibrated thresholds
+// would reject even exact matches.
+inline core::QueryParams dna_bench_params() {
+  core::QueryParams params;
+  params.n = 8;
+  params.matrix = "DNA";
+  params.identity = 0.60;
+  params.c_score = 0.40;
+  params.gapped_trigger = 1.0;
+  params.branch_epsilon = 4.0;
+  params.min_anchor_span = 12;
+  return params;
 }
 
 // Query parameters tuned for throughput benches: stricter filters than the

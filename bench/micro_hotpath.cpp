@@ -196,6 +196,65 @@ void BM_LeafScanBatched(benchmark::State& state) {
 }
 BENCHMARK(BM_LeafScanBatched)->Arg(4096);
 
+// The packed twin: DNA windows stored at 2 bits per residue with the
+// decode fused into the kernel. Compared against BM_LeafScanBatched this
+// is the cost of packing (acceptance: within ~10%) at 1/4 the memory.
+void BM_LeafScanBatchedPacked(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  Rng rng(111);
+  auto dna_window = [&rng]() {
+    vpt::Window w(kWindowLength);
+    for (auto& c : w) c = static_cast<seq::Code>(rng.below(4));
+    return w;
+  };
+  std::vector<vpt::Window> windows(count);
+  for (auto& w : windows) w = dna_window();
+  std::vector<vpt::Window> probes(64);
+  for (auto& w : probes) w = dna_window();
+  vpt::WindowArena arena;
+  arena.configure({.packed_bits = 2});
+  for (const auto& w : windows) arena.append(seq::CodeSpan(w));
+  std::vector<std::uint32_t> slots(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    slots[i] = static_cast<std::uint32_t>(i);
+  }
+  const auto& dna = score::default_distance(seq::Alphabet::kDna);
+  const score::QuantizedDistance* q = dna.quantized();
+  if (q == nullptr) {
+    state.SkipWithError("distance matrix has no quantized twin");
+    return;
+  }
+  constexpr std::size_t kNeighbors = 16;
+  constexpr std::size_t kChunk = 64;
+  std::size_t p = 0;
+  for (auto _ : state) {
+    const auto& probe = probes[p++ % probes.size()];
+    std::vector<double> best;
+    best.reserve(kNeighbors + 1);
+    double tau = std::numeric_limits<double>::infinity();
+    std::int64_t qdists[kChunk];
+    for (std::size_t offset = 0; offset < count; offset += kChunk) {
+      const std::size_t run = std::min(count - offset, kChunk);
+      const std::int64_t qthresh = q->threshold(tau);
+      score::qkernels().distance_batch_packed(
+          *q, probe.data(), arena.base(), arena.stride(), arena.packed_bits(),
+          slots.data() + offset, run, kWindowLength, qthresh, qdists);
+      for (std::size_t j = 0; j < run; ++j) {
+        if (qdists[j] > qthresh) continue;
+        const double d = q->to_double(qdists[j]);
+        if (d > tau) continue;
+        best.insert(std::upper_bound(best.begin(), best.end(), d), d);
+        if (best.size() > kNeighbors) best.pop_back();
+        if (best.size() == kNeighbors) tau = best.back();
+      }
+    }
+    benchmark::DoNotOptimize(best.data());
+  }
+  state.SetLabel("row bytes " + std::to_string(arena.row_bytes()));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LeafScanBatchedPacked)->Arg(4096);
+
 // --- 2b. banded gapped extension ----------------------------------------
 
 // The gapped-extension kernel on realistic anchor extensions: ~70%

@@ -119,6 +119,11 @@ class CodecReader {
     return items;
   }
 
+  // Consumes `n` verbatim bytes (no length prefix) — the inverse of
+  // CodecWriter::raw for sections whose size is framed out of band. The
+  // returned span aliases the reader's buffer.
+  std::span<const std::uint8_t> raw(std::size_t n) { return take(n); }
+
   std::size_t remaining() const { return data_.size() - pos_; }
   bool done() const { return remaining() == 0; }
 

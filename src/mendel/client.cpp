@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 
 #include "src/cluster/telemetry.h"
@@ -12,9 +13,35 @@
 
 namespace mendel::core {
 
+namespace {
+
+// MENDEL_ARENA_BUDGET=<bytes>[k|m|g] overrides every node's resident arena
+// budget; CI's spill job uses it to force out-of-core operation without
+// touching call sites. Malformed values are ignored.
+std::size_t arena_budget_from_env(std::size_t fallback) {
+  const char* env = std::getenv("MENDEL_ARENA_BUDGET");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(env, &end, 10);
+  if (end == env) return fallback;
+  std::size_t scale = 1;
+  switch (*end) {
+    case '\0': break;
+    case 'k': case 'K': scale = 1024ull; break;
+    case 'm': case 'M': scale = 1024ull * 1024; break;
+    case 'g': case 'G': scale = 1024ull * 1024 * 1024; break;
+    default: return fallback;
+  }
+  return static_cast<std::size_t>(value) * scale;
+}
+
+}  // namespace
+
 Client::Client(ClientOptions options)
     : options_(std::move(options)),
       client_spans_(options_.runtime.trace_buffer_capacity) {
+  options_.runtime.arena_resident_budget =
+      arena_budget_from_env(options_.runtime.arena_resident_budget);
   if (options_.runtime.transport_mode == TransportMode::kSim) {
     sim_ = std::make_unique<net::SimTransport>(options_.cost);
     transport_ = sim_.get();
@@ -93,6 +120,9 @@ void Client::spawn_nodes(seq::Alphabet alphabet) {
   node_config.metrics =
       options_.runtime.enable_metrics ? &registry_ : nullptr;
   node_config.trace_buffer_capacity = options_.runtime.trace_buffer_capacity;
+  node_config.arena_resident_budget = options_.runtime.arena_resident_budget;
+  node_config.arena_packing = options_.runtime.arena_packing;
+  node_config.arena_segment_bytes = options_.runtime.arena_segment_bytes;
 
   nodes_.reserve(topology_->total_nodes());
   for (net::NodeId id = 0; id < topology_->total_nodes(); ++id) {
@@ -192,6 +222,9 @@ net::NodeId Client::add_node(std::uint32_t group) {
   node_config.metrics =
       options_.runtime.enable_metrics ? &registry_ : nullptr;
   node_config.trace_buffer_capacity = options_.runtime.trace_buffer_capacity;
+  node_config.arena_resident_budget = options_.runtime.arena_resident_budget;
+  node_config.arena_packing = options_.runtime.arena_packing;
+  node_config.arena_segment_bytes = options_.runtime.arena_segment_bytes;
   nodes_.push_back(std::make_unique<StorageNode>(id, node_config));
   transport_->register_actor(id, nodes_.back().get());
 
@@ -453,6 +486,32 @@ obs::MetricsSnapshot Client::metrics() const {
       {"trace.spans_buffered", static_cast<std::int64_t>(buffered)});
   add_counter("trace.spans_dropped", dropped);
 
+  // Window-arena residency across the cluster: how many arena bytes are
+  // mapped in memory right now, how many the packed rows occupy in total,
+  // and the block stores' fault/eviction traffic (all zero for all-resident
+  // unpacked deployments — the entries are always present so dashboards
+  // and the schema check see a stable key set).
+  std::uint64_t resident = 0;
+  std::uint64_t packed = 0;
+  vpt::BlockStoreStats store_totals;
+  for (const auto& node : nodes_) {
+    const auto arena = node->arena_stats();
+    resident += arena.resident_bytes;
+    packed += arena.packed_bytes;
+    store_totals.hits += arena.store.hits;
+    store_totals.misses += arena.store.misses;
+    store_totals.evictions += arena.store.evictions;
+    store_totals.faults += arena.store.faults;
+  }
+  snap.gauges.push_back(
+      {"arena.resident_bytes", static_cast<std::int64_t>(resident)});
+  snap.gauges.push_back(
+      {"arena.packed_bytes", static_cast<std::int64_t>(packed)});
+  add_counter("blockstore.hits", store_totals.hits);
+  add_counter("blockstore.misses", store_totals.misses);
+  add_counter("blockstore.evictions", store_totals.evictions);
+  add_counter("blockstore.faults", store_totals.faults);
+
   snap.sort();
   return snap;
 }
@@ -589,7 +648,7 @@ void Client::heal_node(net::NodeId id) {
 void Client::save_index(const std::string& path) const {
   require(indexed_, "Client::save_index before index()");
   CodecWriter writer;
-  writer.str("mendel-index-v2");
+  writer.str("mendel-index-v3");
   writer.u8(static_cast<std::uint8_t>(alphabet_));
   writer.u64(database_residues_);
   writer.u32(options_.topology.num_groups);
@@ -602,8 +661,27 @@ void Client::save_index(const std::string& path) const {
     writer.u32(topology_->address(id).group);
   }
   prefix_tree_->encode(writer);
-  writer.u32(static_cast<std::uint32_t>(nodes_.size()));
-  for (const auto& node : nodes_) node->save(writer);
+  // v3: one length-framed section per group (ascending group id), each
+  // holding its member nodes' shards with packed arena rows dumped
+  // verbatim. The framing makes group sections independently skippable,
+  // so incremental tooling can rewrite one group without decoding the
+  // whole cluster.
+  writer.u32(options_.topology.num_groups);
+  for (std::uint32_t group = 0; group < options_.topology.num_groups;
+       ++group) {
+    writer.u32(group);
+    CodecWriter section;
+    std::vector<net::NodeId> members;
+    for (net::NodeId id = 0; id < topology_->total_nodes(); ++id) {
+      if (topology_->address(id).group == group) members.push_back(id);
+    }
+    section.u32(static_cast<std::uint32_t>(members.size()));
+    for (net::NodeId id : members) {
+      section.u32(id);
+      nodes_[id]->save(section);
+    }
+    writer.bytes(section.data());
+  }
 
   std::ofstream out(path, std::ios::binary);
   if (!out) throw IoError("save_index: cannot open " + path);
@@ -621,8 +699,9 @@ void Client::load_index(const std::string& path) {
   CodecReader reader(bytes);
 
   const std::string magic = reader.str();
-  require(magic == "mendel-index-v2",
-          "load_index: bad snapshot magic '" + magic + "'");
+  require(magic == "mendel-index-v3",
+          "load_index: unsupported snapshot magic '" + magic +
+              "' (re-index and save with this version)");
   const auto alphabet = static_cast<seq::Alphabet>(reader.u8());
   database_residues_ = reader.u64();
   // Adopt the snapshot's topology: an index is only meaningful on the
@@ -644,11 +723,31 @@ void Client::load_index(const std::string& path) {
   topology_->bind_prefixes(prefix_tree_->leaf_prefixes());
 
   spawn_nodes(alphabet);
-  const std::uint32_t node_count = reader.u32();
-  require(node_count == nodes_.size(),
-          "load_index: node count mismatch");
+  const std::uint32_t group_count = reader.u32();
+  require(group_count == options_.topology.num_groups,
+          "load_index: group section count mismatch");
+  std::size_t shards = 0;
+  for (std::uint32_t i = 0; i < group_count; ++i) {
+    const std::uint32_t group = reader.u32();
+    require(group == i, "load_index: group sections out of order");
+    const auto section = reader.bytes();
+    CodecReader sub(section);
+    const std::uint32_t members = sub.u32();
+    for (std::uint32_t m = 0; m < members; ++m) {
+      const std::uint32_t id = sub.u32();
+      require(id < nodes_.size(), "load_index: shard for unknown node " +
+                                      std::to_string(id));
+      require(topology_->address(id).group == group,
+              "load_index: node " + std::to_string(id) +
+                  " filed under the wrong group section");
+      nodes_[id]->load(sub);
+      ++shards;
+    }
+    require(sub.done(), "load_index: trailing bytes in group section " +
+                            std::to_string(group));
+  }
+  require(shards == nodes_.size(), "load_index: node shard count mismatch");
   for (auto& node : nodes_) {
-    node->load(reader);
     node->set_database_residues(database_residues_);
   }
   // Recover the id watermark from the restored shards so add_sequences()

@@ -85,6 +85,23 @@ struct RuntimeOptions {
   bool enable_tracing = false;
   // Bound on each node's span buffer (see obs::SpanBuffer).
   std::size_t trace_buffer_capacity = 1 << 16;
+  // Per-node resident-byte budget for the window arena (0 = keep every
+  // block in memory). A positive budget backs each node's arena with the
+  // mmap'd block store: rows past the budget spill to an unlinked temp
+  // file and fault back in on access, LRU-evicted around pinned leaf
+  // scans. Ranked results are byte-identical either way. The
+  // MENDEL_ARENA_BUDGET environment variable (integer bytes, optional
+  // k/m/g suffix) overrides this at Client construction — CI uses it to
+  // force spilling without touching call sites.
+  std::size_t arena_resident_budget = 0;
+  // Store arena rows bit-packed (2-bit DNA, 4-bit small alphabets) with
+  // the decode fused into the SIMD scan kernels — ~4x less window memory
+  // for DNA, byte-identical results. Off stores one code per byte.
+  bool arena_packing = true;
+  // Spill-segment granularity for the arena block store (0 = the default
+  // BlockStore::kDefaultSegmentBytes). Mostly for benches/tests that need
+  // eviction pressure on small per-node arenas.
+  std::size_t arena_segment_bytes = 0;
 };
 
 struct ClientOptions {

@@ -37,6 +37,27 @@ StorageNode::StorageNode(net::NodeId id, StorageNodeConfig config)
   require(config_.prefix_tree != nullptr, "StorageNode: null prefix tree");
   require(config_.distance != nullptr, "StorageNode: null distance matrix");
   max_residue_distance_ = config_.distance->max_entry();
+  // Arena encoding and storage are fixed before the first admitted block.
+  // DNA starts 2-bit (its unambiguous core) and widens automatically when
+  // an N appears; any other alphabet with <= 16 codes packs at 4 bits;
+  // wider alphabets (protein's 24 codes) stay byte-per-residue.
+  {
+    vpt::WindowArena::Config acfg;
+    if (config_.arena_packing) {
+      const std::size_t core = seq::core_cardinality(config_.alphabet);
+      const std::size_t full = seq::cardinality(config_.alphabet);
+      if (core <= 4 && full <= 16) {
+        acfg.packed_bits = 2;
+      } else if (full <= 16) {
+        acfg.packed_bits = 4;
+      }
+    }
+    acfg.resident_budget = config_.arena_resident_budget;
+    if (config_.arena_segment_bytes > 0) {
+      acfg.segment_bytes = config_.arena_segment_bytes;
+    }
+    arena_.configure(acfg);
+  }
   if (config_.metrics != nullptr) {
     // Handles resolved once; the per-message path never touches the
     // registry's name table.
@@ -98,8 +119,8 @@ Block StorageNode::materialize(const BlockRef& ref) const {
   Block block;
   block.sequence = ref.sequence;
   block.start = ref.start;
-  const auto span = arena_.span(ref.slot);
-  block.window.assign(span.begin(), span.end());
+  block.window.resize(arena_.window_length());
+  arena_.copy_row(ref.slot, block.window.data());
   return block;
 }
 
@@ -431,9 +452,11 @@ std::vector<Seed> StorageNode::search_subquery(
                      static_cast<double>(window.size()) *
                      max_residue_distance_;
   const auto neighbors = tree_.nearest_with(metric, probe_ref, params.n, cap);
+  std::vector<seq::Code> decoded(arena_.window_length());
   for (const auto& neighbor : neighbors) {
     const BlockRef& block = *neighbor.item;
-    const auto arena_window = arena_.span(block.slot);
+    arena_.copy_row(block.slot, decoded.data());
+    const seq::CodeSpan arena_window{decoded.data(), decoded.size()};
     const double identity = score::percent_identity(window, arena_window);
     if (identity < params.identity) continue;
     const double c = score::consecutivity_score(window, arena_window, matrix);
@@ -979,10 +1002,12 @@ void StorageNode::on_rebalance(net::Context& ctx) {
   const auto refs = tree_.collect_all();
   std::vector<Block> kept;
   std::map<net::NodeId, InsertBlocksPayload> outgoing;
+  std::vector<seq::Code> decoded(arena_.window_length());
   for (const BlockRef& ref : refs) {
+    arena_.copy_row(ref.slot, decoded.data());
     const auto owners = config_.topology->nodes_for_key(
-        group,
-        block_placement_key(ref.sequence, ref.start, arena_.span(ref.slot)));
+        group, block_placement_key(ref.sequence, ref.start,
+                                   {decoded.data(), decoded.size()}));
     if (std::find(owners.begin(), owners.end(), id_) != owners.end()) {
       kept.push_back(materialize(ref));
       continue;
@@ -1034,13 +1059,31 @@ void StorageNode::on_rebalance(net::Context& ctx) {
 // --- persistence ------------------------------------------------------------
 
 void StorageNode::save(CodecWriter& writer) const {
-  writer.str("mendel-node-v1");
+  writer.str("mendel-node-v2");
   writer.u32(id_);
-  // Wire format unchanged: refs materialize back into full Blocks.
-  const auto refs = tree_.collect_all();
-  writer.vec(refs, [this](CodecWriter& w, const BlockRef& ref) {
-    materialize(ref).encode(w);
-  });
+  // v2 dumps arena rows in their stored (possibly bit-packed) form — no
+  // inflate/deflate round trip — preceded by the geometry needed to decode
+  // them: block identities in slot order, then one contiguous blob of
+  // row_bytes()-sized payloads (stride padding is not persisted).
+  auto refs = tree_.collect_all();
+  std::sort(refs.begin(), refs.end(),
+            [](const BlockRef& a, const BlockRef& b) {
+              return a.slot < b.slot;
+            });
+  writer.u32(static_cast<std::uint32_t>(arena_.window_length()));
+  writer.u8(static_cast<std::uint8_t>(arena_.packed_bits()));
+  writer.u32(static_cast<std::uint32_t>(refs.size()));
+  for (const BlockRef& ref : refs) {
+    writer.u32(ref.sequence);
+    writer.u32(ref.start);
+  }
+  const std::size_t row_bytes = arena_.row_bytes();
+  writer.u64(static_cast<std::uint64_t>(refs.size()) * row_bytes);
+  std::vector<std::uint8_t> row(arena_.stride());
+  for (const BlockRef& ref : refs) {
+    arena_.copy_row_bytes(ref.slot, row.data());
+    writer.raw(std::span<const std::uint8_t>(row.data(), row_bytes));
+  }
   writer.u32(static_cast<std::uint32_t>(sequences_.size()));
   // Deterministic order for byte-stable snapshots.
   std::vector<std::uint32_t> ids;
@@ -1058,16 +1101,44 @@ void StorageNode::save(CodecWriter& writer) const {
 
 void StorageNode::load(CodecReader& reader) {
   const std::string magic = reader.str();
-  require(magic == "mendel-node-v1",
-          "StorageNode::load: bad snapshot magic '" + magic + "'");
+  require(magic == "mendel-node-v2",
+          "StorageNode::load: unsupported node snapshot magic '" + magic +
+              "' (re-index and save with this version)");
   const std::uint32_t saved_id = reader.u32();
   require(saved_id == id_, "StorageNode::load: snapshot is for node " +
                                std::to_string(saved_id));
-  auto blocks =
-      reader.vec<Block>([](CodecReader& r) { return Block::decode(r); });
+  const std::size_t window_len = reader.u32();
+  const unsigned bits = reader.u8();
+  require(bits == 0 || bits == 2 || bits == 4,
+          "StorageNode::load: bad packed row width " + std::to_string(bits));
+  const std::uint32_t block_count = reader.u32();
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> idents(block_count);
+  for (auto& [sequence, start] : idents) {
+    sequence = reader.u32();
+    start = reader.u32();
+  }
+  const std::size_t row_bytes =
+      vpt::WindowArena::payload_bytes(window_len, bits);
+  const std::uint64_t blob = reader.u64();
+  require(blob == static_cast<std::uint64_t>(block_count) * row_bytes,
+          "StorageNode::load: row blob length mismatch");
+  // Rows go straight from the snapshot into the arena; when the stored
+  // width matches the arena's encoding this is a verbatim copy, otherwise
+  // append_row transcodes (e.g. a 4-bit snapshot loaded into a fresh
+  // 2-bit arena widens it on the first ambiguity code).
+  std::vector<BlockRef> fresh;
+  fresh.reserve(block_count);
+  for (const auto& [sequence, start] : idents) {
+    const auto row = reader.raw(row_bytes);
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(sequence) << 32) | start;
+    if (!block_keys_.insert(key).second) continue;  // idempotent re-delivery
+    const std::uint32_t slot =
+        arena_.append_row(row.data(), row_bytes, window_len, bits);
+    fresh.push_back({sequence, start, slot});
+  }
   // Restored items count separately from this session's insertions (the
   // inserted/stored counters track work done since startup).
-  auto fresh = admit_blocks(std::move(blocks));
   counters_.blocks_restored += fresh.size();
   if (!fresh.empty()) {
     invalidate_nn_cache();
@@ -1110,7 +1181,9 @@ void StorageNode::audit_placement(const BlockRef& ref,
   const std::string ident = "node " + std::to_string(id_) + ": block (seq " +
                             std::to_string(ref.sequence) + ", start " +
                             std::to_string(ref.start) + ")";
-  const auto window = arena_.span(ref.slot);
+  std::vector<seq::Code> decoded(arena_.window_length());
+  arena_.copy_row(ref.slot, decoded.data());
+  const seq::CodeSpan window{decoded.data(), decoded.size()};
   // Tier 1: the window must re-hash to the group this node belongs to.
   const std::uint32_t own_group = config_.topology->address(id_).group;
   const std::uint64_t prefix = config_.prefix_tree->hash(window);
@@ -1145,6 +1218,26 @@ std::vector<std::string> StorageNode::audit(std::size_t max_violations) const {
   if (!arena_.layout_ok()) {
     out.push_back(me + ": window arena violates the SIMD layout contract "
                        "(base alignment / row stride padding)");
+  }
+
+  // Content half of that contract: every stored row must decode and
+  // re-encode to the same bytes (zero stride padding, no stray high bits in
+  // packed rows) — the packed kernels and the scalar oracle only agree on
+  // well-formed rows.
+  for (std::uint32_t slot = 0; slot < arena_.size(); ++slot) {
+    if (out.size() >= max_violations) return out;
+    if (!arena_.row_roundtrip_ok(slot)) {
+      out.push_back(me + ": arena slot " + std::to_string(slot) +
+                    " fails the packed-row round trip (stray bits or "
+                    "nonzero padding)");
+    }
+  }
+
+  // Spilled arenas: the block store's residency invariants (pinned blocks
+  // resident, accounting consistent, resident set within budget + pins).
+  std::string store_why;
+  if (!arena_.store_audit(&store_why)) {
+    out.push_back(me + ": block store residency audit failed: " + store_why);
   }
 
   // Bookkeeping: tree contents, dedup keys and arena slots must agree.

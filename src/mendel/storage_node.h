@@ -85,6 +85,21 @@ struct StorageNodeConfig {
   // Bound on this node's trace span buffer; spans past it are counted as
   // dropped rather than growing node memory while no collector runs.
   std::size_t trace_buffer_capacity = 1 << 16;
+  // Resident-byte budget for the window arena. 0 (the default) keeps the
+  // original all-resident heap arena; > 0 spills rows to a memory-mapped
+  // BlockStore whose LRU-pinned hot set is bounded by this many bytes
+  // (src/vptree/block_store.h). Search results are byte-identical either
+  // way — only residency changes.
+  std::size_t arena_resident_budget = 0;
+  // Bit-pack arena rows when the alphabet fits: 2 bits for the DNA core
+  // (auto-widening to 4 when an ambiguity base appears), 4 bits for any
+  // alphabet with at most 16 codes. Lossless — the packed kernels decode
+  // the very same codes — so this only shrinks memory, never results.
+  bool arena_packing = true;
+  // Spill-segment granularity for the block store; 0 keeps the default
+  // (BlockStore::kDefaultSegmentBytes). Smaller segments make the LRU
+  // budget meaningful for small per-node arenas (benches, tests).
+  std::size_t arena_segment_bytes = 0;
 };
 
 // Per-node work counters (telemetry for benches and tests).
@@ -135,6 +150,10 @@ class StorageNode final : public net::Actor {
 
   // Spans recorded for traced queries, awaiting a kCollectTrace broadcast.
   const obs::SpanBuffer& span_buffer() const { return span_buffer_; }
+
+  // Arena storage telemetry: resident/packed bytes plus the block-store
+  // hit/miss/eviction/fault counters (zeros for all-resident arenas).
+  vpt::WindowArena::Stats arena_stats() const { return arena_.stats(); }
 
   // Membership view for fault tolerance: nodes marked down are excluded
   // from fan-outs and home-node selection. (The paper leaves fault
@@ -204,18 +223,31 @@ class StorageNode final : public net::Actor {
     obs::Counter* batched_scans = nullptr;
     obs::Counter* scalar_fallbacks = nullptr;
 
-    const seq::Code* codes(const BlockRef& ref) const {
-      return ref.slot == BlockRef::kProbeSlot ? probe->data()
-                                              : arena->at(ref.slot);
+    // Item-wise code access. The all-resident unpacked arena hands out
+    // direct row pointers (the original zero-copy path); packed or spilled
+    // arenas decode into per-thread scratch — `side` keeps the two
+    // operands of a distance call in separate buffers. Copying (rather
+    // than pointing) is what makes item-wise access safe against
+    // concurrent LRU eviction: the bytes are captured under the store
+    // lock.
+    const seq::Code* codes(const BlockRef& ref, int side) const {
+      if (ref.slot == BlockRef::kProbeSlot) return probe->data();
+      if (!arena->packed() && !arena->spilled()) return arena->at(ref.slot);
+      thread_local std::vector<seq::Code> scratch[2];
+      auto& buf = scratch[side];
+      buf.resize(arena->window_length());
+      arena->copy_row(ref.slot, buf.data());
+      return buf.data();
     }
     double operator()(const BlockRef& a, const BlockRef& b) const {
-      return score::window_distance_unchecked(*distance, codes(a), codes(b),
+      return score::window_distance_unchecked(*distance, codes(a, 0),
+                                              codes(b, 1),
                                               arena->window_length());
     }
     double bounded(const BlockRef& a, const BlockRef& b,
                    double bound) const {
       return score::window_distance_bounded_unchecked(
-          *distance, codes(a), codes(b), arena->window_length(), bound);
+          *distance, codes(a, 0), codes(b, 1), arena->window_length(), bound);
     }
     // Batched bucket scan: same item-wise contract as bounded(). Falls back
     // to the item-at-a-time path when the matrix has no quantized twin or
@@ -237,7 +269,7 @@ class StorageNode final : public net::Actor {
         }
         return;
       }
-      const seq::Code* probe_codes = codes(a);
+      const seq::Code* probe_codes = codes(a, 0);
       const std::int64_t qthresh = q->threshold(bound);
       const auto& kernels = score::qkernels();
       std::array<std::uint32_t, kBatchChunk> slots;
@@ -260,9 +292,20 @@ class StorageNode final : public net::Actor {
         for (std::size_t j = 0; j < run; ++j) {
           slots[j] = items[offset + j].slot;
         }
-        kernels.distance_batch(*q, probe_codes, arena->base(),
-                               arena->stride(), slots.data(), run, len,
-                               qthresh, qdists.data());
+        // Spilled arenas: pin the chunk's rows so the gather kernels can
+        // never touch an evicted (PROT_NONE) segment mid-scan; no-op for
+        // heap arenas. Packed arenas route to the fused-decode kernel.
+        const auto pin = arena->pin_scan(slots.data(), run);
+        if (arena->packed()) {
+          kernels.distance_batch_packed(*q, probe_codes, arena->base(),
+                                        arena->stride(), arena->packed_bits(),
+                                        slots.data(), run, len, qthresh,
+                                        qdists.data());
+        } else {
+          kernels.distance_batch(*q, probe_codes, arena->base(),
+                                 arena->stride(), slots.data(), run, len,
+                                 qthresh, qdists.data());
+        }
         for (std::size_t j = 0; j < run; ++j) {
           out[offset + j] = q->to_double(qdists[j]);
         }

@@ -64,6 +64,46 @@ void qbatch_scalar(const QuantizedDistance& q, const seq::Code* probe,
   }
 }
 
+// --- packed-row kernels (bit-packed arena rows, decode fused in) ---------
+//
+// The scalar version accumulates the same LUT cells in the same order as
+// qdist_bounded_scalar over the decoded row, so it is the bit-identity
+// oracle for the vector packed kernels: identical keep/abandon decisions,
+// identical kept values.
+
+inline seq::Code packed_code(const std::uint8_t* row, std::size_t i,
+                             unsigned bits) {
+  const std::size_t bit = i * bits;
+  return static_cast<seq::Code>((row[bit >> 3] >> (bit & 7)) &
+                                ((1u << bits) - 1));
+}
+
+std::int64_t qdist_bounded_packed_scalar(const QuantizedDistance& q,
+                                         const seq::Code* a,
+                                         const std::uint8_t* row,
+                                         unsigned bits, std::size_t length,
+                                         std::int64_t qthresh) {
+  const std::uint16_t* lut = q.lut16();
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < length; ++i) {
+    total += lut[a[i] * kCodesStride + packed_code(row, i, bits)];
+    if (total > qthresh) return total;
+  }
+  return total;
+}
+
+void qbatch_packed_scalar(const QuantizedDistance& q, const seq::Code* probe,
+                          const std::uint8_t* base, std::size_t stride,
+                          unsigned bits, const std::uint32_t* slots,
+                          std::size_t count, std::size_t length,
+                          std::int64_t qthresh, std::int64_t* out) {
+  for (std::size_t j = 0; j < count; ++j) {
+    out[j] = qdist_bounded_packed_scalar(
+        q, probe, base + static_cast<std::size_t>(slots[j]) * stride, bits,
+        length, qthresh);
+  }
+}
+
 #if defined(MENDEL_SIMD_X86)
 
 // --- SSE2 (x86-64 baseline, no target attribute needed) ------------------
@@ -285,6 +325,67 @@ __attribute__((target("avx2"))) void qbatch_avx2(
   }
 }
 
+// Packed batched leaf scan: like qbatch_avx2 but the row gather moves one
+// 32-bit *word* per lane instead of one byte — 16 (2-bit) or 8 (4-bit)
+// residues per gather — and codes are peeled off with a uniform right
+// shift. Word starts within a row are 4-byte offsets, so every gather is
+// the row base plus a shared in-row offset; the final word of the final
+// row may overhang into the guard tail, which the arena keeps readable.
+__attribute__((target("avx2"))) void qbatch_packed_avx2(
+    const QuantizedDistance& q, const seq::Code* probe,
+    const std::uint8_t* base, std::size_t stride, unsigned bits,
+    const std::uint32_t* slots, std::size_t count, std::size_t length,
+    std::int64_t qthresh, std::int64_t* out) {
+  if (length >= kMaxVectorLength || (bits != 2 && bits != 4)) {
+    qbatch_packed_scalar(q, probe, base, stride, bits, slots, count, length,
+                         qthresh, out);
+    return;
+  }
+  const std::int32_t* lut = q.lut32();
+  const int thresh32 = static_cast<int>(std::min<std::int64_t>(
+      qthresh, std::numeric_limits<std::int32_t>::max()));
+  const __m256i thresh_v = _mm256_set1_epi32(thresh32);
+  const __m256i code_mask = _mm256_set1_epi32((1 << bits) - 1);
+  const __m128i shift_n = _mm_cvtsi32_si128(static_cast<int>(bits));
+  const std::size_t codes_per_word = 32 / bits;
+  std::size_t j = 0;
+  for (; j + 8 <= count; j += 8) {
+    const __m256i slot_v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(slots + j));
+    const __m256i off = _mm256_mullo_epi32(
+        slot_v, _mm256_set1_epi32(static_cast<int>(stride)));
+    __m256i acc = _mm256_setzero_si256();
+    __m256i word = _mm256_setzero_si256();
+    std::size_t phase = 0;
+    std::size_t since_check = 0;
+    for (std::size_t i = 0; i < length; ++i) {
+      if (phase == 0) {
+        const std::size_t word_byte = i * bits / 8;  // multiple of 4
+        word = _mm256_i32gather_epi32(
+            reinterpret_cast<const int*>(base + word_byte), off, 1);
+      }
+      const __m256i codes = _mm256_and_si256(word, code_mask);
+      word = _mm256_srl_epi32(word, shift_n);
+      if (++phase == codes_per_word) phase = 0;
+      const std::int32_t* row = lut + probe[i] * kCodesStride;
+      acc = _mm256_add_epi32(acc, _mm256_i32gather_epi32(row, codes, 4));
+      if (++since_check >= 32 && i + 1 < length) {
+        since_check = 0;
+        const __m256i over = _mm256_cmpgt_epi32(acc, thresh_v);
+        if (_mm256_movemask_epi8(over) == -1) break;  // every lane abandoned
+      }
+    }
+    alignas(32) std::int32_t lanes[8];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+    for (std::size_t l = 0; l < 8; ++l) out[j + l] = lanes[l];
+  }
+  for (; j < count; ++j) {
+    out[j] = qdist_bounded_packed_scalar(
+        q, probe, base + static_cast<std::size_t>(slots[j]) * stride, bits,
+        length, qthresh);
+  }
+}
+
 #endif  // MENDEL_SIMD_X86
 
 #if defined(MENDEL_SIMD_ARM)
@@ -338,19 +439,21 @@ void qbatch_neon(const QuantizedDistance& q, const seq::Code* probe,
 #endif  // MENDEL_SIMD_ARM
 
 constexpr QKernelTable kScalarTable{qdist_scalar, qdist_bounded_scalar,
-                                    qbatch_scalar};
+                                    qbatch_scalar, qbatch_packed_scalar};
 
+// SSE2 and NEON lack the gathers the fused-decode scan leans on, so their
+// packed entries alias the scalar packed kernel (still bit-identical).
 const QKernelTable kTables[4] = {
     kScalarTable,
 #if defined(MENDEL_SIMD_X86)
-    {qdist_sse2, qdist_bounded_sse2, qbatch_sse2},
-    {qdist_avx2, qdist_bounded_avx2, qbatch_avx2},
+    {qdist_sse2, qdist_bounded_sse2, qbatch_sse2, qbatch_packed_scalar},
+    {qdist_avx2, qdist_bounded_avx2, qbatch_avx2, qbatch_packed_avx2},
 #else
     kScalarTable,
     kScalarTable,
 #endif
 #if defined(MENDEL_SIMD_ARM)
-    {qdist_neon, qdist_bounded_neon, qbatch_neon},
+    {qdist_neon, qdist_bounded_neon, qbatch_neon, qbatch_packed_scalar},
 #else
     kScalarTable,
 #endif

@@ -100,6 +100,21 @@ struct QKernelTable {
                          const std::uint32_t* slots, std::size_t count,
                          std::size_t length, std::int64_t qthresh,
                          std::int64_t* out);
+  // Bit-packed variant of distance_batch: arena rows hold `bits`-wide codes
+  // (bits in {2, 4}; residue i occupies bits [i*bits, (i+1)*bits) of the
+  // row, little-endian within each byte) and the decode is fused into the
+  // scan — the vector kernels gather one 32-bit word per lane and peel
+  // 32/bits residues out of it before regathering. The probe stays
+  // unpacked (its codes index LUT rows). Packing is lossless, so the
+  // keep/abandon decisions and all kept values are identical to running
+  // distance_batch over the decoded rows — pinned by the packed fuzz in
+  // tests/simd_kernel_test.cpp. Same arena guard-tail requirements.
+  void (*distance_batch_packed)(const QuantizedDistance& q,
+                                const seq::Code* probe,
+                                const std::uint8_t* base, std::size_t stride,
+                                unsigned bits, const std::uint32_t* slots,
+                                std::size_t count, std::size_t length,
+                                std::int64_t qthresh, std::int64_t* out);
 };
 
 // The kernel table for simd::active_level() (one relaxed atomic read).

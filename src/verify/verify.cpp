@@ -8,6 +8,7 @@
 #include "src/common/codec.h"
 #include "src/common/error.h"
 #include "src/mendel/protocol.h"
+#include "src/vptree/window_arena.h"
 
 namespace mendel::verify {
 
@@ -140,12 +141,100 @@ AuditReport audit_client(const core::Client& client) {
 
 // --- snapshots --------------------------------------------------------
 
+std::vector<core::Block> NodeShardView::materialize_blocks() const {
+  std::vector<core::Block> out;
+  out.reserve(blocks.size());
+  for (const BlockRowView& row : blocks) {
+    core::Block block;
+    block.sequence = row.sequence;
+    block.start = row.start;
+    block.window.resize(window_length);
+    vpt::WindowArena::decode_row(row.row.data(), block.window.data(),
+                                 window_length, packed_bits);
+    out.push_back(std::move(block));
+  }
+  return out;
+}
+
+namespace {
+
+// Mirrors StorageNode::load's parse of one mendel-node-v2 shard.
+NodeShardView read_node_shard(CodecReader& reader, std::uint32_t group) {
+  NodeShardView shard;
+  shard.group = group;
+  const std::string node_magic = reader.str();
+  require(node_magic == "mendel-node-v2",
+          "read_snapshot: bad node shard magic '" + node_magic + "'");
+  shard.id = reader.u32();
+  shard.window_length = reader.u32();
+  shard.packed_bits = reader.u8();
+  require(shard.packed_bits == 0 || shard.packed_bits == 2 ||
+              shard.packed_bits == 4,
+          "read_snapshot: node " + std::to_string(shard.id) +
+              ": bad packed row width " + std::to_string(shard.packed_bits));
+  const std::uint32_t block_count = reader.u32();
+  shard.blocks.resize(block_count);
+  for (auto& block : shard.blocks) {
+    block.sequence = reader.u32();
+    block.start = reader.u32();
+  }
+  const std::size_t row_bytes =
+      vpt::WindowArena::payload_bytes(shard.window_length, shard.packed_bits);
+  const std::uint64_t blob = reader.u64();
+  require(blob == static_cast<std::uint64_t>(block_count) * row_bytes,
+          "read_snapshot: node " + std::to_string(shard.id) +
+              ": row blob length mismatch");
+  for (auto& block : shard.blocks) {
+    const auto row = reader.raw(row_bytes);
+    block.row.assign(row.begin(), row.end());
+  }
+  const std::uint32_t sequence_count = reader.u32();
+  shard.sequences.reserve(sequence_count);
+  for (std::uint32_t s = 0; s < sequence_count; ++s) {
+    NodeShardView::SequenceView sequence;
+    sequence.id = reader.u32();
+    sequence.name = reader.str();
+    sequence.codes = reader.bytes();
+    shard.sequences.push_back(std::move(sequence));
+  }
+  return shard;
+}
+
+// Mirrors StorageNode::save for one shard.
+void encode_node_shard(CodecWriter& writer, const NodeShardView& shard) {
+  writer.str("mendel-node-v2");
+  writer.u32(shard.id);
+  writer.u32(shard.window_length);
+  writer.u8(shard.packed_bits);
+  writer.u32(static_cast<std::uint32_t>(shard.blocks.size()));
+  for (const auto& block : shard.blocks) {
+    writer.u32(block.sequence);
+    writer.u32(block.start);
+  }
+  const std::size_t row_bytes =
+      vpt::WindowArena::payload_bytes(shard.window_length, shard.packed_bits);
+  writer.u64(static_cast<std::uint64_t>(shard.blocks.size()) * row_bytes);
+  for (const auto& block : shard.blocks) {
+    writer.raw(std::span<const std::uint8_t>(block.row.data(),
+                                             block.row.size()));
+  }
+  writer.u32(static_cast<std::uint32_t>(shard.sequences.size()));
+  for (const auto& sequence : shard.sequences) {
+    writer.u32(sequence.id);
+    writer.str(sequence.name);
+    writer.bytes(std::span<const std::uint8_t>(sequence.codes.data(),
+                                               sequence.codes.size()));
+  }
+}
+
+}  // namespace
+
 SnapshotView read_snapshot(const std::vector<std::uint8_t>& bytes) {
   CodecReader reader(bytes);
   SnapshotView view;
 
   const std::string magic = reader.str();
-  require(magic == "mendel-index-v2",
+  require(magic == "mendel-index-v3",
           "read_snapshot: bad snapshot magic '" + magic + "'");
   view.alphabet = static_cast<seq::Alphabet>(reader.u8());
   view.database_residues = reader.u64();
@@ -161,30 +250,31 @@ SnapshotView read_snapshot(const std::vector<std::uint8_t>& bytes) {
   view.prefix_tree = std::make_unique<vpt::VpPrefixTree>(
       vpt::VpPrefixTree::decode(reader, view.distance.get()));
 
-  const std::uint32_t node_count = reader.u32();
-  view.shards.reserve(node_count);
-  for (std::uint32_t i = 0; i < node_count; ++i) {
-    NodeShardView shard;
-    const std::string node_magic = reader.str();
-    require(node_magic == "mendel-node-v1",
-            "read_snapshot: bad node shard magic '" + node_magic + "'");
-    shard.id = reader.u32();
-    shard.blocks = reader.vec<core::Block>(
-        [](CodecReader& r) { return core::Block::decode(r); });
-    const std::uint32_t sequence_count = reader.u32();
-    shard.sequences.reserve(sequence_count);
-    for (std::uint32_t s = 0; s < sequence_count; ++s) {
-      NodeShardView::SequenceView sequence;
-      sequence.id = reader.u32();
-      sequence.name = reader.str();
-      sequence.codes = reader.bytes();
-      shard.sequences.push_back(std::move(sequence));
+  // v3: one length-framed section per group, ascending, each holding its
+  // member node shards.
+  const std::uint32_t group_count = reader.u32();
+  require(group_count == view.num_groups,
+          "read_snapshot: group section count mismatch");
+  for (std::uint32_t g = 0; g < group_count; ++g) {
+    const std::uint32_t group = reader.u32();
+    require(group == g, "read_snapshot: group sections out of order");
+    const auto section = reader.bytes();
+    CodecReader sub(section);
+    const std::uint32_t members = sub.u32();
+    for (std::uint32_t m = 0; m < members; ++m) {
+      const std::uint32_t id = sub.u32();
+      NodeShardView shard = read_node_shard(sub, group);
+      require(shard.id == id,
+              "read_snapshot: shard id " + std::to_string(shard.id) +
+                  " filed under member id " + std::to_string(id));
+      view.shards.push_back(std::move(shard));
     }
-    view.shards.push_back(std::move(shard));
+    require(sub.done(), "read_snapshot: trailing bytes in group section " +
+                            std::to_string(group));
   }
   require(reader.done(), "read_snapshot: " +
                              std::to_string(reader.remaining()) +
-                             " trailing byte(s) after the last shard");
+                             " trailing byte(s) after the last section");
   return view;
 }
 
@@ -192,7 +282,7 @@ std::vector<std::uint8_t> encode_snapshot(const SnapshotView& view) {
   require(view.prefix_tree != nullptr,
           "encode_snapshot: view has no prefix tree");
   CodecWriter writer;
-  writer.str("mendel-index-v2");
+  writer.str("mendel-index-v3");
   writer.u8(static_cast<std::uint8_t>(view.alphabet));
   writer.u64(view.database_residues);
   writer.u32(view.num_groups);
@@ -200,20 +290,21 @@ std::vector<std::uint8_t> encode_snapshot(const SnapshotView& view) {
   writer.u32(static_cast<std::uint32_t>(view.extra_groups.size()));
   for (std::uint32_t group : view.extra_groups) writer.u32(group);
   view.prefix_tree->encode(writer);
-  writer.u32(static_cast<std::uint32_t>(view.shards.size()));
-  for (const NodeShardView& shard : view.shards) {
-    writer.str("mendel-node-v1");
-    writer.u32(shard.id);
-    writer.vec(shard.blocks, [](CodecWriter& w, const core::Block& block) {
-      block.encode(w);
-    });
-    writer.u32(static_cast<std::uint32_t>(shard.sequences.size()));
-    for (const auto& sequence : shard.sequences) {
-      writer.u32(sequence.id);
-      writer.str(sequence.name);
-      writer.bytes(std::span<const std::uint8_t>(sequence.codes.data(),
-                                                 sequence.codes.size()));
+  writer.u32(view.num_groups);
+  for (std::uint32_t group = 0; group < view.num_groups; ++group) {
+    writer.u32(group);
+    CodecWriter section;
+    std::uint32_t members = 0;
+    for (const NodeShardView& shard : view.shards) {
+      if (shard.group == group) ++members;
     }
+    section.u32(members);
+    for (const NodeShardView& shard : view.shards) {
+      if (shard.group != group) continue;
+      section.u32(shard.id);
+      encode_node_shard(section, shard);
+    }
+    writer.bytes(section.data());
   }
   return writer.take();
 }
@@ -252,17 +343,58 @@ AuditReport audit_snapshot(const SnapshotView& view,
     return report;  // per-shard placement below would misattribute ids
   }
 
+  const std::size_t cardinality = seq::cardinality(view.alphabet);
   std::vector<ShardFacts> shards;
   shards.reserve(view.shards.size());
-  for (std::size_t i = 0; i < view.shards.size(); ++i) {
-    const NodeShardView& shard = view.shards[i];
-    if (shard.id != i) {
-      add(report, "shard at position " + std::to_string(i) +
-                      " claims node id " + std::to_string(shard.id));
+  for (const NodeShardView& shard : view.shards) {
+    if (shard.id >= topology->total_nodes()) {
+      add(report, "shard claims node id " + std::to_string(shard.id) +
+                      " outside the topology");
+      continue;
+    }
+    if (topology->address(shard.id).group != shard.group) {
+      add(report, "shard for node " + std::to_string(shard.id) +
+                      " is filed under group " + std::to_string(shard.group) +
+                      " but the topology places the node in group " +
+                      std::to_string(topology->address(shard.id).group));
     }
     ShardFacts facts;
-    facts.id = static_cast<std::uint32_t>(i);
-    facts.blocks = shard.blocks;
+    facts.id = shard.id;
+    // Packed-row well-formedness: stray bits above the packed width (or
+    // codes outside the alphabet) would desynchronize the fused packed
+    // kernels from the scalar oracle, so they are placement-grade
+    // corruption even though the framing parses.
+    const auto materialized = shard.materialize_blocks();
+    facts.blocks.reserve(materialized.size());
+    for (std::size_t b = 0; b < materialized.size(); ++b) {
+      if (capped(report)) return report;
+      const core::Block& block = materialized[b];
+      std::vector<std::uint8_t> reenc(shard.blocks[b].row.size(), 0);
+      vpt::WindowArena::encode_row_to(
+          reenc.data(), {block.window.data(), block.window.size()},
+          shard.packed_bits);
+      if (reenc != shard.blocks[b].row) {
+        add(report, block_ident(shard.id, block) +
+                        " has a malformed packed row (stray bits above the " +
+                        std::to_string(unsigned{shard.packed_bits}) +
+                        "-bit code width)");
+      }
+      bool in_alphabet = true;
+      for (const seq::Code code : block.window) {
+        if (code >= cardinality) {
+          add(report, block_ident(shard.id, block) + " stores code " +
+                          std::to_string(unsigned{code}) +
+                          " outside the alphabet (cardinality " +
+                          std::to_string(cardinality) + ")");
+          in_alphabet = false;
+          break;
+        }
+      }
+      // A window with out-of-alphabet codes cannot be pushed through the
+      // distance matrix, so the placement audit skips it (it is already
+      // reported above).
+      if (in_alphabet) facts.blocks.push_back(block);
+    }
     for (const auto& sequence : shard.sequences) {
       facts.sequence_ids.push_back(sequence.id);
     }

@@ -8,7 +8,7 @@
 //                         (StorageNode::audit), plus the cluster-wide
 //                         orphan check (every inverted-index block must
 //                         reference a sequence some shard stores).
-//   * audit_snapshot*() — the same audit over a mendel-index-v2 snapshot
+//   * audit_snapshot*() — the same audit over a mendel-index-v3 snapshot
 //                         file, without instantiating storage nodes. A
 //                         corrupt or truncated snapshot is reported as a
 //                         violation, never thrown out of the audit.
@@ -55,19 +55,36 @@ AuditReport audit_client(const core::Client& client);
 
 // --- snapshots --------------------------------------------------------
 
-// Structural view of one node's shard inside a snapshot.
+// Structural view of one node's shard inside a snapshot. v3 shards carry
+// arena rows in their stored (possibly bit-packed) form; `blocks` keeps
+// those raw payload rows so re-encoding is verbatim, and
+// materialize_blocks() decodes them into full windows for audits.
 struct NodeShardView {
   std::uint32_t id = 0;
-  std::vector<core::Block> blocks;
+  // Group section the shard is filed under (v3 groups shards by group).
+  std::uint32_t group = 0;
+  std::uint32_t window_length = 0;
+  // 0 = one code per byte; 2/4 = bit-packed rows (see vpt::WindowArena).
+  std::uint8_t packed_bits = 0;
+  struct BlockRowView {
+    seq::SequenceId sequence = 0;
+    std::uint32_t start = 0;
+    // payload_bytes(window_length, packed_bits) raw row bytes.
+    std::vector<std::uint8_t> row;
+  };
+  std::vector<BlockRowView> blocks;
   struct SequenceView {
     seq::SequenceId id = 0;
     std::string name;
     std::vector<seq::Code> codes;
   };
   std::vector<SequenceView> sequences;
+
+  // Decodes every stored row into a full-window core::Block.
+  std::vector<core::Block> materialize_blocks() const;
 };
 
-// Decoded mendel-index-v2 snapshot. The distance matrix and prefix tree
+// Decoded mendel-index-v3 snapshot. The distance matrix and prefix tree
 // are heap-held so the view stays movable while the tree's internal
 // matrix pointer stays valid.
 struct SnapshotView {
@@ -79,6 +96,7 @@ struct SnapshotView {
   std::vector<std::uint32_t> extra_groups;
   std::unique_ptr<score::DistanceMatrix> distance;
   std::unique_ptr<vpt::VpPrefixTree> prefix_tree;
+  // Shards in file order (group sections ascending, members ascending).
   std::vector<NodeShardView> shards;
 };
 

@@ -1,0 +1,137 @@
+// Memory-mapped segment store backing out-of-core WindowArenas.
+//
+// A BlockStore is a flat byte array addressed exactly like the arena's heap
+// buffer (row j lives at data() + j * stride), but only a bounded "hot set"
+// of fixed-size segments is resident at any time. The full contents live in
+// an unlinked temporary file; segments are mapped into a single contiguous
+// PROT_NONE virtual reservation with MAP_FIXED, so data() never moves and
+// slot * stride addressing stays valid across faults and evictions.
+//
+// Residency protocol:
+//   * pin_segment() faults a segment in (if needed) and marks it
+//     unevictable; batched leaf-scan kernels only ever touch pinned
+//     segments, so they cannot fault — or worse, hit a PROT_NONE hole —
+//     mid-scan.
+//   * read()/write() fault segments in transparently and copy under the
+//     store lock, so item-wise callers never hold raw pointers into
+//     evictable memory.
+//   * When residency would exceed the byte budget, the least-recently-used
+//     unpinned segment is evicted: its pages are replaced by a PROT_NONE
+//     anonymous mapping (the file keeps the bytes; MAP_SHARED writeback
+//     makes eviction lossless). If every resident segment is pinned the
+//     store runs over budget rather than stalling — audits allow
+//     resident <= budget + pinned.
+//
+// The reservation base is page-aligned, which satisfies (and exceeds) the
+// arena's 32-byte base-alignment contract; ftruncate() zero-fills new file
+// extents, which preserves the zeroed-padding/guard-tail contract without
+// explicit memsets. Capacity is always rounded up to a whole segment so the
+// guard tail past the last row is mappable and pinnable.
+//
+// All state transitions happen under one mutex; concurrent searcher threads
+// may pin/read simultaneously. Pinned segment memory may be read without
+// the lock — eviction never selects a pinned segment.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mendel::vpt {
+
+struct BlockStoreStats {
+  std::uint64_t hits = 0;       // pin/fault requests served by a resident segment
+  std::uint64_t misses = 0;     // requests that found the segment evicted
+  std::uint64_t evictions = 0;  // segments dropped to respect the budget
+  std::uint64_t faults = 0;     // file segments mapped in (initial or re-fault)
+};
+
+class BlockStore {
+ public:
+  static constexpr std::size_t kDefaultSegmentBytes = 256 * 1024;
+  // Floor on the hot set: item-wise distance calls hold decoded copies of
+  // at most two rows plus bookkeeping, but keeping a handful of segments
+  // resident avoids pathological thrash when the configured budget is
+  // smaller than a single working set.
+  static constexpr std::size_t kMinResidentSegments = 8;
+
+  // True when the platform has the mmap machinery this store needs;
+  // callers fall back to all-resident heap storage when false.
+  static bool supported();
+
+  // budget_bytes: target resident size (clamped up to kMinResidentSegments
+  // whole segments). segment_bytes is rounded up to the page size.
+  explicit BlockStore(std::size_t budget_bytes,
+                      std::size_t segment_bytes = kDefaultSegmentBytes);
+  ~BlockStore();
+  BlockStore(const BlockStore&) = delete;
+  BlockStore& operator=(const BlockStore&) = delete;
+
+  // Stable base of the reservation; byte i of the store is data() + i.
+  std::uint8_t* data() const { return base_; }
+
+  std::size_t segment_bytes() const { return segment_bytes_; }
+  std::size_t capacity() const;
+  std::size_t budget_bytes() const { return budget_segments_ * segment_bytes_; }
+  std::size_t resident_bytes() const;
+
+  // Grows the backing file (zero-filled) so bytes [0, bytes) are
+  // addressable. Rounded up to a whole segment. Never shrinks.
+  void ensure_capacity(std::size_t bytes);
+
+  // Drops all contents back to zero bytes (the capacity and mappings are
+  // kept). Requires no segment be pinned.
+  void reset();
+
+  std::size_t segment_of(std::size_t offset) const {
+    return offset / segment_bytes_;
+  }
+  std::size_t segment_count() const;
+
+  // Faults the segment in if needed and makes it unevictable until the
+  // matching unpin_segment(). Pins nest.
+  void pin_segment(std::size_t seg);
+  void unpin_segment(std::size_t seg);
+
+  // Copy in/out with transparent fault-in; the copy runs under the store
+  // lock so the bytes cannot be evicted mid-copy.
+  void read(std::size_t offset, void* dst, std::size_t n);
+  void write(std::size_t offset, const void* src, std::size_t n);
+
+  BlockStoreStats stats() const;
+
+  // Residency invariants: the resident-segment account matches the mapping
+  // flags, no pinned segment is evicted, and residency only exceeds the
+  // budget by pinned segments. Appends a reason to *why on failure.
+  bool audit(std::string* why) const;
+
+ private:
+  struct Segment {
+    std::uint32_t pin_count = 0;
+    bool resident = false;
+    std::uint64_t last_use = 0;
+  };
+
+  void fault_in_locked(std::size_t seg);
+  void evict_locked(std::size_t seg);
+  void make_room_locked();
+  void trim_locked();
+  void ensure_resident_locked(std::size_t seg);
+
+  std::size_t segment_bytes_ = 0;
+  std::size_t budget_segments_ = 0;
+  int fd_ = -1;
+  std::uint8_t* base_ = nullptr;
+  std::size_t reserved_ = 0;
+
+  mutable std::mutex mu_;
+  std::size_t capacity_ = 0;  // bytes backed by the file (segment multiple)
+  std::vector<Segment> segments_;
+  std::size_t resident_segments_ = 0;
+  std::uint64_t tick_ = 0;
+  BlockStoreStats stats_;
+};
+
+}  // namespace mendel::vpt

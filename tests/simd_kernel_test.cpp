@@ -300,6 +300,181 @@ TEST(SimdKernels, BandedDispatchMatchesReferenceAtEveryLevel) {
   }
 }
 
+// Packed batched leaf scan: the kernels that fuse 2-bit/4-bit row decode
+// into the scan must make exactly the unpacked scalar kernel's
+// keep/abandon decisions and produce bit-identical kept values — on every
+// SIMD level runnable on the build host, phase boundaries and tail slots
+// included.
+TEST(SimdKernels, PackedBatchedScanMatchesUnpackedOracle) {
+  Rng rng(0x51D0006);
+  std::vector<DistanceMatrix> matrices;
+  matrices.push_back(DistanceMatrix::hamming(seq::Alphabet::kDna));
+  matrices.push_back(random_exact_matrix(rng, seq::Alphabet::kDna, 8));
+  for (const DistanceMatrix& d : matrices) {
+    const QuantizedDistance* q = d.quantized();
+    ASSERT_NE(q, nullptr);
+    const std::size_t card = seq::cardinality(d.alphabet());
+    for (unsigned bits : {2u, 4u}) {
+      // Codes must fit both the alphabet and the packed width (the 2-bit
+      // pass exercises the DNA core; 4-bit fits the ambiguity code too).
+      const std::size_t limit = std::min<std::size_t>(card, 1u << bits);
+      for (std::size_t len : {1UL, 7UL, 8UL, 15UL, 16UL, 31UL, 33UL, 64UL}) {
+        vpt::WindowArena packed;
+        packed.configure({.packed_bits = bits});
+        vpt::WindowArena plain;
+        const std::size_t windows = 70;
+        for (std::size_t i = 0; i < windows; ++i) {
+          const auto w = random_window(rng, len, limit);
+          packed.append(seq::CodeSpan(w));
+          plain.append(seq::CodeSpan(w));
+        }
+        ASSERT_EQ(packed.packed_bits(), bits);
+        ASSERT_TRUE(packed.layout_ok());
+        const auto probe = random_window(rng, len, card);
+        std::vector<std::uint32_t> slots(windows);
+        for (std::size_t i = 0; i < windows; ++i) {
+          slots[i] = static_cast<std::uint32_t>(rng.below(windows));
+        }
+        const auto& scalar = score::qkernels_for(0);
+        for (int iter = 0; iter < 16; ++iter) {
+          const std::int64_t qthresh =
+              static_cast<std::int64_t>(rng.below(len * 4 + 2)) - 1;
+          std::vector<std::int64_t> want(windows);
+          scalar.distance_batch(*q, probe.data(), plain.base(),
+                                plain.stride(), slots.data(), windows, len,
+                                qthresh, want.data());
+          for (simd::Level level : simd::available_levels()) {
+            const auto& k = score::qkernels_for(static_cast<int>(level));
+            std::vector<std::int64_t> got(windows, -42);
+            k.distance_batch_packed(*q, probe.data(), packed.base(),
+                                    packed.stride(), bits, slots.data(),
+                                    windows, len, qthresh, got.data());
+            for (std::size_t j = 0; j < windows; ++j) {
+              ASSERT_EQ(got[j] > qthresh, want[j] > qthresh)
+                  << "level " << simd::level_name(level) << " bits " << bits
+                  << " len " << len << " slot " << j;
+              if (want[j] <= qthresh) {
+                ASSERT_EQ(got[j], want[j])
+                    << "level " << simd::level_name(level) << " bits "
+                    << bits << " len " << len;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// A 2-bit DNA arena must widen itself (2 -> 4 -> unpacked) the moment a
+// code stops fitting, preserving every already-stored row exactly.
+TEST(WindowArena, PackedArenaWidensOnOversizedCodes) {
+  Rng rng(0x51D0007);
+  vpt::WindowArena arena;
+  arena.configure({.packed_bits = 2});
+  const std::size_t len = 8;
+  std::vector<std::vector<seq::Code>> shadow;
+  for (std::size_t i = 0; i < 200; ++i) {
+    shadow.push_back(random_window(rng, len, 4));
+    arena.append(seq::CodeSpan(shadow.back()));
+  }
+  EXPECT_EQ(arena.packed_bits(), 2u);
+  EXPECT_EQ(arena.row_bytes(), 2u);  // true 4x packing at len 8
+
+  // An ambiguity code (N = 4) forces the 4-bit width.
+  shadow.push_back({0, 1, 2, 3, 4, 3, 2, 1});
+  arena.append(seq::CodeSpan(shadow.back()));
+  EXPECT_EQ(arena.packed_bits(), 4u);
+  ASSERT_TRUE(arena.layout_ok());
+
+  // A code past 4 bits forces plain byte storage.
+  shadow.push_back({0, 1, 2, 3, 17, 3, 2, 1});
+  arena.append(seq::CodeSpan(shadow.back()));
+  EXPECT_EQ(arena.packed_bits(), 0u);
+  ASSERT_TRUE(arena.layout_ok());
+
+  std::vector<seq::Code> decoded(len);
+  for (std::size_t i = 0; i < shadow.size(); ++i) {
+    arena.copy_row(static_cast<std::uint32_t>(i), decoded.data());
+    ASSERT_EQ(decoded, shadow[i]) << "slot " << i;
+    ASSERT_TRUE(arena.row_roundtrip_ok(static_cast<std::uint32_t>(i)));
+  }
+}
+
+// A spilled arena under a tiny resident budget must evict (and re-fault)
+// yet return exactly the same rows and batched-scan results as an
+// all-resident arena holding the same windows.
+TEST(WindowArena, SpilledArenaIsLosslessUnderEviction) {
+  if (!vpt::BlockStore::supported()) GTEST_SKIP() << "no mmap on this host";
+  Rng rng(0x51D0008);
+  const DistanceMatrix d = DistanceMatrix::hamming(seq::Alphabet::kDna);
+  const QuantizedDistance* q = d.quantized();
+  ASSERT_NE(q, nullptr);
+
+  vpt::WindowArena::Config cfg;
+  cfg.packed_bits = 2;
+  cfg.segment_bytes = 4096;
+  cfg.resident_budget = 8 * 4096;  // the kMinResidentSegments floor
+  vpt::WindowArena spilled;
+  spilled.configure(cfg);
+  vpt::WindowArena plain;
+
+  const std::size_t len = 8;
+  const std::size_t windows = 40000;  // ~80 KB packed >> 32 KB budget
+  for (std::size_t i = 0; i < windows; ++i) {
+    const auto w = random_window(rng, len, 4);
+    spilled.append(seq::CodeSpan(w));
+    plain.append(seq::CodeSpan(w));
+  }
+  ASSERT_TRUE(spilled.spilled());
+  ASSERT_TRUE(spilled.layout_ok());
+
+  const auto stats = spilled.stats();
+  EXPECT_GT(stats.store.evictions, 0u) << "budget never forced eviction";
+  // Nothing is pinned here, so residency must respect the budget.
+  EXPECT_LE(stats.resident_bytes, cfg.resident_budget);
+  std::string why;
+  EXPECT_TRUE(spilled.store_audit(&why)) << why;
+
+  // Item-wise reads decode identically.
+  std::vector<seq::Code> a(len), b(len);
+  for (std::size_t i = 0; i < windows; i += 997) {
+    spilled.copy_row(static_cast<std::uint32_t>(i), a.data());
+    plain.copy_row(static_cast<std::uint32_t>(i), b.data());
+    ASSERT_EQ(a, b) << "slot " << i;
+  }
+
+  // Batched scans over pinned runs match the all-resident oracle.
+  const auto probe = random_window(rng, len, 5);
+  const auto& kernels = score::qkernels();
+  const auto& scalar = score::qkernels_for(0);
+  for (int iter = 0; iter < 8; ++iter) {
+    std::vector<std::uint32_t> slots(256);
+    for (auto& slot : slots) {
+      slot = static_cast<std::uint32_t>(rng.below(windows));
+    }
+    const std::int64_t qthresh = static_cast<std::int64_t>(rng.below(9)) - 1;
+    std::vector<std::int64_t> want(slots.size());
+    scalar.distance_batch(*q, probe.data(), plain.base(), plain.stride(),
+                          slots.data(), slots.size(), len, qthresh,
+                          want.data());
+    std::vector<std::int64_t> got(slots.size(), -42);
+    {
+      const auto pin = spilled.pin_scan(slots.data(), slots.size());
+      kernels.distance_batch_packed(*q, probe.data(), spilled.base(),
+                                    spilled.stride(), 2, slots.data(),
+                                    slots.size(), len, qthresh, got.data());
+    }
+    for (std::size_t j = 0; j < slots.size(); ++j) {
+      ASSERT_EQ(got[j] > qthresh, want[j] > qthresh) << "slot " << j;
+      if (want[j] <= qthresh) {
+        ASSERT_EQ(got[j], want[j]) << "slot " << j;
+      }
+    }
+  }
+  EXPECT_TRUE(spilled.store_audit(&why)) << why;
+}
+
 // Arena growth keeps slots stable, rows aligned, and contents intact.
 TEST(WindowArena, GeometricGrowthPreservesLayoutAndContents) {
   Rng rng(0x51D0005);

@@ -3,9 +3,12 @@
 // deterministic SimTransport.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <memory>
+#include <string>
 
 #include "src/common/error.h"
+#include "src/mendel/client.h"
 #include "src/mendel/indexer.h"
 #include "src/mendel/protocol.h"
 #include "src/mendel/storage_node.h"
@@ -314,6 +317,121 @@ TEST(StorageNode, LoadRejectsWrongNodeId) {
   StorageNode other(2, config);
   CodecReader reader(writer.data());
   EXPECT_THROW(other.load(reader), InvalidArgument);
+}
+
+// ---------- packed / spilled snapshot round trips ----------
+
+// Ranked hits must be byte-identical whether the restored cluster keeps
+// its packed arenas fully resident or spills them through the block store
+// under a clamped budget: out-of-core storage is a memory policy, never a
+// results policy.
+TEST(StorageNode, SnapshotRoundTripUnderSpillBudgetMatchesAllResident) {
+  workload::DatabaseSpec spec;
+  spec.alphabet = seq::Alphabet::kDna;
+  spec.families = 4;
+  spec.members_per_family = 3;
+  spec.background_sequences = 6;
+  spec.min_length = 200;
+  spec.max_length = 500;
+  spec.seed = 91;
+  const auto store = workload::generate_database(spec);
+
+  ClientOptions options;
+  options.topology.num_groups = 2;
+  options.topology.nodes_per_group = 2;
+  options.indexing.window_length = 12;
+  options.indexing.sample_size = 256;
+  options.prefix_tree.cutoff_depth = 3;
+  options.cost.measured_cpu = false;
+
+  const std::string path = "/tmp/mendel_spill_roundtrip.bin";
+  Client resident(options);
+  resident.index(store);
+  // DNA with no stray codes packs at 2 bits per residue.
+  EXPECT_GT(resident.metrics().gauge("arena.packed_bytes"), 0);
+  resident.save_index(path);
+
+  auto spill_options = options;
+  spill_options.runtime.arena_resident_budget = 1;  // clamps to store floor
+  Client restored(spill_options);
+  restored.load_index(path);
+  EXPECT_TRUE(restored.indexed());
+  EXPECT_EQ(restored.block_counts(), resident.block_counts());
+
+  QueryParams params;
+  params.matrix = "DNA";
+  params.identity = 0.6;
+  params.c_score = 0.4;
+  params.gapped_trigger = 1.0;
+  for (const seq::SequenceId donor : {1u, 5u, 9u}) {
+    const auto window = store.at(donor).window(20, 150);
+    const seq::Sequence query(store.alphabet(), "probe",
+                              {window.begin(), window.end()});
+    const auto want = resident.query(query, params);
+    const auto got = restored.query(query, params);
+    ASSERT_EQ(got.hits.size(), want.hits.size()) << "donor " << donor;
+    for (std::size_t i = 0; i < want.hits.size(); ++i) {
+      EXPECT_EQ(got.hits[i].subject_id, want.hits[i].subject_id);
+      EXPECT_EQ(got.hits[i].alignment.hsp.score,
+                want.hits[i].alignment.hsp.score);
+      EXPECT_EQ(got.hits[i].alignment.cigar, want.hits[i].alignment.cigar);
+      EXPECT_DOUBLE_EQ(got.hits[i].evalue, want.hits[i].evalue);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+// The spilled cluster's snapshot must itself be byte-identical to the
+// resident cluster's: the save path reads rows back through the block
+// store without an inflate/deflate round trip.
+TEST(StorageNode, SpilledClusterSavesByteIdenticalSnapshot) {
+  workload::DatabaseSpec spec;
+  spec.alphabet = seq::Alphabet::kDna;
+  spec.families = 3;
+  spec.members_per_family = 3;
+  spec.background_sequences = 4;
+  spec.min_length = 150;
+  spec.max_length = 400;
+  spec.seed = 92;
+  const auto store = workload::generate_database(spec);
+
+  ClientOptions options;
+  options.topology.num_groups = 2;
+  options.topology.nodes_per_group = 2;
+  options.indexing.window_length = 12;
+  options.indexing.sample_size = 256;
+  options.prefix_tree.cutoff_depth = 3;
+  options.cost.measured_cpu = false;
+
+  Client resident(options);
+  resident.index(store);
+  const std::string resident_path = "/tmp/mendel_snap_resident.bin";
+  resident.save_index(resident_path);
+
+  auto spill_options = options;
+  spill_options.runtime.arena_resident_budget = 1;
+  Client spilled(spill_options);
+  spilled.index(store);
+  const std::string spilled_path = "/tmp/mendel_snap_spilled.bin";
+  spilled.save_index(spilled_path);
+
+  auto slurp = [](const std::string& p) {
+    std::vector<char> bytes;
+    std::FILE* f = std::fopen(p.c_str(), "rb");
+    EXPECT_NE(f, nullptr) << p;
+    if (f != nullptr) {
+      char buf[4096];
+      std::size_t n = 0;
+      while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+        bytes.insert(bytes.end(), buf, buf + n);
+      }
+      std::fclose(f);
+    }
+    return bytes;
+  };
+  EXPECT_EQ(slurp(spilled_path), slurp(resident_path));
+  std::remove(resident_path.c_str());
+  std::remove(spilled_path.c_str());
 }
 
 TEST(StorageNode, DownNodesExcludedFromFanOut) {

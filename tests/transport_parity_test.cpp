@@ -219,6 +219,49 @@ TEST(TransportParity, ManyThreadsDrivingSubmitWaitAgreeWithSim) {
   }
 }
 
+// Arena residency is a memory policy, not a results policy: a clamped
+// resident budget (packed rows spilled through the block store) must
+// reproduce the all-resident ranked hits exactly, on both transports and
+// for both the packed (DNA) and unpacked (protein) row formats.
+TEST(TransportParity, SpillForcedBudgetMatchesAllResident) {
+  for (const auto alphabet : {seq::Alphabet::kDna, seq::Alphabet::kProtein}) {
+    auto dbspec = spec();
+    dbspec.alphabet = alphabet;
+    const auto store = workload::generate_database(dbspec);
+    const auto queries = parity_queries(store);
+    core::QueryParams params;
+    if (alphabet == seq::Alphabet::kDna) {
+      params.matrix = "DNA";
+      params.identity = 0.6;
+      params.c_score = 0.4;
+      params.gapped_trigger = 1.0;
+    }
+
+    for (const auto mode :
+         {core::TransportMode::kSim, core::TransportMode::kThreaded}) {
+      auto resident_options = parity_options(mode);
+      if (mode == core::TransportMode::kThreaded) {
+        resident_options.runtime.search_threads = 2;
+      }
+      core::Client resident_client(resident_options);
+      resident_client.index(store);
+      const auto resident = resident_client.query_batch(queries, params);
+
+      auto spill_options = resident_options;
+      spill_options.runtime.arena_resident_budget = 1;  // clamps to floor
+      core::Client spill_client(spill_options);
+      spill_client.index(store);
+      const auto spilled = spill_client.query_batch(queries, params);
+
+      ASSERT_EQ(resident.size(), spilled.size());
+      for (std::size_t i = 0; i < resident.size(); ++i) {
+        EXPECT_TRUE(spilled[i].completed);
+        expect_same_hits(resident[i], spilled[i]);
+      }
+    }
+  }
+}
+
 TEST(TransportParity, RepeatedThreadedRunsAgree) {
   const auto store = workload::generate_database(spec());
   const auto& donor = store.at(5);

@@ -232,6 +232,12 @@ TEST(SnapshotAudit, DetectsBlockMovedToTheWrongGroup) {
   const std::size_t target =
       (source + view.nodes_per_group) % view.shards.size();
   ASSERT_NE(source / view.nodes_per_group, target / view.nodes_per_group);
+  if (view.shards[target].blocks.empty()) {
+    // An empty shard carries no row geometry; adopt the source's so the
+    // transplanted raw row re-encodes with the same framing.
+    view.shards[target].window_length = view.shards[source].window_length;
+    view.shards[target].packed_bits = view.shards[source].packed_bits;
+  }
   view.shards[target].blocks.push_back(view.shards[source].blocks.back());
   view.shards[source].blocks.pop_back();
 
@@ -297,6 +303,70 @@ TEST(SnapshotAudit, DetectsSequenceStoredOffItsHomeRing) {
   EXPECT_FALSE(report.ok());
   EXPECT_TRUE(
       any_violation_contains(report.violations, "off its home ring"))
+      << (report.violations.empty() ? "no violations"
+                                    : report.violations.front());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotAudit, DetectsStrayBitsInPackedRow) {
+  const std::string path = "/tmp/mendel_verify_straybits.bin";
+  // DNA with a window length that is not a multiple of four leaves padding
+  // bits in the last byte of every 2-bit packed row; the save path must
+  // keep them zero and the audit must notice when they are not.
+  auto spec = database_spec();
+  spec.alphabet = seq::Alphabet::kDna;
+  const auto store = workload::generate_database(spec);
+  auto options = cluster_options();
+  options.indexing.window_length = 10;
+  core::Client client(options);
+  client.index(store);
+  client.save_index(path);
+  auto view = verify::read_snapshot(read_file(path));
+
+  std::size_t victim = view.shards.size();
+  for (std::size_t i = 0; i < view.shards.size(); ++i) {
+    if (!view.shards[i].blocks.empty()) {
+      victim = i;
+      break;
+    }
+  }
+  ASSERT_LT(victim, view.shards.size()) << "no shard holds blocks";
+  ASSERT_EQ(view.shards[victim].packed_bits, 2u)
+      << "pure ACGT database should pack at 2 bits";
+  auto& row = view.shards[victim].blocks.front().row;
+  ASSERT_EQ(row.size(), 3u);  // ceil(10 * 2 / 8)
+  row.back() |= 0xF0;         // bits above the 20 payload bits
+
+  write_file(path, verify::encode_snapshot(view));
+  const auto report = verify::audit_snapshot_file(path);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(
+      any_violation_contains(report.violations, "malformed packed row"))
+      << (report.violations.empty() ? "no violations"
+                                    : report.violations.front());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotAudit, DetectsCodeOutsideTheAlphabet) {
+  const std::string path = "/tmp/mendel_verify_badcode.bin";
+  auto view = fresh_snapshot(path);  // protein rows are stored unpacked
+
+  std::size_t victim = view.shards.size();
+  for (std::size_t i = 0; i < view.shards.size(); ++i) {
+    if (!view.shards[i].blocks.empty()) {
+      victim = i;
+      break;
+    }
+  }
+  ASSERT_LT(victim, view.shards.size()) << "no shard holds blocks";
+  ASSERT_EQ(view.shards[victim].packed_bits, 0u);
+  view.shards[victim].blocks.front().row.front() = 200;
+
+  write_file(path, verify::encode_snapshot(view));
+  const auto report = verify::audit_snapshot_file(path);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(
+      any_violation_contains(report.violations, "outside the alphabet"))
       << (report.violations.empty() ? "no violations"
                                     : report.violations.front());
   std::remove(path.c_str());

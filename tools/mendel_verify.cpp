@@ -3,7 +3,7 @@
 //   mendel_verify [options] <snapshot.mendel>
 //   mendel_verify --protocol
 //
-// Audits a mendel-index-v2 snapshot produced by Client::save_index():
+// Audits a mendel-index-v3 snapshot produced by Client::save_index():
 // routing prefix-tree structure, per-shard two-tier DHT placement of
 // every inverted-index block, sequence-repository homes, and the
 // cluster-wide orphaned-block cross-check. --protocol instead runs the
