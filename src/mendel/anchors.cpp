@@ -7,12 +7,20 @@ namespace mendel::core {
 
 std::vector<Anchor> merge_anchors(std::vector<Anchor> anchors) {
   if (anchors.size() <= 1) return anchors;
+  // The comparator must be a *total* order over every field the merge loop
+  // reads. Anchors can tie on (sequence, diagonal, q_begin) while differing
+  // in q_end/score — X-drop extension trims different seeds to the same
+  // start — and the union-score formula is order-dependent, so an unstable
+  // sort over a partial order would make the result depend on message
+  // arrival order (the DNA sim/threaded divergence of ROADMAP item 7).
   std::sort(anchors.begin(), anchors.end(),
             [](const Anchor& a, const Anchor& b) {
               if (a.sequence != b.sequence) return a.sequence < b.sequence;
               if (a.diagonal() != b.diagonal())
                 return a.diagonal() < b.diagonal();
-              return a.q_begin < b.q_begin;
+              if (a.q_begin != b.q_begin) return a.q_begin < b.q_begin;
+              if (a.q_end != b.q_end) return a.q_end < b.q_end;
+              return a.score < b.score;
             });
   std::vector<Anchor> merged;
   merged.reserve(anchors.size());
@@ -38,6 +46,12 @@ std::vector<Anchor> merge_anchors(std::vector<Anchor> anchors) {
       target.score = std::max(
           {target.score, anchor.score,
            static_cast<std::int32_t>(std::floor(union_score))});
+      // The union score is an estimate; the certified score only ever
+      // takes the max of constituents, so it stays achievable.
+      target.cert = std::max(target.cert, anchor.cert);
+      // Constituents that learned the subject length agree on it; max
+      // just prefers known (non-zero) over unknown.
+      target.subject_len = std::max(target.subject_len, anchor.subject_len);
     } else {
       merged.push_back(anchor);
     }

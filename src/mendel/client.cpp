@@ -123,6 +123,7 @@ void Client::spawn_nodes(seq::Alphabet alphabet) {
   node_config.arena_resident_budget = options_.runtime.arena_resident_budget;
   node_config.arena_packing = options_.runtime.arena_packing;
   node_config.arena_segment_bytes = options_.runtime.arena_segment_bytes;
+  node_config.prune_extensions = options_.runtime.prune_extensions;
 
   nodes_.reserve(topology_->total_nodes());
   for (net::NodeId id = 0; id < topology_->total_nodes(); ++id) {
@@ -225,6 +226,7 @@ net::NodeId Client::add_node(std::uint32_t group) {
   node_config.arena_resident_budget = options_.runtime.arena_resident_budget;
   node_config.arena_packing = options_.runtime.arena_packing;
   node_config.arena_segment_bytes = options_.runtime.arena_segment_bytes;
+  node_config.prune_extensions = options_.runtime.prune_extensions;
   nodes_.push_back(std::make_unique<StorageNode>(id, node_config));
   transport_->register_actor(id, nodes_.back().get());
 
@@ -465,6 +467,8 @@ obs::MetricsSnapshot Client::metrics() const {
   add_counter("node.queries_coordinated", totals.queries_coordinated);
   add_counter("node.anchors_extended", totals.anchors_extended);
   add_counter("node.gapped_extensions", totals.gapped_extensions);
+  add_counter("node.fetch_ranges_coalesced", totals.fetch_ranges_coalesced);
+  add_counter("node.anchors_pruned", totals.anchors_pruned);
 
   const net::NetworkStats traffic = transport_->stats();
   add_counter("net.messages", traffic.messages);
@@ -577,6 +581,8 @@ NodeCounters Client::total_counters() const {
     total.queries_coordinated += c.queries_coordinated;
     total.anchors_extended += c.anchors_extended;
     total.gapped_extensions += c.gapped_extensions;
+    total.fetch_ranges_coalesced += c.fetch_ranges_coalesced;
+    total.anchors_pruned += c.anchors_pruned;
   }
   return total;
 }

@@ -102,6 +102,11 @@ struct RuntimeOptions {
   // BlockStore::kDefaultSegmentBytes). Mostly for benches/tests that need
   // eviction pressure on small per-node arenas.
   std::size_t arena_segment_bytes = 0;
+  // Score-bounded pruning of coordinator-side gapped extension (see
+  // StorageNodeConfig::prune_extensions). Exact — ranked hits are
+  // identical with it off; the switch exists for A/B benchmarking and for
+  // tests that pin that equivalence.
+  bool prune_extensions = true;
 };
 
 struct ClientOptions {

@@ -1,0 +1,52 @@
+#include "src/mendel/fetch_plan.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mendel::core {
+
+std::vector<CoalescedRange> coalesce_ranges(
+    const std::vector<RangeRequest>& requests) {
+  std::vector<std::uint32_t> order(requests.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              const RangeRequest& ra = requests[a];
+              const RangeRequest& rb = requests[b];
+              if (ra.sequence != rb.sequence) return ra.sequence < rb.sequence;
+              if (ra.start != rb.start) return ra.start < rb.start;
+              if (ra.length != rb.length) return ra.length < rb.length;
+              return a < b;
+            });
+
+  std::vector<CoalescedRange> plan;
+  for (std::uint32_t idx : order) {
+    const RangeRequest& req = requests[idx];
+    // 64-bit ends: start + length may overflow 32 bits for hostile inputs.
+    const std::uint64_t req_end =
+        static_cast<std::uint64_t>(req.start) + req.length;
+    if (!plan.empty() && plan.back().sequence == req.sequence &&
+        static_cast<std::uint64_t>(plan.back().start) + plan.back().length >=
+            req.start) {
+      CoalescedRange& cur = plan.back();
+      const std::uint64_t cur_end =
+          static_cast<std::uint64_t>(cur.start) + cur.length;
+      const std::uint64_t merged_end = std::max(cur_end, req_end);
+      cur.length = static_cast<std::uint32_t>(merged_end - cur.start);
+      cur.members.push_back(idx);
+      continue;
+    }
+    CoalescedRange fresh;
+    fresh.sequence = req.sequence;
+    fresh.start = req.start;
+    fresh.length = req.length;
+    fresh.members.push_back(idx);
+    plan.push_back(std::move(fresh));
+  }
+  for (CoalescedRange& range : plan) {
+    std::sort(range.members.begin(), range.members.end());
+  }
+  return plan;
+}
+
+}  // namespace mendel::core

@@ -1,0 +1,48 @@
+// Fetch planning for the extension pipeline: coalesce the per-seed subject
+// ranges a group entry wants into the minimal set of kFetchRange requests.
+//
+// Anchors of the same sequence cluster on nearby diagonals, so their margin-
+// padded fetch windows overlap heavily; issuing one ranged fetch per merged
+// seed re-ships the same subject bytes several times and pays a per-message
+// round trip for each. The coalescer unions overlapping or touching windows
+// per sequence, so one kFetchRange serves every member seed. Extension later
+// clamps each member back to its own requested window (a subspan of the
+// coalesced buffer), which keeps anchors byte-identical to the one-fetch-
+// per-seed dataflow.
+//
+// Pure functions over value types — no node state — so tests can pin the
+// coalescing rules directly (tests/fetch_plan_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mendel::core {
+
+// One requester-side range want: `length` codes of `sequence` from `start`
+// (already margin-padded and clamped at zero by the caller).
+struct RangeRequest {
+  std::uint32_t sequence = 0;
+  std::uint32_t start = 0;
+  std::uint32_t length = 0;
+};
+
+// A coalesced fetch covering one or more requests of the same sequence.
+// `members` are indices into the request vector handed to coalesce_ranges,
+// ascending; each member's window is fully contained in [start, start+length).
+struct CoalescedRange {
+  std::uint32_t sequence = 0;
+  std::uint32_t start = 0;
+  std::uint32_t length = 0;
+  std::vector<std::uint32_t> members;
+};
+
+// Unions requests of the same sequence whose windows overlap or touch
+// (duplicate and adjacent windows coalesce too). Deterministic: output is
+// sorted by (sequence, start) and member lists ascend, independent of the
+// input order. Zero-length requests join a covering range if one exists at
+// their start; otherwise they form their own empty-window fetch.
+std::vector<CoalescedRange> coalesce_ranges(
+    const std::vector<RangeRequest>& requests);
+
+}  // namespace mendel::core

@@ -155,6 +155,8 @@ void Anchor::encode(CodecWriter& w) const {
   w.u32(s_begin);
   w.u32(s_end);
   w.i32(score);
+  w.i32(cert);
+  w.u32(subject_len);
 }
 
 Anchor Anchor::decode(CodecReader& r) {
@@ -165,6 +167,8 @@ Anchor Anchor::decode(CodecReader& r) {
   a.s_begin = r.u32();
   a.s_end = r.u32();
   a.score = r.i32();
+  a.cert = r.i32();
+  a.subject_len = r.u32();
   return a;
 }
 

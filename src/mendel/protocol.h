@@ -169,6 +169,22 @@ struct Anchor {
   std::uint32_t s_begin = 0;
   std::uint32_t s_end = 0;
   std::int32_t score = 0;
+  // Certified score: the best *actually scored* ungapped run folded into
+  // this anchor. `score` can be a union estimate after same-diagonal
+  // merging (merge_anchors), so it may overstate what any alignment
+  // achieves; `cert` never does — every constituent run lies on this
+  // anchor's diagonal inside [q_begin,q_end)×[s_begin,s_end), so a banded
+  // DP over the anchor is guaranteed to score at least `cert`. The
+  // coordinator's score-bounded pruning builds its guaranteed-hit cutoff
+  // from certs; using estimates there would make pruning inexact.
+  std::int32_t cert = 0;
+  // Subject length, when the group entry learned it: a ranged fetch the
+  // home node clamped short reveals exactly where the sequence ends (the
+  // returned end IS the length). 0 = unknown. The coordinator's pruning
+  // uses it to cap how many subject columns a gapped alignment could
+  // possibly use — without it, short subjects look as capable as long
+  // ones and the score ceiling never prunes anything.
+  std::uint32_t subject_len = 0;
 
   std::ptrdiff_t diagonal() const {
     return static_cast<std::ptrdiff_t>(s_begin) -

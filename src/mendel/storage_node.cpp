@@ -66,8 +66,12 @@ StorageNode::StorageNode(net::NodeId id, StorageNodeConfig config)
     h_subquery_ = &config_.metrics->histogram("node.subquery_seconds");
     h_group_fanin_ = &config_.metrics->histogram("group.fanin_wait_seconds");
     h_coord_fanin_ = &config_.metrics->histogram("coord.fanin_wait_seconds");
+    h_group_extend_ = &config_.metrics->histogram("group.extend_seconds");
+    h_coord_extend_ = &config_.metrics->histogram("coord.extend_seconds");
     c_batched_scans_ = &config_.metrics->counter("kernel.batched_scans");
     c_scalar_fallbacks_ = &config_.metrics->counter("kernel.scalar_fallbacks");
+    c_ranges_coalesced_ = &config_.metrics->counter("fetch.ranges_coalesced");
+    c_anchors_pruned_ = &config_.metrics->counter("extend.anchors_pruned");
     // Process-wide dispatch level; every node in a process reports the
     // same value, which is exactly the property worth asserting on.
     config_.metrics->gauge("kernel.simd_level")
@@ -193,8 +197,21 @@ void StorageNode::handle(const net::Message& message, net::Context& ctx) {
       on_group_result(message, ctx);
       return;
     case kCancelQuery:
-      group_pending_.erase(message.request_id);
-      coord_pending_.erase(message.request_id);
+      // Join streaming-extension tasks before tearing the entry down: a
+      // pool task holds a reference into the pending state and must never
+      // outlive it (fault path: a home node dies mid-fetch, the client's
+      // stall detector broadcasts the cancel while extensions for already-
+      // arrived ranges are still in flight).
+      if (auto git = group_pending_.find(message.request_id);
+          git != group_pending_.end()) {
+        drain_tasks(git->second.extend_tasks);
+        group_pending_.erase(git);
+      }
+      if (auto cit = coord_pending_.find(message.request_id);
+          cit != coord_pending_.end()) {
+        drain_tasks(cit->second.extend_tasks);
+        coord_pending_.erase(cit);
+      }
       return;
     case kRebalance:
       on_rebalance(ctx);
@@ -647,31 +664,48 @@ void StorageNode::group_entry_merge_and_fetch(std::uint64_t query_id,
     }
   }
   pending.merged = std::move(merged);
-  pending.fetched.assign(pending.merged.size(), std::nullopt);
 
   const std::uint64_t merge_span =
       record_span("group.merge", query_id, pending.trace, ctx.now(), 0,
                   pending.merged.size());
   const obs::TraceContext fetch_trace = pending.trace.child(merge_span);
 
-  // Batched range fetches: one per merged seed, margin either side.
+  // Coalesced range fetches: anchors of one sequence cluster on nearby
+  // diagonals, so their margin-padded windows overlap heavily; union them
+  // into one kFetchRange per covering range (token = plan index) and issue
+  // everything up front. Extension runs per arrival (on_fetch_range_result)
+  // instead of behind the last fetch, overlapping fetch latency with
+  // compute.
   const std::uint32_t margin = pending.params.extension_margin;
-  std::size_t sent = 0;
+  std::vector<RangeRequest> requests(pending.merged.size());
   for (std::size_t i = 0; i < pending.merged.size(); ++i) {
     const MergedSeed& m = pending.merged[i];
+    RangeRequest& req = requests[i];
+    req.sequence = m.sequence;
+    req.start = m.s_begin > margin ? m.s_begin - margin : 0;
+    req.length = (m.s_begin - req.start) + (m.q_end - m.q_begin) + margin;
+  }
+  pending.fetch_plan = coalesce_ranges(requests);
+  pending.fetched.assign(pending.fetch_plan.size(), std::nullopt);
+  pending.anchor_slots.assign(pending.merged.size(), std::nullopt);
+
+  std::size_t sent = 0;
+  std::size_t member_requests = 0;
+  for (std::size_t i = 0; i < pending.fetch_plan.size(); ++i) {
+    const CoalescedRange& range = pending.fetch_plan[i];
     const net::NodeId home =
-        pick_sequence_home(sequence_placement_key(m.sequence));
-    if (home == net::kClientNode) continue;  // no alive replica: skip seed
+        pick_sequence_home(sequence_placement_key(range.sequence));
+    if (home == net::kClientNode) continue;  // no alive replica: skip range
     FetchRangePayload fetch;
     fetch.purpose = static_cast<std::uint8_t>(FetchPurpose::kGroupExtension);
     fetch.token = static_cast<std::uint32_t>(i);
     fetch.trace = fetch_trace;
-    fetch.sequence = m.sequence;
-    const std::uint32_t span = m.q_end - m.q_begin;
-    fetch.start = m.s_begin > margin ? m.s_begin - margin : 0;
-    fetch.length = (m.s_begin - fetch.start) + span + margin;
+    fetch.sequence = range.sequence;
+    fetch.start = range.start;
+    fetch.length = range.length;
     ctx.send(home, kFetchRange, query_id, encode_payload(fetch));
     ++sent;
+    member_requests += range.members.size();
   }
   if (sent == 0) {
     GroupResultPayload empty;
@@ -680,37 +714,84 @@ void StorageNode::group_entry_merge_and_fetch(std::uint64_t query_id,
     group_pending_.erase(query_id);
     return;
   }
+  const std::uint64_t saved =
+      static_cast<std::uint64_t>(member_requests - sent);
+  counters_.fetch_ranges_coalesced += saved;
+  if (c_ranges_coalesced_ != nullptr) c_ranges_coalesced_->add(saved);
   pending.awaiting_fetches = sent;
 }
 
-void StorageNode::group_entry_extend_and_reply(std::uint64_t query_id,
-                                               PendingGroupQuery& pending,
-                                               net::Context& ctx) {
+void StorageNode::group_entry_extend_range(PendingGroupQuery& pending,
+                                           std::size_t range_idx,
+                                           bool wall_timing) {
+  if (!pending.fetched[range_idx].has_value()) return;
+  const FetchedRange& range = *pending.fetched[range_idx];
+  if (range.codes.empty()) return;
   const auto& matrix = score::matrix_by_name(pending.params.matrix);
-  std::vector<Anchor> anchors;
-  for (std::size_t i = 0; i < pending.merged.size(); ++i) {
-    if (!pending.fetched[i].has_value()) continue;
-    const FetchedRange& range = *pending.fetched[i];
-    if (range.codes.empty()) continue;
-    const MergedSeed& m = pending.merged[i];
-    if (m.s_begin < range.start) continue;  // defensive: clamp mismatch
-    const std::size_t s_local = m.s_begin - range.start;
-    const std::size_t span = m.q_end - m.q_begin;
-    if (s_local + span > range.codes.size()) continue;
+  const std::uint32_t margin = pending.params.extension_margin;
+  std::optional<Stopwatch> watch;
+  if (wall_timing && h_group_extend_ != nullptr) watch.emplace();
+  const std::uint64_t data_begin = range.start;
+  const std::uint64_t data_end = range.start + range.codes.size();
+  // A reply shorter than requested means the home clamped at the end of
+  // the sequence, so data_end is the subject's exact length.
+  const std::uint32_t subject_len =
+      range.codes.size() < pending.fetch_plan[range_idx].length
+          ? static_cast<std::uint32_t>(data_end)
+          : 0;
+  for (std::uint32_t member : pending.fetch_plan[range_idx].members) {
+    const MergedSeed& m = pending.merged[member];
+    // Re-derive the member's own margin-padded window and clamp the
+    // coalesced buffer to it: extension must see exactly the bytes a
+    // dedicated per-seed fetch would have returned, so coalescing can
+    // never perturb where X-drop terminates (anchors stay byte-identical
+    // to the one-fetch-per-seed dataflow).
+    const std::uint32_t span = m.q_end - m.q_begin;
+    const std::uint32_t w_start = m.s_begin > margin ? m.s_begin - margin : 0;
+    const std::uint64_t w_end =
+        static_cast<std::uint64_t>(w_start) + (m.s_begin - w_start) + span +
+        margin;
+    const std::uint64_t view_begin = std::max<std::uint64_t>(w_start,
+                                                             data_begin);
+    const std::uint64_t view_end = std::min(w_end, data_end);
+    if (view_begin >= view_end) continue;
+    if (m.s_begin < view_begin) continue;  // defensive: clamp mismatch
+    const std::size_t s_local = m.s_begin - view_begin;
+    if (s_local + span > view_end - view_begin) continue;
+    const seq::CodeSpan subject(
+        range.codes.data() + (view_begin - data_begin),
+        static_cast<std::size_t>(view_end - view_begin));
 
-    ++counters_.anchors_extended;
-    const align::Hsp hsp = align::extend_ungapped(
-        pending.query, range.codes, m.q_begin, s_local, span, matrix,
-        {pending.params.x_drop});
+    const align::Hsp hsp =
+        align::extend_ungapped(pending.query, subject, m.q_begin, s_local,
+                               span, matrix, {pending.params.x_drop});
     Anchor anchor;
     anchor.sequence = m.sequence;
     anchor.q_begin = static_cast<std::uint32_t>(hsp.q_begin);
     anchor.q_end = static_cast<std::uint32_t>(hsp.q_end);
-    anchor.s_begin = static_cast<std::uint32_t>(hsp.s_begin + range.start);
-    anchor.s_end = static_cast<std::uint32_t>(hsp.s_end + range.start);
+    anchor.s_begin = static_cast<std::uint32_t>(hsp.s_begin + view_begin);
+    anchor.s_end = static_cast<std::uint32_t>(hsp.s_end + view_begin);
     anchor.score = hsp.score;
-    anchors.push_back(anchor);
+    anchor.cert = hsp.score;  // actually scored, never an estimate
+    anchor.subject_len = subject_len;
+    pending.anchor_slots[member] = anchor;
   }
+  if (watch.has_value()) h_group_extend_->record_seconds(watch->seconds());
+}
+
+void StorageNode::group_entry_finish(std::uint64_t query_id,
+                                     PendingGroupQuery& pending,
+                                     net::Context& ctx) {
+  drain_tasks(pending.extend_tasks);
+  // Assemble in merged-seed order: slot writes are disjoint and the order
+  // below is index order, so the reply is independent of fetch arrival
+  // order and of how extension work was scheduled.
+  std::vector<Anchor> anchors;
+  anchors.reserve(pending.anchor_slots.size());
+  for (const std::optional<Anchor>& slot : pending.anchor_slots) {
+    if (slot.has_value()) anchors.push_back(*slot);
+  }
+  counters_.anchors_extended += anchors.size();
 
   GroupResultPayload reply;
   reply.anchors = merge_anchors(std::move(anchors));
@@ -719,6 +800,26 @@ void StorageNode::group_entry_extend_and_reply(std::uint64_t query_id,
   ctx.send(pending.coordinator, kGroupResult, query_id,
            encode_payload(reply));
   group_pending_.erase(query_id);
+}
+
+void StorageNode::schedule_extension(std::vector<std::future<void>>& tasks,
+                                     net::Context& ctx,
+                                     std::function<void()> body) {
+  // Under the simulator extension runs inline: pool compute would escape
+  // the virtual clock (charged CPU must stay on the handler). Without a
+  // pool there is nowhere else to run it anyway.
+  if (config_.search_pool == nullptr || ctx.virtual_time()) {
+    body();
+    return;
+  }
+  tasks.push_back(config_.search_pool->submit(std::move(body)));
+}
+
+void StorageNode::drain_tasks(std::vector<std::future<void>>& tasks) {
+  for (std::future<void>& task : tasks) {
+    if (task.valid()) task.get();
+  }
+  tasks.clear();
 }
 
 // --- coordinator: fan-in, gapped extension, ranking ---------------------------
@@ -730,8 +831,13 @@ void StorageNode::on_group_result(const net::Message& message,
   PendingQuery& pending = it->second;
 
   auto payload = decode_payload<GroupResultPayload>(message.payload);
-  pending.anchors.insert(pending.anchors.end(), payload.anchors.begin(),
-                         payload.anchors.end());
+  // Streaming fan-in: bin by sequence as results arrive instead of piling
+  // anchors into one flat list for an end-of-fan-in pass; the last arrival
+  // then only pays per-sequence diagonal merging.
+  for (const Anchor& anchor : payload.anchors) {
+    pending.binned[anchor.sequence].push_back(anchor);
+  }
+  pending.raw_anchors += payload.anchors.size();
   MENDEL_CHECK(pending.awaiting_groups > 0,
                "node " << id_ << ": query " << message.request_id
                        << " got a group result from node " << message.from
@@ -748,26 +854,32 @@ void StorageNode::coordinator_bin_and_fetch(std::uint64_t query_id,
                                             PendingQuery& pending,
                                             net::Context& ctx) {
   // Second aggregation stage (paper §V-B): combine overlapping anchors on
-  // the same diagonal across groups, then bin by sequence.
-  pending.anchors = merge_anchors(std::move(pending.anchors));
+  // the same diagonal across groups. Anchors were already binned by
+  // sequence as the group results streamed in; merging never crosses
+  // sequences, so per-bin merges reproduce the old global pass exactly.
+  std::vector<SequenceBin> all_bins;
+  all_bins.reserve(pending.binned.size());
+  std::size_t total_merged = 0;
+  for (auto& [sid, anchors] : pending.binned) {
+    SequenceBin bin;
+    bin.sequence = sid;
+    bin.anchors = merge_anchors(std::move(anchors));
+    total_merged += bin.anchors.size();
+    all_bins.push_back(std::move(bin));
+  }
+  pending.binned.clear();
 
   // The fan-in span covers route → last group result. The duration comes
   // from clock deltas, so it is virtual (and deterministic) under the
   // simulator and wall time under the threaded transport.
   const std::uint64_t fanin_span = record_span(
       "coord.fanin", query_id, pending.trace, pending.created,
-      delta_ns(pending.created, ctx.now()), pending.anchors.size());
+      delta_ns(pending.created, ctx.now()), total_merged);
   const obs::TraceContext fetch_trace = pending.trace.child(fanin_span);
 
-  std::map<std::uint32_t, SequenceBin> bins;
-  for (const Anchor& anchor : pending.anchors) {
-    auto& bin = bins[anchor.sequence];
-    bin.sequence = anchor.sequence;
-    bin.anchors.push_back(anchor);
-  }
   // Keep only bins with at least one anchor above the gapped trigger S.
   pending.bins.clear();
-  for (auto& [sid, bin] : bins) {
+  for (auto& bin : all_bins) {
     const bool qualifies = std::any_of(
         bin.anchors.begin(), bin.anchors.end(), [&](const Anchor& a) {
           return a.normalized_score() > pending.params.gapped_trigger;
@@ -795,29 +907,162 @@ void StorageNode::coordinator_bin_and_fetch(std::uint64_t query_id,
     return;
   }
 
-  pending.fetched.assign(pending.bins.size(), std::nullopt);
+  // Per-bin fetch windows and homes, needed by both the pruning bound and
+  // the sends below.
+  struct BinFetch {
+    net::NodeId home = net::kClientNode;
+    std::uint32_t start = 0;
+    std::uint32_t length = 0;
+  };
   const std::uint32_t margin =
       pending.params.extension_margin + pending.params.band;
-  std::size_t sent = 0;
+  std::vector<BinFetch> plan(pending.bins.size());
   for (std::size_t i = 0; i < pending.bins.size(); ++i) {
     const SequenceBin& bin = pending.bins[i];
-    const net::NodeId home =
-        pick_sequence_home(sequence_placement_key(bin.sequence));
-    if (home == net::kClientNode) continue;
+    BinFetch& f = plan[i];
+    f.home = pick_sequence_home(sequence_placement_key(bin.sequence));
     std::uint32_t lo = bin.anchors.front().s_begin;
     std::uint32_t hi = 0;
     for (const Anchor& a : bin.anchors) {
       lo = std::min(lo, a.s_begin);
       hi = std::max(hi, a.s_end);
     }
+    f.start = lo > margin ? lo - margin : 0;
+    f.length = (lo - f.start) + (hi - lo) + 2 * margin;
+  }
+
+  // ---- score-bounded pruning (exact — see docs/architecture.md) --------
+  //
+  // Upper bound U_i on any banded score bin i can produce: every aligned
+  // pair consumes one query row and one subject column, and the window
+  // holds at most L_i columns (the planned fetch, clipped at the end of
+  // the subject when its length is known), so the score is at most the
+  // sum of the min(L_i, qlen) largest positive per-row matrix maxima —
+  // gap costs only subtract. A lower bound on every possible hit's
+  // E-value follows. Guaranteed hit: the
+  // bin's first attempted anchor always runs its DP against a window that
+  // contains its certified ungapped run, so the bin is certain to place a
+  // hit at E-value <= e(cert) when e(cert) passes the E-value filter. The
+  // cutoff C is the max_hits-th smallest such guarantee; a bin whose
+  // E-value lower bound is strictly above both C and the filter can only
+  // produce hits that rank past the top max_hits, so skipping its fetch
+  // and DP cannot change the reply.
+  if (config_.prune_extensions) {
+    const auto& matrix = score::matrix_by_name(pending.params.matrix);
+    const auto karlin = score::gapped_params(matrix);
+    const std::uint64_t db_residues =
+        config_.database_residues > 0 ? config_.database_residues : 1;
+    const std::size_t qlen = pending.query.size();
+    const std::size_t codes = seq::cardinality(config_.alphabet);
+    // Positive per-query-row matrix maxima, largest first, with prefix
+    // sums: an alignment against an L-column window pairs at most
+    // min(L, qlen) distinct query rows, so prefix[min(L, qlen)] bounds any
+    // achievable banded score (gap costs only subtract).
+    std::vector<int> row_maxima;
+    row_maxima.reserve(pending.query.size());
+    for (seq::Code code : pending.query) {
+      int row_max = 0;
+      for (std::size_t d = 0; d < codes; ++d) {
+        row_max = std::max(row_max,
+                           matrix.score(code, static_cast<seq::Code>(d)));
+      }
+      if (row_max > 0) row_maxima.push_back(row_max);
+    }
+    std::sort(row_maxima.begin(), row_maxima.end(), std::greater<>());
+    std::vector<double> prefix(row_maxima.size() + 1, 0.0);
+    for (std::size_t i = 0; i < row_maxima.size(); ++i) {
+      prefix[i + 1] = prefix[i] + row_maxima[i];
+    }
+
+    std::vector<double> guarantees;
+    std::vector<double> floor_evalue(pending.bins.size(), 0.0);
+    for (std::size_t i = 0; i < pending.bins.size(); ++i) {
+      const SequenceBin& bin = pending.bins[i];
+      // Subject columns a gapped alignment could use: the planned window,
+      // clipped at the end of the sequence when a group entry learned its
+      // length from a clamped fetch.
+      std::uint64_t columns = plan[i].length;
+      for (const Anchor& anchor : bin.anchors) {
+        if (anchor.subject_len == 0) continue;
+        const std::uint64_t usable =
+            anchor.subject_len > plan[i].start
+                ? anchor.subject_len - plan[i].start
+                : 0;
+        columns = std::min(columns, usable);
+        break;
+      }
+      const double best_possible =
+          prefix[std::min<std::size_t>(columns, row_maxima.size())];
+      floor_evalue[i] =
+          score::evalue(karlin, best_possible, qlen, db_residues);
+      if (plan[i].home == net::kClientNode) continue;  // no fetch: no hit
+      if (pending.params.max_gapped_per_bin == 0) continue;  // no DP runs
+      // First attempted anchor = first above the trigger in best-first
+      // order; its certified run bounds what its DP is sure to achieve.
+      const auto first = std::find_if(
+          bin.anchors.begin(), bin.anchors.end(), [&](const Anchor& a) {
+            return a.normalized_score() > pending.params.gapped_trigger;
+          });
+      if (first == bin.anchors.end() || first->cert <= 0) continue;
+      const double guaranteed =
+          score::evalue(karlin, first->cert, qlen, db_residues);
+      if (guaranteed > pending.params.evalue) continue;
+      guarantees.push_back(guaranteed);
+    }
+    double cutoff = std::numeric_limits<double>::infinity();
+    const std::size_t k = pending.params.max_hits;
+    if (k == 0) {
+      cutoff = -std::numeric_limits<double>::infinity();
+    } else if (guarantees.size() >= k) {
+      std::nth_element(guarantees.begin(),
+                       guarantees.begin() + static_cast<std::ptrdiff_t>(k) -
+                           1,
+                       guarantees.end());
+      cutoff = guarantees[k - 1];
+    }
+    std::size_t pruned_bins = 0;
+    std::uint64_t pruned_anchors = 0;
+    for (std::size_t i = 0; i < pending.bins.size(); ++i) {
+      // Strict >: a pruned hit tying the cutoff exactly could still win a
+      // subject-id tiebreak against the guaranteed hit. Support bins never
+      // self-prune (their floor is at most their own guarantee).
+      if (floor_evalue[i] > pending.params.evalue ||
+          floor_evalue[i] > cutoff) {
+        pending.bins[i].pruned = true;
+        ++pruned_bins;
+        pruned_anchors += pending.bins[i].anchors.size();
+      }
+    }
+    if (pruned_bins > 0) {
+      counters_.anchors_pruned += pruned_anchors;
+      if (c_anchors_pruned_ != nullptr) c_anchors_pruned_->add(pruned_anchors);
+    }
+    record_span("coord.prune", query_id, pending.trace, ctx.now(), 0,
+                pruned_bins);
+  }
+#ifdef MENDEL_CHECKED
+  // Prune audit: still fetch and extend pruned bins, then assert in
+  // coordinator_finish that dropping their hits leaves the ranking
+  // untouched — the exactness proof, executed.
+  const bool audit_pruned = config_.prune_extensions;
+#else
+  const bool audit_pruned = false;
+#endif
+
+  pending.fetched.assign(pending.bins.size(), std::nullopt);
+  std::size_t sent = 0;
+  for (std::size_t i = 0; i < pending.bins.size(); ++i) {
+    const SequenceBin& bin = pending.bins[i];
+    if (bin.pruned && !audit_pruned) continue;
+    if (plan[i].home == net::kClientNode) continue;
     FetchRangePayload fetch;
     fetch.purpose = static_cast<std::uint8_t>(FetchPurpose::kGappedExtension);
     fetch.token = static_cast<std::uint32_t>(i);
     fetch.trace = fetch_trace;
     fetch.sequence = bin.sequence;
-    fetch.start = lo > margin ? lo - margin : 0;
-    fetch.length = (lo - fetch.start) + (hi - lo) + 2 * margin;
-    ctx.send(home, kFetchRange, query_id, encode_payload(fetch));
+    fetch.start = plan[i].start;
+    fetch.length = plan[i].length;
+    ctx.send(plan[i].home, kFetchRange, query_id, encode_payload(fetch));
     ++sent;
   }
   if (sent == 0) {
@@ -829,21 +1074,21 @@ void StorageNode::coordinator_bin_and_fetch(std::uint64_t query_id,
   pending.awaiting_fetches = sent;
 }
 
-void StorageNode::coordinator_finish(std::uint64_t query_id,
-                                     PendingQuery& pending,
-                                     net::Context& ctx) {
+void StorageNode::coordinator_extend_bin(PendingQuery& pending,
+                                         std::size_t bin_idx,
+                                         bool wall_timing) {
+  if (!pending.fetched[bin_idx].has_value()) return;
+  const FetchedRange& range = *pending.fetched[bin_idx];
+  if (range.codes.empty()) return;
+  SequenceBin& bin = pending.bins[bin_idx];
   const auto& matrix = score::matrix_by_name(pending.params.matrix);
   const auto karlin = score::gapped_params(matrix);
   const std::uint64_t db_residues =
       config_.database_residues > 0 ? config_.database_residues : 1;
+  std::optional<Stopwatch> watch;
+  if (wall_timing && h_coord_extend_ != nullptr) watch.emplace();
 
-  QueryResultPayload reply;
-  for (std::size_t i = 0; i < pending.bins.size(); ++i) {
-    if (!pending.fetched[i].has_value()) continue;
-    const FetchedRange& range = *pending.fetched[i];
-    if (range.codes.empty()) continue;
-    const SequenceBin& bin = pending.bins[i];
-
+  {
     std::vector<align::GappedAlignment> accepted;
     std::uint32_t attempts = 0;
     for (const Anchor& anchor : bin.anchors) {
@@ -874,7 +1119,7 @@ void StorageNode::coordinator_finish(std::uint64_t query_id,
       if (covered) continue;
 
       ++attempts;
-      ++counters_.gapped_extensions;
+      ++bin.dp_runs;
       const std::ptrdiff_t local_diag =
           anchor.diagonal() - static_cast<std::ptrdiff_t>(range.start);
       align::GappedAlignment gapped = align::banded_local_align(
@@ -923,19 +1168,73 @@ void StorageNode::coordinator_finish(std::uint64_t query_id,
                 static_cast<std::ptrdiff_t>(local_begin +
                                             gapped.hsp.s_len()));
       }
-      reply.hits.push_back(std::move(hit));
+      bin.hits.push_back(std::move(hit));
       accepted.push_back(gapped);
     }
   }
+  if (watch.has_value()) h_coord_extend_->record_seconds(watch->seconds());
+}
 
-  std::sort(reply.hits.begin(), reply.hits.end(),
+namespace {
+
+// Ranked-hit ordering of the final reply (ties broken by subject id; hits
+// of one subject keep their bin emission order under std::sort's
+// implementation-determinism because assembly feeds bins in index order).
+void rank_hits(std::vector<align::AlignmentHit>& hits,
+               std::uint32_t max_hits) {
+  std::sort(hits.begin(), hits.end(),
             [](const align::AlignmentHit& a, const align::AlignmentHit& b) {
               if (a.evalue != b.evalue) return a.evalue < b.evalue;
               return a.subject_id < b.subject_id;
             });
-  if (reply.hits.size() > pending.params.max_hits) {
-    reply.hits.resize(pending.params.max_hits);
+  if (hits.size() > max_hits) hits.resize(max_hits);
+}
+
+}  // namespace
+
+void StorageNode::coordinator_finish(std::uint64_t query_id,
+                                     PendingQuery& pending,
+                                     net::Context& ctx) {
+  drain_tasks(pending.extend_tasks);
+
+  QueryResultPayload reply;
+  for (const SequenceBin& bin : pending.bins) {
+    counters_.gapped_extensions += bin.dp_runs;
+    if (bin.pruned) continue;
+    reply.hits.insert(reply.hits.end(), bin.hits.begin(), bin.hits.end());
   }
+  rank_hits(reply.hits, pending.params.max_hits);
+
+#ifdef MENDEL_CHECKED
+  if (config_.prune_extensions) {
+    // Prune audit: pruned bins were fetched and extended too (see
+    // coordinator_bin_and_fetch); their hits must not change the ranking.
+    std::vector<align::AlignmentHit> full;
+    for (const SequenceBin& bin : pending.bins) {
+      full.insert(full.end(), bin.hits.begin(), bin.hits.end());
+    }
+    rank_hits(full, pending.params.max_hits);
+    MENDEL_CHECK(full.size() == reply.hits.size(),
+                 "node " << id_ << ": query " << query_id
+                         << " prune audit: pruned ranking has "
+                         << reply.hits.size() << " hits, full ranking "
+                         << full.size());
+    for (std::size_t i = 0; i < full.size(); ++i) {
+      const align::AlignmentHit& a = full[i];
+      const align::AlignmentHit& b = reply.hits[i];
+      MENDEL_CHECK(a.subject_id == b.subject_id && a.evalue == b.evalue &&
+                       a.alignment.hsp.score == b.alignment.hsp.score &&
+                       a.alignment.hsp.q_begin == b.alignment.hsp.q_begin &&
+                       a.alignment.hsp.s_begin == b.alignment.hsp.s_begin,
+                   "node " << id_ << ": query " << query_id
+                           << " prune audit: rank " << i
+                           << " differs (full subject " << a.subject_id
+                           << " evalue " << a.evalue << " vs pruned subject "
+                           << b.subject_id << " evalue " << b.evalue << ")");
+    }
+  }
+#endif
+
   record_span("coord.finish", query_id, pending.trace, ctx.now(), 0,
               reply.hits.size());
   ctx.send(pending.client, kQueryResult, query_id, encode_payload(reply));
@@ -961,6 +1260,18 @@ void StorageNode::on_fetch_range_result(const net::Message& message,
     PendingGroupQuery& pending = it->second;
     if (payload.token < pending.fetched.size()) {
       pending.fetched[payload.token] = std::move(range);
+      // Streaming extension: ungapped X-drop for this range's member seeds
+      // runs now — on the pool under the threaded transport, inline under
+      // the simulator — instead of queueing behind the last fetch. The
+      // pending entry is a stable map node and is only torn down after
+      // drain_tasks (reply assembly or cancel), so the captured reference
+      // outlives the task.
+      const std::size_t range_idx = payload.token;
+      const bool wall = !ctx.virtual_time();
+      schedule_extension(pending.extend_tasks, ctx,
+                         [this, &pending, range_idx, wall] {
+                           group_entry_extend_range(pending, range_idx, wall);
+                         });
     }
     MENDEL_CHECK(pending.awaiting_fetches > 0,
                  "node " << id_ << ": group query " << message.request_id
@@ -968,7 +1279,7 @@ void StorageNode::on_fetch_range_result(const net::Message& message,
                          << ", seq " << payload.sequence
                          << ") with none outstanding");
     if (--pending.awaiting_fetches == 0) {
-      group_entry_extend_and_reply(message.request_id, pending, ctx);
+      group_entry_finish(message.request_id, pending, ctx);
     }
     return;
   }
@@ -978,6 +1289,14 @@ void StorageNode::on_fetch_range_result(const net::Message& message,
   PendingQuery& pending = it->second;
   if (payload.token < pending.fetched.size()) {
     pending.fetched[payload.token] = std::move(range);
+    // Same streaming scheme as the group entry: the bin's banded DP chain
+    // starts at arrival, and coordinator_finish only assembles.
+    const std::size_t bin_idx = payload.token;
+    const bool wall = !ctx.virtual_time();
+    schedule_extension(pending.extend_tasks, ctx,
+                       [this, &pending, bin_idx, wall] {
+                         coordinator_extend_bin(pending, bin_idx, wall);
+                       });
   }
   MENDEL_CHECK(pending.awaiting_fetches > 0,
                "node " << id_ << ": query " << message.request_id

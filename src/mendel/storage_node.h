@@ -28,6 +28,8 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
+#include <future>
 #include <limits>
 #include <map>
 #include <optional>
@@ -42,6 +44,7 @@
 #include "src/cluster/topology.h"
 #include "src/common/thread_annotations.h"
 #include "src/common/thread_pool.h"
+#include "src/mendel/fetch_plan.h"
 #include "src/mendel/protocol.h"
 #include "src/net/message.h"
 #include "src/obs/metrics.h"
@@ -100,6 +103,13 @@ struct StorageNodeConfig {
   // (BlockStore::kDefaultSegmentBytes). Smaller segments make the LRU
   // budget meaningful for small per-node arenas (benches, tests).
   std::size_t arena_segment_bytes = 0;
+  // Score-bounded pruning of coordinator-side gapped extension: bins whose
+  // best possible banded score provably cannot place a hit in the final
+  // top max_hits (or under the E-value cutoff) skip their fetch and DP
+  // entirely. The bound is exact — ranked results are identical with the
+  // switch off — which MENDEL_CHECKED builds verify by extending every bin
+  // and comparing rankings. Off restores the extend-everything dataflow.
+  bool prune_extensions = true;
 };
 
 // Per-node work counters (telemetry for benches and tests).
@@ -121,6 +131,11 @@ struct NodeCounters {
   std::uint64_t queries_coordinated = 0;
   std::uint64_t anchors_extended = 0;
   std::uint64_t gapped_extensions = 0;
+  // Extension-pipeline work avoided: kFetchRange requests saved by
+  // coalescing overlapping per-seed ranges, and anchors whose bins were
+  // score-bound pruned out of gapped extension.
+  std::uint64_t fetch_ranges_coalesced = 0;
+  std::uint64_t anchors_pruned = 0;
 };
 
 class StorageNode final : public net::Actor {
@@ -244,6 +259,15 @@ class StorageNode final : public net::Actor {
                                               codes(b, 1),
                                               arena->window_length());
     }
+    // Total order over stored blocks for n-NN distance ties. Block identity
+    // (sequence, start) is unique per node (dedup keys), so the tie class at
+    // the n-th-neighbor boundary resolves identically on every tree shape —
+    // required for sim/threaded transport parity on DNA, whose 4-letter
+    // alphabet makes exact window-distance ties pervasive.
+    bool tie_before(const BlockRef& a, const BlockRef& b) const {
+      if (a.sequence != b.sequence) return a.sequence < b.sequence;
+      return a.start < b.start;
+    }
     double bounded(const BlockRef& a, const BlockRef& b,
                    double bound) const {
       return score::window_distance_bounded_unchecked(
@@ -339,10 +363,18 @@ class StorageNode final : public net::Actor {
     std::vector<seq::Code> query;
     std::size_t awaiting_nodes = 0;
     std::vector<Seed> seeds;
-    // fetch stage
+    // fetch stage: one coalesced fetch per plan entry (token = plan index),
+    // each serving every member seed whose margin-padded window it covers.
     std::vector<MergedSeed> merged;
+    std::vector<CoalescedRange> fetch_plan;
     std::vector<std::optional<FetchedRange>> fetched;
     std::size_t awaiting_fetches = 0;
+    // Streaming extension: ungapped X-drop runs as each fetch result
+    // arrives (pool task under the threaded transport, inline under the
+    // simulator), writing disjoint per-seed slots; the reply assembles
+    // them in merged-seed order so results are arrival-order independent.
+    std::vector<std::optional<Anchor>> anchor_slots;
+    std::vector<std::future<void>> extend_tasks;
     // observability: trace context for downstream spans (parent = this
     // entry's group.broadcast span) and the fan-in wait origin.
     obs::TraceContext trace;
@@ -353,17 +385,32 @@ class StorageNode final : public net::Actor {
   struct SequenceBin {
     std::uint32_t sequence = 0;
     std::vector<Anchor> anchors;
+    // Score-bounded pruning decision (made pre-fetch, deterministic): a
+    // pruned bin provably cannot place a hit in the final ranking, so its
+    // fetch and banded DP are skipped. MENDEL_CHECKED builds still extend
+    // pruned bins and assert the two rankings match.
+    bool pruned = false;
+    // Streaming per-bin extension outcome, written by at most one task.
+    std::vector<align::AlignmentHit> hits;
+    std::uint32_t dp_runs = 0;
   };
   struct PendingQuery {
     net::NodeId client = 0;
     QueryParams params;
     std::vector<seq::Code> query;
     std::size_t awaiting_groups = 0;
-    std::vector<Anchor> anchors;
+    // Streaming fan-in: group results bin by sequence as they arrive
+    // instead of accumulating one flat anchor list for an end-of-fan-in
+    // pass. Per-sequence diagonal merging at the last arrival is
+    // byte-identical to the old global merge (merging never crosses
+    // sequences).
+    std::map<std::uint32_t, std::vector<Anchor>> binned;
+    std::size_t raw_anchors = 0;  // pre-merge arrivals (telemetry)
     // gapped stage
     std::vector<SequenceBin> bins;
     std::vector<std::optional<FetchedRange>> fetched;
     std::size_t awaiting_fetches = 0;
+    std::vector<std::future<void>> extend_tasks;
     // observability: trace context for downstream spans (parent = this
     // coordinator's coord.route span) and the fan-in wait origin.
     obs::TraceContext trace;
@@ -393,13 +440,31 @@ class StorageNode final : public net::Actor {
   void group_entry_merge_and_fetch(std::uint64_t query_id,
                                    PendingGroupQuery& pending,
                                    net::Context& ctx);
-  void group_entry_extend_and_reply(std::uint64_t query_id,
-                                    PendingGroupQuery& pending,
-                                    net::Context& ctx);
+  void group_entry_finish(std::uint64_t query_id, PendingGroupQuery& pending,
+                          net::Context& ctx);
   void coordinator_bin_and_fetch(std::uint64_t query_id,
                                  PendingQuery& pending, net::Context& ctx);
   void coordinator_finish(std::uint64_t query_id, PendingQuery& pending,
                           net::Context& ctx);
+
+  // Streaming extension bodies, scheduled per fetch arrival. Pure compute:
+  // they read the pending entry's immutable stage inputs and write only
+  // their own disjoint slots (anchor_slots members / one SequenceBin), so
+  // they are safe on pool threads while the handler thread keeps
+  // dispatching; `wall_timing` routes the phase histogram (off under the
+  // simulator, where wall time is meaningless and nondeterministic).
+  void group_entry_extend_range(PendingGroupQuery& pending,
+                                std::size_t range_idx, bool wall_timing);
+  void coordinator_extend_bin(PendingQuery& pending, std::size_t bin_idx,
+                              bool wall_timing);
+  // Runs `body` inline when `ctx` is virtual-time or no pool is configured;
+  // otherwise submits it to the pool and parks the future in `tasks`.
+  void schedule_extension(std::vector<std::future<void>>& tasks,
+                          net::Context& ctx, std::function<void()> body);
+  // Joins outstanding streaming-extension tasks (reply assembly and
+  // kCancelQuery teardown: a pending entry must never be erased while a
+  // pool task can still touch it).
+  static void drain_tasks(std::vector<std::future<void>>& tasks);
 
   // First alive home node of a sequence key.
   net::NodeId pick_sequence_home(std::uint64_t key) const;
@@ -484,10 +549,18 @@ class StorageNode final : public net::Actor {
   obs::LatencyHistogram* h_subquery_ = nullptr;
   obs::LatencyHistogram* h_group_fanin_ = nullptr;
   obs::LatencyHistogram* h_coord_fanin_ = nullptr;
+  // Extension-phase compute latency (per coalesced range / per bin chain);
+  // recorded from pool threads, which the histograms' relaxed atomics allow.
+  obs::LatencyHistogram* h_group_extend_ = nullptr;
+  obs::LatencyHistogram* h_coord_extend_ = nullptr;
   // Kernel path visibility: which SIMD level this process dispatches to
   // and how often searches take the batched vs scalar-fallback path.
   obs::Counter* c_batched_scans_ = nullptr;
   obs::Counter* c_scalar_fallbacks_ = nullptr;
+  // Extension-pipeline savings (mirrors of the NodeCounters fields so the
+  // cluster-wide registry aggregates them).
+  obs::Counter* c_ranges_coalesced_ = nullptr;
+  obs::Counter* c_anchors_pruned_ = nullptr;
 };
 
 }  // namespace mendel::core

@@ -62,6 +62,12 @@ double SimTransport::run_until_idle() {
       ++dropped_;
       continue;
     }
+    const auto type_drop = type_drops_.find(event.message.to);
+    if (type_drop != type_drops_.end() &&
+        type_drop->second == event.message.type) {
+      ++dropped_;
+      continue;
+    }
     Actor* actor = actors_.at(event.message.to);
     double& clock = clocks_[event.message.to];
     const double start = std::max(clock, event.time);
@@ -107,7 +113,13 @@ double SimTransport::node_clock(NodeId id) const {
 }
 
 void SimTransport::fail_node(NodeId id) { failed_[id] = true; }
-void SimTransport::heal_node(NodeId id) { failed_[id] = false; }
+void SimTransport::heal_node(NodeId id) {
+  failed_[id] = false;
+  type_drops_.erase(id);
+}
+void SimTransport::drop_type_to(NodeId id, std::uint32_t type) {
+  type_drops_[id] = type;
+}
 
 bool SimTransport::node_down(NodeId id) const {
   auto it = failed_.find(id);

@@ -95,6 +95,11 @@ class SimTransport final : public Transport {
   void fail_node(NodeId id);
   void heal_node(NodeId id);
   bool node_down(NodeId id) const;
+  // Partial failure: drop only deliveries of one message type to the node,
+  // which stays healthy otherwise (and is NOT node_down()). Lets tests
+  // fail a node mid-dataflow — e.g. a sequence home that stops serving
+  // ranged fetches after its searches succeeded. heal_node() clears it.
+  void drop_type_to(NodeId id, std::uint32_t type);
   std::uint64_t dropped_messages() const { return dropped_; }
 
  private:
@@ -114,6 +119,7 @@ class SimTransport final : public Transport {
   std::map<NodeId, Actor*> actors_;
   std::map<NodeId, double> clocks_;
   std::map<NodeId, bool> failed_;
+  std::map<NodeId, std::uint32_t> type_drops_;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   NetworkStats stats_;
   std::map<std::uint64_t, NetworkStats> query_stats_;

@@ -59,7 +59,8 @@ void ThreadTransport::send(Message message) {
       }
     }
   }
-  if (mailbox->failed.load(std::memory_order_relaxed)) {
+  if (mailbox->failed.load(std::memory_order_relaxed) ||
+      mailbox->drop_type.load(std::memory_order_relaxed) == message.type) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
@@ -202,6 +203,13 @@ void ThreadTransport::heal_node(NodeId id) {
   auto it = mailboxes_.find(id);
   require(it != mailboxes_.end(), "ThreadTransport: heal unknown node");
   it->second->failed.store(false, std::memory_order_relaxed);
+  it->second->drop_type.store(kDropNone, std::memory_order_relaxed);
+}
+
+void ThreadTransport::drop_type_to(NodeId id, std::uint32_t type) {
+  auto it = mailboxes_.find(id);
+  require(it != mailboxes_.end(), "ThreadTransport: drop to unknown node");
+  it->second->drop_type.store(type, std::memory_order_relaxed);
 }
 
 bool ThreadTransport::node_down(NodeId id) const {

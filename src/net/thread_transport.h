@@ -77,6 +77,12 @@ class ThreadTransport final : public Transport {
   void fail_node(NodeId id);
   void heal_node(NodeId id);
   bool node_down(NodeId id) const;
+  // Partial failure: drop only inbound messages of one type, leaving the
+  // node otherwise healthy (it keeps answering everything else and is NOT
+  // node_down()). Lets tests fail a node mid-dataflow — e.g. a sequence
+  // home that stops serving ranged fetches after its searches succeeded.
+  // heal_node() clears it.
+  void drop_type_to(NodeId id, std::uint32_t type);
   std::uint64_t dropped_messages() const {
     return dropped_.load(std::memory_order_relaxed);
   }
@@ -90,12 +96,16 @@ class ThreadTransport final : public Transport {
   std::vector<std::string> handler_errors() const MENDEL_EXCLUDES(errors_mu_);
 
  private:
+  // Sentinel for Mailbox::drop_type: no type is dropped.
+  static constexpr std::uint32_t kDropNone = 0xffffffffu;
+
   struct Mailbox {
     std::mutex mu;
     std::condition_variable cv;
     std::deque<Message> queue MENDEL_GUARDED_BY(mu);
     bool stop MENDEL_GUARDED_BY(mu) = false;
     std::atomic<bool> failed{false};
+    std::atomic<std::uint32_t> drop_type{kDropNone};
   };
 
   void worker_loop(NodeId id, Actor* actor, Mailbox* mailbox);

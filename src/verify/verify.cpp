@@ -483,6 +483,8 @@ core::Anchor sample_anchor() {
   anchor.s_begin = 100;
   anchor.s_end = 132;
   anchor.score = 57;
+  anchor.cert = 51;
+  anchor.subject_len = 480;
   return anchor;
 }
 

@@ -186,7 +186,7 @@ class DynamicVpTree {
       double max_distance = std::numeric_limits<double>::infinity()) const {
     std::vector<Neighbor<T>> out;
     if (n == 0 || !root_) return out;
-    KnnState state{n, max_distance, {}};
+    KnnState<M> state(metric, n, max_distance);
     search(metric, root_.get(), target, state);
     out.reserve(state.heap.size());
     while (!state.heap.empty()) {
@@ -293,15 +293,40 @@ class DynamicVpTree {
     bool is_leaf() const { return !has_vantage; }
   };
 
+  // Detects a Metric that defines a total tie order over stored elements:
+  // tie_before(a, b) == true when `a` precedes `b` among equidistant
+  // candidates. With it, the n-NN result is the unique n smallest under the
+  // lexicographic (distance, tie order) — independent of tree shape and
+  // therefore of insertion order. Without it, equidistant candidates at the
+  // n-th-neighbor boundary are admitted in traversal order (fine for
+  // metrics whose real-valued distances make exact ties negligible; wrong
+  // for small-alphabet workloads like DNA where ties are pervasive).
+  template <typename M>
+  static constexpr bool has_tie_break =
+      requires(const M& m, const T& a, const T& b) {
+        { m.tie_before(a, b) } -> std::convertible_to<bool>;
+      };
+
+  template <typename M>
   struct KnnState {
+    const M* metric;
     std::size_t n;
     double cap;  // hard search-radius ceiling (inclusive)
     struct Farther {
+      const M* metric;
       bool operator()(const Neighbor<T>& a, const Neighbor<T>& b) const {
-        return a.distance < b.distance;
+        if (a.distance != b.distance) return a.distance < b.distance;
+        if constexpr (has_tie_break<M>) {
+          return metric->tie_before(*a.item, *b.item);
+        } else {
+          return false;
+        }
       }
     };
     std::priority_queue<Neighbor<T>, std::vector<Neighbor<T>>, Farther> heap;
+
+    KnnState(const M& m, std::size_t n_, double cap_)
+        : metric(&m), n(n_), cap(cap_), heap(Farther{&m}) {}
 
     double tau() const {
       return heap.size() < n ? cap : std::min(cap, heap.top().distance);
@@ -310,7 +335,20 @@ class DynamicVpTree {
       if (distance > cap) return;
       if (heap.size() < n) {
         heap.push({item, distance});
-      } else if (distance < heap.top().distance) {
+        return;
+      }
+      const Neighbor<T>& worst = heap.top();
+      bool better;
+      if (distance != worst.distance) {
+        better = distance < worst.distance;
+      } else if constexpr (has_tie_break<M>) {
+        // Both distances were admitted under tau, so both are exact and the
+        // equality is real — break it with the metric's total order.
+        better = metric->tie_before(*item, *worst.item);
+      } else {
+        better = false;
+      }
+      if (better) {
         heap.pop();
         heap.push({item, distance});
       }
@@ -654,7 +692,7 @@ class DynamicVpTree {
 
   template <typename M>
   void search(const M& metric, const Node* node, const T& target,
-              KnnState& state) const {
+              KnnState<M>& state) const {
     if (node == nullptr) return;
     if (node->is_leaf()) {
       if constexpr (has_batched_metric<M>) {

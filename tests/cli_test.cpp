@@ -68,9 +68,15 @@ TEST(Flags, RealAndDefaults) {
 // ---------- CLI end-to-end ----------
 
 struct TempDir {
-  std::string db = "/tmp/mendel_cli_test_db.fa";
-  std::string queries = "/tmp/mendel_cli_test_q.fa";
-  std::string index = "/tmp/mendel_cli_test.mnd";
+  // Unique per test: the suites run concurrently under `ctest -j`, and a
+  // shared path would let one test's cleanup delete another's live index.
+  std::string base = std::string("/tmp/mendel_cli_test_") +
+                     ::testing::UnitTest::GetInstance()
+                         ->current_test_info()
+                         ->name();
+  std::string db = base + "_db.fa";
+  std::string queries = base + "_q.fa";
+  std::string index = base + ".mnd";
   ~TempDir() {
     std::remove(db.c_str());
     std::remove(queries.c_str());

@@ -4,6 +4,7 @@
 // stall -> cancel -> heal -> retry protocol's no-leak guarantee.
 #include <gtest/gtest.h>
 
+#include <set>
 #include <string>
 #include <vector>
 
@@ -324,6 +325,91 @@ TEST(ConcurrentQuery, ThreadedStallHealRetryLeavesNoLeakedPending) {
   // wait() returns the instant the reply lands at the client actor; the
   // coordinator may still be inside the handler that erases its pending
   // entry. Quiesce before inspecting node state.
+  client.thread_transport().wait_idle();
+  expect_no_leaked_pending(client);
+  EXPECT_EQ(client.thread_transport().handler_errors().size(), 0u);
+}
+
+// A node that served ranged fetches for `trace`'s query — a victim for
+// the mid-fetch fault below. Prefers one that is not node 0 so the first
+// coordinator stays reachable. kClientNode when no fetch was traced.
+net::NodeId fetch_serving_node(const obs::QueryTrace& trace) {
+  std::set<net::NodeId> fetched;
+  for (const auto& span : trace.spans) {
+    if (span.name == "node.fetch") {
+      fetched.insert(static_cast<net::NodeId>(span.span_id >> 32));
+    }
+  }
+  for (const net::NodeId node : fetched) {
+    if (node != 0) return node;
+  }
+  return fetched.empty() ? net::kClientNode : *fetched.begin();
+}
+
+core::ClientOptions fetch_fault_options() {
+  auto options = cluster_options();
+  options.runtime.enable_tracing = true;
+  return options;
+}
+
+// A sequence home fails *mid-fetch*: its searches answered fine, then it
+// stops serving kFetchRange. Group entries stall awaiting fetches — with
+// extensions for already-arrived ranges possibly in flight — so the
+// cancel path must drain those tasks before scrubbing pending state, and
+// the healed cluster must complete the retry with the healthy ranking.
+TEST(ConcurrentQuery, HomeFailedMidFetchCancelsThenHealsAndCompletes) {
+  const auto store = workload::generate_database(database_spec());
+  core::Client client(fetch_fault_options());
+  client.index(store);
+  const auto query = probe_of(store, 3, 10, 120);
+
+  const auto healthy_ticket = client.submit(query);
+  const auto healthy = client.wait(healthy_ticket);
+  ASSERT_TRUE(healthy.completed);
+  const auto victim =
+      fetch_serving_node(client.collect_trace(healthy_ticket.id));
+  ASSERT_NE(victim, net::kClientNode) << "query traced no ranged fetches";
+
+  client.transport().drop_type_to(victim, core::kFetchRange);
+  const auto stalled = client.query(query);
+  EXPECT_FALSE(stalled.completed);
+  EXPECT_TRUE(stalled.hits.empty());
+
+  client.heal_node(victim);
+  expect_no_leaked_pending(client);
+
+  const auto retried = client.query(query);
+  EXPECT_TRUE(retried.completed);
+  expect_same_hits(healthy.hits, retried.hits);
+  expect_no_leaked_pending(client);
+}
+
+TEST(ConcurrentQuery, ThreadedHomeFailedMidFetchCancelsThenHealsAndCompletes) {
+  auto options = fetch_fault_options();
+  options.runtime.transport_mode = core::TransportMode::kThreaded;
+  options.runtime.search_threads = 2;  // extensions ride the pool
+  const auto store = workload::generate_database(database_spec());
+  core::Client client(options);
+  client.index(store);
+  const auto query = probe_of(store, 3, 10, 120);
+
+  const auto healthy_ticket = client.submit(query);
+  const auto healthy = client.wait(healthy_ticket);
+  ASSERT_TRUE(healthy.completed);
+  const auto victim =
+      fetch_serving_node(client.collect_trace(healthy_ticket.id));
+  ASSERT_NE(victim, net::kClientNode) << "query traced no ranged fetches";
+
+  client.thread_transport().drop_type_to(victim, core::kFetchRange);
+  const auto stalled = client.query(query);
+  EXPECT_FALSE(stalled.completed);
+
+  client.heal_node(victim);
+  expect_no_leaked_pending(client);
+
+  const auto retried = client.query(query);
+  EXPECT_TRUE(retried.completed);
+  expect_same_hits(healthy.hits, retried.hits);
   client.thread_transport().wait_idle();
   expect_no_leaked_pending(client);
   EXPECT_EQ(client.thread_transport().handler_errors().size(), 0u);

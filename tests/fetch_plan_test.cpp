@@ -1,0 +1,118 @@
+// Unit tests for the group entry's fetch coalescer: duplicate,
+// overlapping, and adjacent per-seed ranges on one sequence collapse into
+// a single ranged fetch whose members map back to the original requests.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/mendel/fetch_plan.h"
+
+namespace mendel::core {
+namespace {
+
+std::vector<RangeRequest> requests(
+    std::initializer_list<RangeRequest> list) {
+  return std::vector<RangeRequest>(list);
+}
+
+TEST(FetchPlan, EmptyInputYieldsEmptyPlan) {
+  EXPECT_TRUE(coalesce_ranges({}).empty());
+}
+
+TEST(FetchPlan, SingleRequestPassesThrough) {
+  const auto plan = coalesce_ranges(requests({{7, 100, 50}}));
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].sequence, 7u);
+  EXPECT_EQ(plan[0].start, 100u);
+  EXPECT_EQ(plan[0].length, 50u);
+  EXPECT_EQ(plan[0].members, std::vector<std::uint32_t>({0}));
+}
+
+TEST(FetchPlan, DuplicateRangesCollapse) {
+  const auto plan =
+      coalesce_ranges(requests({{3, 10, 40}, {3, 10, 40}, {3, 10, 40}}));
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].start, 10u);
+  EXPECT_EQ(plan[0].length, 40u);
+  EXPECT_EQ(plan[0].members, std::vector<std::uint32_t>({0, 1, 2}));
+}
+
+TEST(FetchPlan, OverlappingRangesMergeToTheUnion) {
+  const auto plan = coalesce_ranges(requests({{1, 0, 60}, {1, 40, 60}}));
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].start, 0u);
+  EXPECT_EQ(plan[0].length, 100u);
+  EXPECT_EQ(plan[0].members, std::vector<std::uint32_t>({0, 1}));
+}
+
+TEST(FetchPlan, NestedRangeDoesNotExtendTheUnion) {
+  const auto plan = coalesce_ranges(requests({{1, 20, 100}, {1, 50, 10}}));
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].start, 20u);
+  EXPECT_EQ(plan[0].length, 100u);
+}
+
+TEST(FetchPlan, AdjacentRangesMerge) {
+  // [100,150) then [150,200): no gap, one fetch covers both.
+  const auto plan = coalesce_ranges(requests({{2, 100, 50}, {2, 150, 50}}));
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].start, 100u);
+  EXPECT_EQ(plan[0].length, 100u);
+}
+
+TEST(FetchPlan, GappedRangesStaySeparate) {
+  const auto plan = coalesce_ranges(requests({{2, 100, 50}, {2, 151, 50}}));
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan[0].members, std::vector<std::uint32_t>({0}));
+  EXPECT_EQ(plan[1].members, std::vector<std::uint32_t>({1}));
+}
+
+TEST(FetchPlan, DifferentSequencesNeverMerge) {
+  // Identical spans on different sequences have different home nodes.
+  const auto plan = coalesce_ranges(requests({{1, 100, 50}, {2, 100, 50}}));
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan[0].sequence, 1u);
+  EXPECT_EQ(plan[1].sequence, 2u);
+}
+
+TEST(FetchPlan, PlanIsSortedAndInputOrderIndependent) {
+  const auto forward = coalesce_ranges(
+      requests({{5, 0, 30}, {5, 20, 30}, {4, 90, 10}, {5, 200, 8}}));
+  const auto shuffled = coalesce_ranges(
+      requests({{5, 200, 8}, {4, 90, 10}, {5, 20, 30}, {5, 0, 30}}));
+  ASSERT_EQ(forward.size(), 3u);
+  ASSERT_EQ(shuffled.size(), 3u);
+  for (std::size_t i = 0; i < forward.size(); ++i) {
+    EXPECT_EQ(forward[i].sequence, shuffled[i].sequence);
+    EXPECT_EQ(forward[i].start, shuffled[i].start);
+    EXPECT_EQ(forward[i].length, shuffled[i].length);
+  }
+  EXPECT_EQ(forward[0].sequence, 4u);
+  EXPECT_EQ(forward[1].start, 0u);
+  EXPECT_EQ(forward[1].length, 50u);
+}
+
+TEST(FetchPlan, MembersIndexTheOriginalRequests) {
+  const auto plan = coalesce_ranges(
+      requests({{9, 300, 10}, {8, 0, 16}, {9, 305, 10}, {8, 100, 16}}));
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan[0].members, std::vector<std::uint32_t>({1}));    // seq 8 @0
+  EXPECT_EQ(plan[1].members, std::vector<std::uint32_t>({3}));    // seq 8 @100
+  EXPECT_EQ(plan[2].members, std::vector<std::uint32_t>({0, 2}));  // seq 9
+}
+
+TEST(FetchPlan, ChainOfOverlapsMergesTransitively) {
+  // Each range overlaps only its neighbor; the union is one long fetch.
+  std::vector<RangeRequest> reqs;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    reqs.push_back({6, i * 40, 50});
+  }
+  const auto plan = coalesce_ranges(reqs);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].start, 0u);
+  EXPECT_EQ(plan[0].length, 9u * 40u + 50u);
+  EXPECT_EQ(plan[0].members.size(), 10u);
+}
+
+}  // namespace
+}  // namespace mendel::core

@@ -296,5 +296,63 @@ TEST(Metrics, ConsistentUnderConcurrentBatch) {
             static_cast<double>(queries.size()));
 }
 
+TEST(Metrics, ExtensionPipelineCountersAndHistograms) {
+  // Long homologous sequences plus short unrelated ones: a long query's
+  // top hit is certain to outscore anything a short subject can offer, so
+  // the coordinator's score-bounded pruning has bins to skip.
+  workload::DatabaseSpec long_spec = obs_spec();
+  long_spec.families = 2;
+  long_spec.background_sequences = 0;
+  long_spec.min_length = 350;
+  long_spec.max_length = 420;
+  workload::DatabaseSpec short_spec = obs_spec();
+  short_spec.families = 3;
+  short_spec.members_per_family = 2;
+  short_spec.background_sequences = 6;
+  short_spec.min_length = 40;
+  short_spec.max_length = 60;
+  short_spec.seed = 78;
+  seq::SequenceStore store(seq::Alphabet::kProtein);
+  for (const auto& s : workload::generate_database(long_spec)) store.add(s);
+  for (const auto& s : workload::generate_database(short_spec)) store.add(s);
+
+  auto options = obs_options(core::TransportMode::kThreaded);
+  options.runtime.search_threads = 2;
+  core::Client client(options);
+  client.index(store);
+
+  const auto window = store.at(1).window(5, 345);
+  const seq::Sequence probe(store.alphabet(), "probe",
+                            std::vector<seq::Code>{window.begin(),
+                                                   window.end()});
+  // Permissive trigger admits the short-subject bins; top-1 makes the
+  // guaranteed-hit cutoff as sharp as possible.
+  core::QueryParams params;
+  params.gapped_trigger = 0.1;
+  params.max_hits = 1;
+  const auto outcome = client.query(probe, params);
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_FALSE(outcome.hits.empty());
+
+  const auto snap = client.metrics();
+  EXPECT_GT(snap.counter("fetch.ranges_coalesced"), 0u);
+  EXPECT_GT(snap.counter("extend.anchors_pruned"), 0u);
+  // The registry view agrees with the NodeCounters totals.
+  const auto totals = client.total_counters();
+  EXPECT_EQ(snap.counter("node.fetch_ranges_coalesced"),
+            totals.fetch_ranges_coalesced);
+  EXPECT_EQ(snap.counter("node.anchors_pruned"), totals.anchors_pruned);
+  // Extension-phase histograms record wall time under the threaded
+  // transport (virtual time runs extensions inline, unmeasured).
+  const obs::HistogramValue* group_extend =
+      snap.histogram("group.extend_seconds");
+  ASSERT_NE(group_extend, nullptr);
+  EXPECT_GT(group_extend->count, 0u);
+  const obs::HistogramValue* coord_extend =
+      snap.histogram("coord.extend_seconds");
+  ASSERT_NE(coord_extend, nullptr);
+  EXPECT_GT(coord_extend->count, 0u);
+}
+
 }  // namespace
 }  // namespace mendel

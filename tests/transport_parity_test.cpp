@@ -219,6 +219,44 @@ TEST(TransportParity, ManyThreadsDrivingSubmitWaitAgreeWithSim) {
   }
 }
 
+// DNA's 4-letter alphabet makes exact window-distance ties pervasive, so
+// the n-NN boundary used to be resolved by vp-tree traversal order — which
+// depends on insertion order and therefore on transport message timing
+// (ROADMAP item 7: sim "7 9 6 7" vs threaded "6 9 6 6" hit counts). The
+// metric's tie_before total order resolves equidistant candidates by block
+// identity on every tree shape; this pin holds the cross-transport
+// guarantee for DNA params, which the protein-only suite above misses.
+TEST(TransportParity, DnaBatchMatchesAcrossTransports) {
+  auto dbspec = spec();
+  dbspec.alphabet = seq::Alphabet::kDna;
+  const auto store = workload::generate_database(dbspec);
+  const auto queries = parity_queries(store);
+  core::QueryParams params;
+  params.matrix = "DNA";
+  params.identity = 0.6;
+  params.c_score = 0.4;
+  params.gapped_trigger = 1.0;
+
+  core::Client sim_client(parity_options(core::TransportMode::kSim));
+  sim_client.index(store);
+  const auto sim_outcomes = sim_client.query_batch(queries, params);
+
+  auto threaded_options = parity_options(core::TransportMode::kThreaded);
+  threaded_options.runtime.search_threads = 2;
+  core::Client threaded_client(threaded_options);
+  threaded_client.index(store);
+  const auto threaded_outcomes = threaded_client.query_batch(queries, params);
+
+  ASSERT_EQ(sim_outcomes.size(), threaded_outcomes.size());
+  for (std::size_t i = 0; i < sim_outcomes.size(); ++i) {
+    EXPECT_TRUE(sim_outcomes[i].completed);
+    EXPECT_TRUE(threaded_outcomes[i].completed);
+    ASSERT_FALSE(sim_outcomes[i].hits.empty()) << "query " << i;
+    expect_same_hits(sim_outcomes[i], threaded_outcomes[i]);
+  }
+  EXPECT_EQ(threaded_client.thread_transport().handler_errors().size(), 0u);
+}
+
 // Arena residency is a memory policy, not a results policy: a clamped
 // resident budget (packed rows spilled through the block store) must
 // reproduce the all-resident ranked hits exactly, on both transports and
@@ -257,6 +295,87 @@ TEST(TransportParity, SpillForcedBudgetMatchesAllResident) {
       for (std::size_t i = 0; i < resident.size(); ++i) {
         EXPECT_TRUE(spilled[i].completed);
         expect_same_hits(resident[i], spilled[i]);
+      }
+    }
+  }
+}
+
+// Score-bounded pruning is a work policy, not a results policy: skipping
+// bins whose score ceiling cannot crack the top-k must reproduce the
+// unpruned ranked hits exactly, on both transports and both alphabets.
+// The mixed-length store (long homologous family + short unrelated
+// subjects) gives the pruner real prey; the counter assertion keeps the
+// equivalence check from passing vacuously.
+TEST(TransportParity, PruningMatchesUnprunedExactly) {
+  for (const auto alphabet : {seq::Alphabet::kDna, seq::Alphabet::kProtein}) {
+    auto long_spec = spec();
+    long_spec.alphabet = alphabet;
+    long_spec.families = 2;
+    long_spec.background_sequences = 0;
+    long_spec.min_length = 350;
+    long_spec.max_length = 420;
+    auto short_spec = long_spec;
+    short_spec.families = 3;
+    short_spec.members_per_family = 2;
+    short_spec.background_sequences = 6;
+    short_spec.min_length = 40;
+    short_spec.max_length = 60;
+    short_spec.seed = 78;
+    seq::SequenceStore store(alphabet);
+    for (const auto& s : workload::generate_database(long_spec)) store.add(s);
+    for (const auto& s : workload::generate_database(short_spec)) {
+      store.add(s);
+    }
+
+    std::vector<seq::Sequence> queries;
+    for (std::size_t donor : {1u, 4u}) {
+      const auto region = store.at(donor).window(5, 345);
+      queries.emplace_back(
+          store.alphabet(), "probe" + std::to_string(queries.size()),
+          std::vector<seq::Code>{region.begin(), region.end()});
+    }
+    core::QueryParams params;
+    params.gapped_trigger = 0.1;
+    params.max_hits = 2;
+    if (alphabet == seq::Alphabet::kDna) {
+      params.matrix = "DNA";
+      params.identity = 0.6;
+      params.c_score = 0.4;
+    }
+
+    for (const auto mode :
+         {core::TransportMode::kSim, core::TransportMode::kThreaded}) {
+      auto options = parity_options(mode);
+      if (mode == core::TransportMode::kThreaded) {
+        options.runtime.search_threads = 2;
+      }
+      core::Client pruned_client(options);
+      pruned_client.index(store);
+      const auto pruned = pruned_client.query_batch(queries, params);
+      EXPECT_GT(pruned_client.total_counters().anchors_pruned, 0u);
+
+      auto unpruned_options = options;
+      unpruned_options.runtime.prune_extensions = false;
+      core::Client unpruned_client(unpruned_options);
+      unpruned_client.index(store);
+      const auto unpruned = unpruned_client.query_batch(queries, params);
+      EXPECT_EQ(unpruned_client.total_counters().anchors_pruned, 0u);
+#ifdef MENDEL_CHECKED
+      // The checked build's prune audit deliberately extends pruned bins
+      // too (to compare against the full ranking), so the work saving is
+      // invisible in the gapped counter there.
+      EXPECT_EQ(unpruned_client.total_counters().gapped_extensions,
+                pruned_client.total_counters().gapped_extensions);
+#else
+      EXPECT_GT(unpruned_client.total_counters().gapped_extensions,
+                pruned_client.total_counters().gapped_extensions);
+#endif
+
+      ASSERT_EQ(pruned.size(), unpruned.size());
+      for (std::size_t i = 0; i < pruned.size(); ++i) {
+        EXPECT_TRUE(pruned[i].completed);
+        ASSERT_FALSE(unpruned[i].hits.empty()) << "query " << i;
+        expect_same_hits(pruned[i], unpruned[i]);
       }
     }
   }
