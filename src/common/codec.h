@@ -96,7 +96,17 @@ class CodecReader {
     return v;
   }
 
-  bool boolean() { return u8() != 0; }
+  // Strict: only 0/1 are valid. Accepting any nonzero byte would decode
+  // 0x02 to the same value as 0x01, breaking the decode∘encode byte
+  // identity the fuzz harnesses pin.
+  bool boolean() {
+    const std::uint8_t v = u8();
+    if (v > 1) {
+      throw DecodeError("CodecReader: non-canonical boolean byte " +
+                        std::to_string(v));
+    }
+    return v != 0;
+  }
 
   std::vector<std::uint8_t> bytes() {
     const auto n = u32();
@@ -113,6 +123,15 @@ class CodecReader {
   template <typename T, typename Fn>
   std::vector<T> vec(Fn&& decode_one) {
     const auto n = u32();
+    // Every element in the wire format encodes to at least one byte, so a
+    // count exceeding the bytes left is malformed. Validating up front
+    // bounds the reserve() below: a forged 0xFFFFFFFF count must not turn
+    // into a multi-GB allocation before the first element read fails.
+    if (n > remaining()) {
+      throw DecodeError("CodecReader: element count " + std::to_string(n) +
+                        " exceeds " + std::to_string(remaining()) +
+                        " remaining bytes");
+    }
     std::vector<T> items;
     items.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i) items.push_back(decode_one(*this));
@@ -129,10 +148,10 @@ class CodecReader {
 
  private:
   std::span<const std::uint8_t> take(std::size_t n) {
-    if (pos_ + n > data_.size()) {
-      throw ParseError("CodecReader: truncated buffer (need " +
-                       std::to_string(n) + " bytes, have " +
-                       std::to_string(remaining()) + ")");
+    if (n > data_.size() - pos_) {  // no overflow: pos_ <= size always
+      throw DecodeError("CodecReader: truncated buffer (need " +
+                        std::to_string(n) + " bytes, have " +
+                        std::to_string(remaining()) + ")");
     }
     auto s = data_.subspan(pos_, n);
     pos_ += n;

@@ -24,6 +24,19 @@ class ParseError : public Error {
   explicit ParseError(const std::string& what) : Error(what) {}
 };
 
+// Malformed *external bytes* — a wire frame, snapshot file, or packed row
+// that failed bounds/length/range validation while decoding. Derives from
+// ParseError so existing catch sites keep working, but carries the stronger
+// contract that it is the ONLY exception a decode path may raise on
+// arbitrary input: transports and nodes catch it, count it
+// (`net.decode_errors`), and drop the frame instead of crashing. Internal
+// invariants keep using MENDEL_CHECK / CheckError, which must never be
+// reachable from attacker-controlled bytes.
+class DecodeError : public ParseError {
+ public:
+  explicit DecodeError(const std::string& what) : ParseError(what) {}
+};
+
 // A caller violated an API precondition (bad parameter ranges, mismatched
 // lengths). Distinct from ParseError so tests can assert on the category.
 class InvalidArgument : public Error {

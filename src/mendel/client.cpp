@@ -44,6 +44,7 @@ Client::Client(ClientOptions options)
       arena_budget_from_env(options_.runtime.arena_resident_budget);
   if (options_.runtime.transport_mode == TransportMode::kSim) {
     sim_ = std::make_unique<net::SimTransport>(options_.cost);
+    sim_->set_schedule_seed(options_.runtime.schedule_seed);
     transport_ = sim_.get();
   } else {
     threaded_ = std::make_unique<net::ThreadTransport>();
@@ -478,6 +479,15 @@ obs::MetricsSnapshot Client::metrics() const {
   } else {
     add_counter("net.dropped_messages", threaded_->dropped_messages());
     add_counter("net.handler_errors", threaded_->handler_errors().size());
+    // Node-side rejected frames already flow through the registry's
+    // net.decode_errors counter; fold in the transport backstop (frames a
+    // non-node actor failed to decode) so the exported total covers every
+    // layer.
+    for (auto& counter : snap.counters) {
+      if (counter.name == "net.decode_errors") {
+        counter.value += threaded_->decode_errors();
+      }
+    }
   }
 
   std::uint64_t buffered = client_spans_.size();

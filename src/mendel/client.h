@@ -107,6 +107,13 @@ struct RuntimeOptions {
   // identical with it off; the switch exists for A/B benchmarking and for
   // tests that pin that equivalence.
   bool prune_extensions = true;
+  // Schedule exploration (TransportMode::kSim only): nonzero seeds a
+  // deterministic per-delivery jitter in the simulator so near-tied
+  // message arrivals land in a seed-dependent order. Ranked results must
+  // not depend on the seed — the parity suite sweeps seeds to prove it.
+  // 0 (default) keeps the historical FIFO-tie-break schedule. See
+  // net::SimTransport::set_schedule_seed.
+  std::uint64_t schedule_seed = 0;
 };
 
 struct ClientOptions {

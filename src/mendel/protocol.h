@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -271,9 +272,38 @@ std::vector<std::uint8_t> encode_payload(const Payload& payload) {
 }
 
 template <typename Payload>
-Payload decode_payload(const std::vector<std::uint8_t>& bytes) {
+Payload decode_payload(std::span<const std::uint8_t> bytes) {
   CodecReader reader(bytes);
-  return Payload::decode(reader);
+  Payload payload = Payload::decode(reader);
+  // Strict framing: a payload must consume its buffer exactly. Trailing
+  // bytes mean a mis-framed or forged message, and tolerating them would
+  // let two different byte strings decode to the same value — breaking the
+  // decode∘encode round-trip identity the fuzz harnesses pin.
+  if (!reader.done()) {
+    throw DecodeError("decode_payload: " + std::to_string(reader.remaining()) +
+                      " trailing bytes after payload");
+  }
+  return payload;
 }
+
+// --- Untrusted-boundary semantic validation -----------------------------
+//
+// Framing-valid bytes can still carry semantically poisonous values
+// (residue codes past the alphabet — a distance-LUT index out of bounds —
+// or inverted anchor/seed intervals feeding unsigned arithmetic). These
+// helpers raise DecodeError, the same category as framing failures, so
+// StorageNode's bad-frame guard handles both uniformly. They are called at
+// the trust boundary (message ingress), never on internally produced data.
+
+// Every code must be < cardinality (the distance-LUT dimension).
+void validate_codes(std::span<const seq::Code> codes, std::size_t cardinality,
+                    const char* what);
+
+// q/s intervals must be well-ordered (end >= begin) and spans must agree
+// with each other within 32-bit arithmetic.
+void validate_anchor(const Anchor& anchor);
+
+// Seed windows must not wrap 32-bit offsets.
+void validate_seed(const Seed& seed);
 
 }  // namespace mendel::core

@@ -24,6 +24,18 @@ std::uint64_t delta_ns(double begin, double end) {
                         : static_cast<std::uint64_t>(seconds * 1e9 + 0.5);
 }
 
+// Resolves a scoring matrix named by wire-carried query params. An unknown
+// name is a bad frame (any peer can put any string there), so the
+// InvalidArgument from matrix_by_name is re-raised as DecodeError for the
+// bad-frame guard.
+const score::ScoringMatrix& matrix_from_wire(const std::string& name) {
+  try {
+    return score::matrix_by_name(name);
+  } catch (const InvalidArgument& e) {
+    throw DecodeError(std::string("params: ") + e.what());
+  }
+}
+
 }  // namespace
 
 StorageNode::StorageNode(net::NodeId id, StorageNodeConfig config)
@@ -72,6 +84,7 @@ StorageNode::StorageNode(net::NodeId id, StorageNodeConfig config)
     c_scalar_fallbacks_ = &config_.metrics->counter("kernel.scalar_fallbacks");
     c_ranges_coalesced_ = &config_.metrics->counter("fetch.ranges_coalesced");
     c_anchors_pruned_ = &config_.metrics->counter("extend.anchors_pruned");
+    c_decode_errors_ = &config_.metrics->counter("net.decode_errors");
     // Process-wide dispatch level; every node in a process reports the
     // same value, which is exactly the property worth asserting on.
     config_.metrics->gauge("kernel.simd_level")
@@ -168,6 +181,19 @@ void StorageNode::handle(const net::Message& message, net::Context& ctx) {
   const bool time_dispatch =
       h_handler_ != nullptr && (handler_ticks_++ % kHandlerSample) == 0;
   const obs::ScopedTimer dispatch_timer(time_dispatch ? h_handler_ : nullptr);
+  try {
+    dispatch(message, ctx);
+  } catch (const DecodeError& e) {
+    // Bad frame off the wire: reject, count, keep serving. Everything else
+    // (CheckError, ProtocolError, bad_alloc) propagates — those mean an
+    // internal bug or resource exhaustion, not hostile input.
+    ++counters_.decode_errors;
+    if (c_decode_errors_ != nullptr) c_decode_errors_->add(1);
+    last_decode_error_ = net::describe(message) + ": " + e.what();
+  }
+}
+
+void StorageNode::dispatch(const net::Message& message, net::Context& ctx) {
   switch (message.type) {
     case kStoreSequence:
       on_store_sequence(message);
@@ -220,9 +246,12 @@ void StorageNode::handle(const net::Message& message, net::Context& ctx) {
       on_collect_trace(message, ctx);
       return;
     default:
-      throw ProtocolError("StorageNode " + std::to_string(id_) +
-                          ": unknown message type " +
-                          std::to_string(message.type));
+      // Unknown type is a bad frame, not an internal bug: a hostile or
+      // version-skewed peer can send any type value, so this must land in
+      // the counted-drop path rather than tearing the node down.
+      throw DecodeError("StorageNode " + std::to_string(id_) +
+                        ": unknown message type " +
+                        std::to_string(message.type));
   }
 }
 
@@ -230,6 +259,10 @@ void StorageNode::handle(const net::Message& message, net::Context& ctx) {
 
 void StorageNode::on_store_sequence(const net::Message& message) {
   auto payload = decode_payload<StoreSequencePayload>(message.payload);
+  // Stored codes later index distance LUTs (fetch ranges feed extension),
+  // so out-of-alphabet codes must never be admitted.
+  validate_codes(payload.codes, seq::cardinality(config_.alphabet),
+                 "store_sequence");
   StoredSequence stored;
   stored.name = std::move(payload.name);
   stored.codes = std::move(payload.codes);
@@ -239,6 +272,25 @@ void StorageNode::on_store_sequence(const net::Message& message) {
 
 void StorageNode::on_insert_blocks(const net::Message& message) {
   auto payload = decode_payload<InsertBlocksPayload>(message.payload);
+  // Ingress validation ahead of admit_blocks: arena append treats a length
+  // mismatch or empty window as caller error (InvalidArgument), and packed
+  // arenas must never see out-of-alphabet codes.
+  const std::size_t cardinality = seq::cardinality(config_.alphabet);
+  const std::size_t expect = arena_.window_length() != 0
+                                 ? arena_.window_length()
+                                 : (payload.blocks.empty()
+                                        ? 0
+                                        : payload.blocks.front().window.size());
+  for (const Block& block : payload.blocks) {
+    if (block.window.empty() || block.window.size() != expect) {
+      throw DecodeError("insert_blocks: block (seq " +
+                        std::to_string(block.sequence) + ", start " +
+                        std::to_string(block.start) + ") window length " +
+                        std::to_string(block.window.size()) +
+                        " != expected " + std::to_string(expect));
+    }
+    validate_codes(block.window, cardinality, "insert_blocks");
+  }
   // Deduplicate: replication and rebalance may redeliver blocks this node
   // already stores.
   auto fresh = admit_blocks(std::move(payload.blocks));
@@ -303,6 +355,12 @@ void StorageNode::on_collect_trace(const net::Message& message,
 void StorageNode::on_query_request(const net::Message& message,
                                    net::Context& ctx) {
   auto request = decode_payload<QueryRequestPayload>(message.payload);
+  // The query's codes index distance LUTs on every node downstream and the
+  // matrix name is resolved again at extension time: reject both here, at
+  // the dataflow's entry, so no later stage can trip on them.
+  validate_codes(request.query, seq::cardinality(config_.alphabet),
+                 "query_request");
+  matrix_from_wire(request.params.matrix);
   ++counters_.queries_coordinated;
 
   const std::size_t block_len = config_.prefix_tree->window_length();
@@ -395,6 +453,26 @@ void StorageNode::on_query_request(const net::Message& message,
 void StorageNode::on_group_query(const net::Message& message,
                                  net::Context& ctx) {
   auto request = decode_payload<GroupQueryPayload>(message.payload);
+  // A group query can arrive from any peer, not only our own coordinator:
+  // re-validate the query (extension scores it against fetched subjects)
+  // and every subquery window (forwarded verbatim into node searches).
+  {
+    const std::size_t cardinality = seq::cardinality(config_.alphabet);
+    validate_codes(request.query, cardinality, "group_query");
+    matrix_from_wire(request.params.matrix);
+    for (const Subquery& sub : request.subqueries) {
+      validate_codes(sub.window, cardinality, "group_query subquery");
+      const std::uint64_t end =
+          static_cast<std::uint64_t>(sub.query_offset) + sub.window.size();
+      if (end > request.query.size()) {
+        throw DecodeError("group_query: subquery at offset " +
+                          std::to_string(sub.query_offset) + " (window " +
+                          std::to_string(sub.window.size()) +
+                          ") overruns query length " +
+                          std::to_string(request.query.size()));
+      }
+    }
+  }
   ++counters_.group_queries;
   const std::uint64_t query_id = message.request_id;
   const std::uint32_t group = config_.topology->address(id_).group;
@@ -493,8 +571,15 @@ std::vector<Seed> StorageNode::search_subquery(
 void StorageNode::on_node_search(const net::Message& message,
                                  net::Context& ctx) {
   auto request = decode_payload<NodeSearchPayload>(message.payload);
-  const auto& matrix = score::matrix_by_name(request.params.matrix);
+  const auto& matrix = matrix_from_wire(request.params.matrix);
   const std::size_t count = request.subqueries.size();
+  // Window codes feed unchecked distance kernels (LUT rows sized to the
+  // alphabet); lengths are checked against the arena inside the cache loop
+  // below, codes here.
+  for (const Subquery& sub : request.subqueries) {
+    validate_codes(sub.window, seq::cardinality(config_.alphabet),
+                   "node_search subquery");
+  }
   // Span duration is wall time under the threaded transport only; under
   // virtual time a measured duration would differ run to run and break
   // trace byte-stability.
@@ -519,11 +604,15 @@ void StorageNode::on_node_search(const net::Message& message,
       ++counters_.nn_searches;
       if (tree_.empty()) continue;
       // Lengths are checked once here; the metric then runs unchecked
-      // kernels for every distance evaluation of the search.
-      MENDEL_CHECK(sub.window.size() == arena_.window_length(),
-                   "node " << id_ << ": subquery " << i << " window length "
-                           << sub.window.size() << " != arena window length "
-                           << arena_.window_length());
+      // kernels for every distance evaluation of the search. A mismatch is
+      // a bad frame (any peer can send any window), not an invariant.
+      if (sub.window.size() != arena_.window_length()) {
+        throw DecodeError(
+            "node_search: subquery " + std::to_string(i) +
+            " window length " + std::to_string(sub.window.size()) +
+            " != arena window length " +
+            std::to_string(arena_.window_length()));
+      }
       if (cache_enabled) {
         keys[i] = nn_cache_key(sub.window, request.params);
         auto it = nn_cache_.find(keys[i]);
@@ -594,12 +683,29 @@ void StorageNode::on_node_search_result(const net::Message& message,
   PendingGroupQuery& pending = it->second;
 
   auto payload = decode_payload<NodeSearchResultPayload>(message.payload);
+  // A forged or duplicated result frame must not underflow the fan-in
+  // counter or feed seeds whose windows overrun the query into the merge
+  // arithmetic (merged ranges drive fetch lengths and extension spans).
+  if (pending.awaiting_nodes == 0) {
+    throw DecodeError("node_search_result: group query " +
+                      std::to_string(message.request_id) +
+                      " has no outstanding node searches (duplicate or "
+                      "forged result from node " +
+                      std::to_string(message.from) + ")");
+  }
+  for (const Seed& seed : payload.seeds) {
+    validate_seed(seed);
+    const std::uint64_t q_end =
+        static_cast<std::uint64_t>(seed.query_offset) + seed.length;
+    if (q_end > pending.query.size()) {
+      throw DecodeError("node_search_result: seed window [" +
+                        std::to_string(seed.query_offset) + ", " +
+                        std::to_string(q_end) + ") overruns query length " +
+                        std::to_string(pending.query.size()));
+    }
+  }
   pending.seeds.insert(pending.seeds.end(), payload.seeds.begin(),
                        payload.seeds.end());
-  MENDEL_CHECK(pending.awaiting_nodes > 0,
-               "node " << id_ << ": group query " << message.request_id
-                       << " got a search result from node " << message.from
-                       << " with none outstanding");
   if (--pending.awaiting_nodes > 0) return;
   if (h_group_fanin_ != nullptr) {
     // Broadcast → last search result; virtual seconds under the simulator.
@@ -831,6 +937,26 @@ void StorageNode::on_group_result(const net::Message& message,
   PendingQuery& pending = it->second;
 
   auto payload = decode_payload<GroupResultPayload>(message.payload);
+  // Forged/duplicate frames must not underflow the fan-in counter, and
+  // anchor intervals feed unsigned span arithmetic (length(), pruning
+  // ceilings, banded DP bands) — reject inverted or query-overrunning ones.
+  if (pending.awaiting_groups == 0) {
+    throw DecodeError("group_result: query " +
+                      std::to_string(message.request_id) +
+                      " has no outstanding group queries (duplicate or "
+                      "forged result from node " +
+                      std::to_string(message.from) + ")");
+  }
+  for (const Anchor& anchor : payload.anchors) {
+    validate_anchor(anchor);
+    if (anchor.q_end > pending.query.size()) {
+      throw DecodeError("group_result: anchor q interval [" +
+                        std::to_string(anchor.q_begin) + ", " +
+                        std::to_string(anchor.q_end) +
+                        ") overruns query length " +
+                        std::to_string(pending.query.size()));
+    }
+  }
   // Streaming fan-in: bin by sequence as results arrive instead of piling
   // anchors into one flat list for an end-of-fan-in pass; the last arrival
   // then only pays per-sequence diagonal merging.
@@ -838,10 +964,6 @@ void StorageNode::on_group_result(const net::Message& message,
     pending.binned[anchor.sequence].push_back(anchor);
   }
   pending.raw_anchors += payload.anchors.size();
-  MENDEL_CHECK(pending.awaiting_groups > 0,
-               "node " << id_ << ": query " << message.request_id
-                       << " got a group result from node " << message.from
-                       << " with none outstanding");
   if (--pending.awaiting_groups > 0) return;
   if (h_coord_fanin_ != nullptr) {
     // Route → last group result; virtual seconds under the simulator.
@@ -1246,6 +1368,15 @@ void StorageNode::coordinator_finish(std::uint64_t query_id,
 void StorageNode::on_fetch_range_result(const net::Message& message,
                                         net::Context& ctx) {
   auto payload = decode_payload<FetchRangeResultPayload>(message.payload);
+  if (payload.purpose >
+      static_cast<std::uint8_t>(FetchPurpose::kGappedExtension)) {
+    throw DecodeError("fetch_range_result: unknown purpose " +
+                      std::to_string(payload.purpose));
+  }
+  // Fetched subject codes are scored against the query through unchecked
+  // LUT kernels (ungapped X-drop and banded DP).
+  validate_codes(payload.codes, seq::cardinality(config_.alphabet),
+                 "fetch_range_result");
   FetchedRange range;
   range.sequence = payload.sequence;
   range.start = payload.start;
@@ -1258,6 +1389,13 @@ void StorageNode::on_fetch_range_result(const net::Message& message,
     auto it = group_pending_.find(message.request_id);
     if (it == group_pending_.end()) return;
     PendingGroupQuery& pending = it->second;
+    if (pending.awaiting_fetches == 0) {
+      throw DecodeError("fetch_range_result: group query " +
+                        std::to_string(message.request_id) +
+                        " has no outstanding fetches (duplicate or forged "
+                        "result from node " +
+                        std::to_string(message.from) + ")");
+    }
     if (payload.token < pending.fetched.size()) {
       pending.fetched[payload.token] = std::move(range);
       // Streaming extension: ungapped X-drop for this range's member seeds
@@ -1273,11 +1411,6 @@ void StorageNode::on_fetch_range_result(const net::Message& message,
                            group_entry_extend_range(pending, range_idx, wall);
                          });
     }
-    MENDEL_CHECK(pending.awaiting_fetches > 0,
-                 "node " << id_ << ": group query " << message.request_id
-                         << " got a fetch result (token " << payload.token
-                         << ", seq " << payload.sequence
-                         << ") with none outstanding");
     if (--pending.awaiting_fetches == 0) {
       group_entry_finish(message.request_id, pending, ctx);
     }
@@ -1287,6 +1420,13 @@ void StorageNode::on_fetch_range_result(const net::Message& message,
   auto it = coord_pending_.find(message.request_id);
   if (it == coord_pending_.end()) return;
   PendingQuery& pending = it->second;
+  if (pending.awaiting_fetches == 0) {
+    throw DecodeError("fetch_range_result: query " +
+                      std::to_string(message.request_id) +
+                      " has no outstanding fetches (duplicate or forged "
+                      "result from node " +
+                      std::to_string(message.from) + ")");
+  }
   if (payload.token < pending.fetched.size()) {
     pending.fetched[payload.token] = std::move(range);
     // Same streaming scheme as the group entry: the bin's banded DP chain
@@ -1298,11 +1438,6 @@ void StorageNode::on_fetch_range_result(const net::Message& message,
                          coordinator_extend_bin(pending, bin_idx, wall);
                        });
   }
-  MENDEL_CHECK(pending.awaiting_fetches > 0,
-               "node " << id_ << ": query " << message.request_id
-                       << " got a fetch result (token " << payload.token
-                       << ", seq " << payload.sequence
-                       << ") with none outstanding");
   if (--pending.awaiting_fetches == 0) {
     coordinator_finish(message.request_id, pending, ctx);
   }
@@ -1431,6 +1566,20 @@ void StorageNode::load(CodecReader& reader) {
   require(bits == 0 || bits == 2 || bits == 4,
           "StorageNode::load: bad packed row width " + std::to_string(bits));
   const std::uint32_t block_count = reader.u32();
+  // window_length 0 is how an empty arena saves itself; with blocks
+  // present it would make append_row below reject caller error.
+  if (window_len == 0 && block_count != 0) {
+    throw DecodeError("StorageNode::load: zero window length with " +
+                      std::to_string(block_count) + " blocks");
+  }
+  // Snapshot bytes come off disk: bound every count by the bytes that must
+  // back it before sizing containers (a corrupt count must not become a
+  // multi-GB allocation).
+  if (block_count > reader.remaining() / 8) {
+    throw DecodeError("StorageNode::load: block count " +
+                      std::to_string(block_count) +
+                      " exceeds the remaining bytes");
+  }
   std::vector<std::pair<std::uint32_t, std::uint32_t>> idents(block_count);
   for (auto& [sequence, start] : idents) {
     sequence = reader.u32();
@@ -1441,6 +1590,9 @@ void StorageNode::load(CodecReader& reader) {
   const std::uint64_t blob = reader.u64();
   require(blob == static_cast<std::uint64_t>(block_count) * row_bytes,
           "StorageNode::load: row blob length mismatch");
+  if (blob > reader.remaining()) {
+    throw DecodeError("StorageNode::load: row blob overruns the buffer");
+  }
   // Rows go straight from the snapshot into the arena; when the stored
   // width matches the arena's encoding this is a verbatim copy, otherwise
   // append_row transcodes (e.g. a 4-bit snapshot loaded into a fresh

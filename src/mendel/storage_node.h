@@ -136,12 +136,22 @@ struct NodeCounters {
   // score-bound pruned out of gapped extension.
   std::uint64_t fetch_ranges_coalesced = 0;
   std::uint64_t anchors_pruned = 0;
+  // Frames rejected at the trust boundary: framing failures (truncated /
+  // trailing bytes), unknown message types, and semantically poisonous
+  // values (out-of-alphabet codes, inverted intervals). The node drops the
+  // frame and keeps serving.
+  std::uint64_t decode_errors = 0;
 };
 
 class StorageNode final : public net::Actor {
  public:
   StorageNode(net::NodeId id, StorageNodeConfig config);
 
+  // Decodes and dispatches one frame. Malformed frames (DecodeError — bad
+  // framing, unknown type, or semantic validation failure) are counted in
+  // counters().decode_errors / `net.decode_errors` and dropped; any other
+  // exception (CheckError, ProtocolError) still propagates because it
+  // indicates an internal bug, not hostile input.
   void handle(const net::Message& message, net::Context& ctx) override;
 
   net::NodeId id() const { return id_; }
@@ -151,6 +161,8 @@ class StorageNode final : public net::Actor {
   // uses the cluster-wide max as its id watermark after load_index().
   seq::SequenceId max_sequence_id_plus_one() const;
   const NodeCounters& counters() const { return counters_; }
+  // Diagnostic text of the most recently rejected frame ("" when none).
+  const std::string& last_decode_error() const { return last_decode_error_; }
 
   // Outstanding query state machines (leak detection in tests: after every
   // query completed or was cancelled, both must be zero on every node).
@@ -418,6 +430,8 @@ class StorageNode final : public net::Actor {
   };
 
   // Handlers, one per message type.
+  // handle() minus the bad-frame guard: decodes, validates, and routes.
+  void dispatch(const net::Message& message, net::Context& ctx);
   void on_store_sequence(const net::Message& message);
   void on_insert_blocks(const net::Message& message);
   void on_fetch_range(const net::Message& message, net::Context& ctx);
@@ -520,6 +534,7 @@ class StorageNode final : public net::Actor {
   std::unordered_map<std::uint32_t, StoredSequence> sequences_;
   std::set<net::NodeId> down_;
   NodeCounters counters_;
+  std::string last_decode_error_;
 
   std::map<std::uint64_t, PendingGroupQuery> group_pending_;
   std::map<std::uint64_t, PendingQuery> coord_pending_;
@@ -561,6 +576,9 @@ class StorageNode final : public net::Actor {
   // cluster-wide registry aggregates them).
   obs::Counter* c_ranges_coalesced_ = nullptr;
   obs::Counter* c_anchors_pruned_ = nullptr;
+  // Frames rejected by the bad-frame guard (mirror of
+  // counters_.decode_errors for the cluster-wide registry).
+  obs::Counter* c_decode_errors_ = nullptr;
 };
 
 }  // namespace mendel::core

@@ -46,10 +46,29 @@ void SimTransport::send(Message message) {
     return;
   }
   Event event;
-  event.time = external_now_ + cost_.transfer_delay(message.wire_size());
   event.seq = next_seq_++;
+  event.time = external_now_ + cost_.transfer_delay(message.wire_size()) +
+               schedule_jitter(event.seq);
   event.message = std::move(message);
   queue_.push(std::move(event));
+}
+
+double SimTransport::schedule_jitter(std::uint64_t seq) const {
+  if (schedule_seed_ == 0) return 0.0;
+  // splitmix64 over (seed, seq): cheap, stateless, and replayable — the
+  // same seed always yields the same schedule regardless of how many
+  // events preceded this one.
+  std::uint64_t x = schedule_seed_ ^ (seq * 0x9E3779B97F4A7C15ULL);
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  // [0, 1) from the top 53 bits, scaled to a few link latencies: enough to
+  // permute near-tied fan-in arrivals, small enough that virtual-time
+  // metrics stay in the same regime.
+  const double unit =
+      static_cast<double>(x >> 11) * (1.0 / 9007199254740992.0);
+  return unit * 4.0 * cost_.latency;
 }
 
 double SimTransport::run_until_idle() {
@@ -94,8 +113,9 @@ double SimTransport::run_until_idle() {
     // Messages the handler emitted depart at `end`.
     for (auto& outbound : pending_) {
       Event e;
-      e.time = end + cost_.transfer_delay(outbound.wire_size());
       e.seq = next_seq_++;
+      e.time = end + cost_.transfer_delay(outbound.wire_size()) +
+               schedule_jitter(e.seq);
       e.message = std::move(outbound);
       horizon = std::max(horizon, e.time);
       queue_.push(std::move(e));

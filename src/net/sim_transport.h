@@ -89,6 +89,19 @@ class SimTransport final : public Transport {
   // Total measured handler CPU seconds charged so far (all nodes).
   double total_cpu_seconds() const { return total_cpu_; }
 
+  // Schedule exploration: with a nonzero seed, every delivery time gets a
+  // small deterministic jitter derived from (seed, injection sequence), so
+  // messages that would arrive in near-tied order are delivered in a
+  // seed-dependent permutation. Causality is preserved — a handler's
+  // outbound messages still depart only after the handler finished — but
+  // fan-in arrival orders, which the protocol must be insensitive to,
+  // differ per seed. An interleaving-coverage analog of a race detector at
+  // the protocol level: the parity suite sweeps seeds and asserts ranked
+  // hits never change, printing the seed for replay when they do. Seed 0
+  // (default) disables jitter and reproduces the historical schedule.
+  void set_schedule_seed(std::uint64_t seed) { schedule_seed_ = seed; }
+  std::uint64_t schedule_seed() const { return schedule_seed_; }
+
   // Marks a node as failed: messages to it are silently dropped (used by
   // the fault-tolerance tests). Delivery to a failed node counts in
   // dropped_messages().
@@ -128,8 +141,13 @@ class SimTransport final : public Transport {
   std::uint64_t last_stats_id_ = 0;
   NetworkStats* last_stats_ = nullptr;
   bool last_stats_valid_ = false;
+  // Deterministic per-event delivery jitter in [0, 4*latency); see
+  // set_schedule_seed().
+  double schedule_jitter(std::uint64_t seq) const;
+
   std::uint64_t next_seq_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t schedule_seed_ = 0;
   double external_now_ = 0.0;
   double total_cpu_ = 0.0;
 

@@ -107,6 +107,13 @@ void ThreadTransport::worker_loop(NodeId id, Actor* actor, Mailbox* mailbox) {
                                describe(message) + ": ";
     try {
       actor->handle(message, ctx);
+    } catch (const DecodeError& e) {
+      // A malformed frame an actor did not swallow itself (StorageNode
+      // counts and drops its own; this backstop covers every other actor,
+      // e.g. the client's reply handler). Counted separately so operators
+      // can tell hostile bytes from handler bugs.
+      decode_errors_.fetch_add(1, std::memory_order_relaxed);
+      record_error(origin + e.what());
     } catch (const std::exception& e) {
       record_error(origin + e.what());
     } catch (...) {

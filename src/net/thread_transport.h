@@ -86,6 +86,12 @@ class ThreadTransport final : public Transport {
   std::uint64_t dropped_messages() const {
     return dropped_.load(std::memory_order_relaxed);
   }
+  // Frames whose handler raised DecodeError (malformed bytes an actor did
+  // not swallow itself); subset of handler_errors(), counted separately so
+  // hostile input is distinguishable from handler bugs.
+  std::uint64_t decode_errors() const {
+    return decode_errors_.load(std::memory_order_relaxed);
+  }
 
   // Errors thrown by actor handlers. A throwing handler must not wedge the
   // quiescence accounting (that would deadlock drain_and_stop()), so the
@@ -129,6 +135,7 @@ class ThreadTransport final : public Transport {
   std::atomic<std::uint64_t> messages_{0};
   std::atomic<std::uint64_t> bytes_{0};
   std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> decode_errors_{0};
 
   mutable std::mutex errors_mu_;
   std::vector<std::string> errors_ MENDEL_GUARDED_BY(errors_mu_);

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <charconv>
+#include <cmath>
 #include <cstdio>
 
 #include "src/common/error.h"
@@ -49,6 +50,17 @@ class Json::Parser {
   }
 
   Json parse_value() {
+    // Nesting bound: the parser recurses per container level, so an
+    // adversarial document of a few hundred KB of '[' would otherwise
+    // overflow the stack. Real exports nest < 10 deep.
+    if (depth_ >= kMaxDepth) fail("nesting deeper than 256 levels");
+    ++depth_;
+    Json v = parse_value_inner();
+    --depth_;
+    return v;
+  }
+
+  Json parse_value_inner() {
     skip_ws();
     switch (peek()) {
       case '{':
@@ -212,14 +224,22 @@ class Json::Parser {
     if (ec != std::errc{} || end != last || begin == pos_) {
       fail("malformed number");
     }
+    // from_chars reports overflow as result_out_of_range, caught above;
+    // this backstops any implementation that folds to ±inf instead.
+    // Consumers hold metrics in doubles and must never see non-finite
+    // values sneak in through a literal like 1e999.
+    if (!std::isfinite(value)) fail("non-finite number");
     Json v;
     v.type_ = Type::kNumber;
     v.number_ = value;
     return v;
   }
 
+  static constexpr int kMaxDepth = 256;
+
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 Json Json::parse(std::string_view text) { return Parser(text).document(); }

@@ -158,21 +158,39 @@ std::vector<core::Block> NodeShardView::materialize_blocks() const {
 
 namespace {
 
+// Snapshot bytes come off disk — a decode surface, not an API boundary —
+// so malformed framing raises DecodeError like the wire decoders do.
+void snap_require(bool cond, const std::string& what) {
+  if (!cond) throw DecodeError(what);
+}
+
 // Mirrors StorageNode::load's parse of one mendel-node-v2 shard.
 NodeShardView read_node_shard(CodecReader& reader, std::uint32_t group) {
   NodeShardView shard;
   shard.group = group;
   const std::string node_magic = reader.str();
-  require(node_magic == "mendel-node-v2",
-          "read_snapshot: bad node shard magic '" + node_magic + "'");
+  snap_require(node_magic == "mendel-node-v2",
+               "read_snapshot: bad node shard magic '" + node_magic + "'");
   shard.id = reader.u32();
   shard.window_length = reader.u32();
   shard.packed_bits = reader.u8();
-  require(shard.packed_bits == 0 || shard.packed_bits == 2 ||
-              shard.packed_bits == 4,
-          "read_snapshot: node " + std::to_string(shard.id) +
-              ": bad packed row width " + std::to_string(shard.packed_bits));
+  snap_require(
+      shard.packed_bits == 0 || shard.packed_bits == 2 ||
+          shard.packed_bits == 4,
+      "read_snapshot: node " + std::to_string(shard.id) +
+          ": bad packed row width " + std::to_string(shard.packed_bits));
   const std::uint32_t block_count = reader.u32();
+  // window_length 0 is how an empty arena saves itself; with blocks
+  // present every row would be zero bytes and decode_row nonsensical.
+  snap_require(shard.window_length > 0 || block_count == 0,
+               "read_snapshot: node " + std::to_string(shard.id) +
+                   ": zero window length with blocks");
+  // Bound counts by the bytes that must back them BEFORE sizing any
+  // container: a forged count must not become a multi-GB allocation.
+  snap_require(block_count <= reader.remaining() / 8,
+               "read_snapshot: node " + std::to_string(shard.id) +
+                   ": block count " + std::to_string(block_count) +
+                   " exceeds the remaining bytes");
   shard.blocks.resize(block_count);
   for (auto& block : shard.blocks) {
     block.sequence = reader.u32();
@@ -181,14 +199,21 @@ NodeShardView read_node_shard(CodecReader& reader, std::uint32_t group) {
   const std::size_t row_bytes =
       vpt::WindowArena::payload_bytes(shard.window_length, shard.packed_bits);
   const std::uint64_t blob = reader.u64();
-  require(blob == static_cast<std::uint64_t>(block_count) * row_bytes,
-          "read_snapshot: node " + std::to_string(shard.id) +
-              ": row blob length mismatch");
+  snap_require(blob == static_cast<std::uint64_t>(block_count) * row_bytes,
+               "read_snapshot: node " + std::to_string(shard.id) +
+                   ": row blob length mismatch");
+  snap_require(blob <= reader.remaining(),
+               "read_snapshot: node " + std::to_string(shard.id) +
+                   ": row blob overruns the buffer");
   for (auto& block : shard.blocks) {
     const auto row = reader.raw(row_bytes);
     block.row.assign(row.begin(), row.end());
   }
   const std::uint32_t sequence_count = reader.u32();
+  snap_require(sequence_count <= reader.remaining() / 12,
+               "read_snapshot: node " + std::to_string(shard.id) +
+                   ": sequence count " + std::to_string(sequence_count) +
+                   " exceeds the remaining bytes");
   shard.sequences.reserve(sequence_count);
   for (std::uint32_t s = 0; s < sequence_count; ++s) {
     NodeShardView::SequenceView sequence;
@@ -234,13 +259,23 @@ SnapshotView read_snapshot(const std::vector<std::uint8_t>& bytes) {
   SnapshotView view;
 
   const std::string magic = reader.str();
-  require(magic == "mendel-index-v3",
-          "read_snapshot: bad snapshot magic '" + magic + "'");
-  view.alphabet = static_cast<seq::Alphabet>(reader.u8());
+  snap_require(magic == "mendel-index-v3",
+               "read_snapshot: bad snapshot magic '" + magic + "'");
+  const std::uint8_t alphabet_byte = reader.u8();
+  snap_require(alphabet_byte <= static_cast<std::uint8_t>(
+                                    seq::Alphabet::kProtein),
+               "read_snapshot: unknown alphabet " +
+                   std::to_string(alphabet_byte));
+  view.alphabet = static_cast<seq::Alphabet>(alphabet_byte);
   view.database_residues = reader.u64();
   view.num_groups = reader.u32();
   view.nodes_per_group = reader.u32();
   const std::uint32_t extra_nodes = reader.u32();
+  snap_require(extra_nodes <= reader.remaining() / 4,
+               "read_snapshot: extra node count " +
+                   std::to_string(extra_nodes) +
+                   " exceeds the remaining bytes");
+  view.extra_groups.reserve(extra_nodes);
   for (std::uint32_t i = 0; i < extra_nodes; ++i) {
     view.extra_groups.push_back(reader.u32());
   }
@@ -253,28 +288,29 @@ SnapshotView read_snapshot(const std::vector<std::uint8_t>& bytes) {
   // v3: one length-framed section per group, ascending, each holding its
   // member node shards.
   const std::uint32_t group_count = reader.u32();
-  require(group_count == view.num_groups,
-          "read_snapshot: group section count mismatch");
+  snap_require(group_count == view.num_groups,
+               "read_snapshot: group section count mismatch");
   for (std::uint32_t g = 0; g < group_count; ++g) {
     const std::uint32_t group = reader.u32();
-    require(group == g, "read_snapshot: group sections out of order");
+    snap_require(group == g, "read_snapshot: group sections out of order");
     const auto section = reader.bytes();
     CodecReader sub(section);
     const std::uint32_t members = sub.u32();
     for (std::uint32_t m = 0; m < members; ++m) {
       const std::uint32_t id = sub.u32();
       NodeShardView shard = read_node_shard(sub, group);
-      require(shard.id == id,
-              "read_snapshot: shard id " + std::to_string(shard.id) +
-                  " filed under member id " + std::to_string(id));
+      snap_require(shard.id == id,
+                   "read_snapshot: shard id " + std::to_string(shard.id) +
+                       " filed under member id " + std::to_string(id));
       view.shards.push_back(std::move(shard));
     }
-    require(sub.done(), "read_snapshot: trailing bytes in group section " +
-                            std::to_string(group));
+    snap_require(sub.done(),
+                 "read_snapshot: trailing bytes in group section " +
+                     std::to_string(group));
   }
-  require(reader.done(), "read_snapshot: " +
-                             std::to_string(reader.remaining()) +
-                             " trailing byte(s) after the last section");
+  snap_require(reader.done(), "read_snapshot: " +
+                                  std::to_string(reader.remaining()) +
+                                  " trailing byte(s) after the last section");
   return view;
 }
 

@@ -235,13 +235,18 @@ VpPrefixTree VpPrefixTree::decode(CodecReader& reader,
 }
 
 std::unique_ptr<VpPrefixTree::Node> VpPrefixTree::decode_node(
-    CodecReader& reader) {
+    CodecReader& reader, std::size_t depth) {
+  constexpr std::size_t kMaxDecodeDepth = 512;
+  if (depth > kMaxDecodeDepth) {
+    throw DecodeError("VpPrefixTree: encoded tree deeper than " +
+                      std::to_string(kMaxDecodeDepth) + " levels");
+  }
   if (!reader.boolean()) return nullptr;
   auto node = std::make_unique<Node>();
   node->vantage = reader.bytes();
   node->mu = reader.f64();
-  node->left = decode_node(reader);
-  node->right = decode_node(reader);
+  node->left = decode_node(reader, depth + 1);
+  node->right = decode_node(reader, depth + 1);
   return node;
 }
 

@@ -107,7 +107,12 @@ class VpPrefixTree {
                        std::vector<std::uint64_t>& out) const;
 
   static void encode_node(CodecWriter& writer, const Node* node);
-  static std::unique_ptr<Node> decode_node(CodecReader& reader);
+  // Depth-bounded: a crafted snapshot chaining left children could
+  // otherwise recurse the stack away (and the unique_ptr destructor chain
+  // with it). Legitimate trees never exceed cutoff_depth plus the vp-tree
+  // fan-out, far below the cap; deeper input is a DecodeError.
+  static std::unique_ptr<Node> decode_node(CodecReader& reader,
+                                           std::size_t depth = 0);
 
   const score::DistanceMatrix* distance_;
   PrefixTreeOptions options_;

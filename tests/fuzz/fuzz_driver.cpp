@@ -1,0 +1,56 @@
+// Standalone driver for the fuzz harnesses when the toolchain has no
+// libFuzzer (GCC builds). Each argument is a corpus file or a directory of
+// corpus files; every input is fed to LLVMFuzzerTestOneInput exactly once.
+// Under Clang with -fsanitize=fuzzer this file is not compiled — libFuzzer
+// supplies main() and drives the same entry point with mutation.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+std::size_t run_file(const std::filesystem::path& path) {
+  // FUZZ_DRIVER_VERBOSE=1 names each input before running it, so the
+  // offending file of an aborting batch is the last line printed.
+  if (std::getenv("FUZZ_DRIVER_VERBOSE") != nullptr) {
+    std::fprintf(stderr, "fuzz_driver: %s\n", path.c_str());
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "fuzz_driver: cannot open %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t ran = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path path(argv[i]);
+    // libFuzzer flags (e.g. -runs=0) may leak into a shared ctest command
+    // line; ignore them so both driver flavors accept the same invocation.
+    if (!path.empty() && path.native()[0] == '-') continue;
+    if (std::filesystem::is_directory(path)) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(path)) {
+        if (entry.is_regular_file()) ran += run_file(entry.path());
+      }
+    } else {
+      ran += run_file(path);
+    }
+  }
+  std::printf("fuzz_driver: %zu input(s) OK\n", ran);
+  return 0;
+}

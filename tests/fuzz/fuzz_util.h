@@ -1,0 +1,33 @@
+// Shared plumbing for the fuzz harnesses.
+//
+// Contract enforced by every harness (docs/architecture.md "Adversarial
+// inputs & fuzzing"): feeding arbitrary bytes to a decode surface may
+// produce exactly two outcomes — a successful decode, or a structured
+// mendel error (DecodeError for wire/snapshot bytes, ParseError /
+// InvalidArgument for text formats). Anything else — CheckError, a raw
+// std::exception, a sanitizer report, a crash — is a finding. On a
+// successful decode the harness additionally re-encodes and requires the
+// bytes to round-trip, so no two distinct inputs alias one value.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+
+namespace mendel::fuzz {
+
+// Abort loudly so both libFuzzer and the standalone driver report the
+// input as a crasher (libFuzzer saves the offending bytes as crash-*).
+[[noreturn]] inline void die(const char* harness, const char* what) {
+  std::fprintf(stderr, "%s: contract violation: %s\n", harness, what);
+  std::abort();
+}
+
+[[noreturn]] inline void die_exception(const char* harness,
+                                       const std::exception& e) {
+  std::fprintf(stderr, "%s: unexpected exception type: %s\n", harness,
+               e.what());
+  std::abort();
+}
+
+}  // namespace mendel::fuzz

@@ -1,0 +1,145 @@
+// Fuzz harness: obs::Json recursive-descent parser.
+//
+// The parser reads metrics exports and trace dumps — external text by the
+// time tooling consumes it. Contract: malformed text raises ParseError;
+// accepted documents survive a serialize → re-parse round trip with the
+// same structure (so the parser and the hand-rolled writers agree on the
+// grammar), and parsing never yields a non-finite number (overflowing
+// literals like 1e999 must be rejected, not folded to inf).
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "src/common/error.h"
+#include "src/obs/json.h"
+#include "tests/fuzz/fuzz_util.h"
+
+namespace {
+
+using mendel::obs::Json;
+using mendel::fuzz::die;
+using mendel::fuzz::die_exception;
+
+constexpr const char* kHarness = "json_fuzz";
+
+void dump(const Json& value, std::string& out) {
+  switch (value.type()) {
+    case Json::Type::kNull:
+      out += "null";
+      break;
+    case Json::Type::kBool:
+      out += value.boolean() ? "true" : "false";
+      break;
+    case Json::Type::kNumber: {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", value.number());
+      out += buf;
+      break;
+    }
+    case Json::Type::kString:
+      out += '"';
+      Json::escape(value.str(), out);
+      out += '"';
+      break;
+    case Json::Type::kArray: {
+      out += '[';
+      bool first = true;
+      for (const auto& item : value.array()) {
+        if (!first) out += ',';
+        first = false;
+        dump(item, out);
+      }
+      out += ']';
+      break;
+    }
+    case Json::Type::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, member] : value.object()) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        Json::escape(key, out);
+        out += "\":";
+        dump(member, out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+bool same(const Json& a, const Json& b) {
+  if (a.type() != b.type()) return false;
+  switch (a.type()) {
+    case Json::Type::kNull: return true;
+    case Json::Type::kBool: return a.boolean() == b.boolean();
+    case Json::Type::kNumber: return a.number() == b.number();
+    case Json::Type::kString: return a.str() == b.str();
+    case Json::Type::kArray: {
+      if (a.array().size() != b.array().size()) return false;
+      for (std::size_t i = 0; i < a.array().size(); ++i) {
+        if (!same(a.array()[i], b.array()[i])) return false;
+      }
+      return true;
+    }
+    case Json::Type::kObject: {
+      if (a.object().size() != b.object().size()) return false;
+      for (std::size_t i = 0; i < a.object().size(); ++i) {
+        if (a.object()[i].first != b.object()[i].first) return false;
+        if (!same(a.object()[i].second, b.object()[i].second)) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+void check_finite(const Json& value) {
+  switch (value.type()) {
+    case Json::Type::kNumber:
+      if (!std::isfinite(value.number())) {
+        die(kHarness, "parser accepted a non-finite number");
+      }
+      break;
+    case Json::Type::kArray:
+      for (const auto& item : value.array()) check_finite(item);
+      break;
+    case Json::Type::kObject:
+      for (const auto& [key, member] : value.object()) check_finite(member);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  Json parsed;
+  try {
+    parsed = Json::parse(text);
+  } catch (const mendel::ParseError&) {
+    return 0;  // malformed document: the one allowed outcome
+  } catch (const std::exception& e) {
+    die_exception(kHarness, e);
+  }
+  check_finite(parsed);
+
+  std::string serialized;
+  dump(parsed, serialized);
+  Json reparsed;
+  try {
+    reparsed = Json::parse(serialized);
+  } catch (const std::exception& e) {
+    die_exception(kHarness, e);
+  }
+  if (!same(parsed, reparsed)) {
+    die(kHarness, "serialize → re-parse changed the document");
+  }
+  return 0;
+}

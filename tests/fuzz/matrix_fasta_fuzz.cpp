@@ -1,0 +1,87 @@
+// Fuzz harness: text-format readers (FASTA records, NCBI scoring
+// matrices) — the two file formats users hand the CLI directly.
+//
+// Input shape: byte 0 selects {FASTA, matrix} × {protein, DNA}; the rest
+// is the document text. Contract: malformed text raises ParseError or
+// InvalidArgument; an accepted FASTA stream survives write_fasta →
+// read_fasta with identical names and residues (wrap width is formatting,
+// not content).
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/error.h"
+#include "src/scoring/matrix_io.h"
+#include "src/sequence/fasta.h"
+#include "tests/fuzz/fuzz_util.h"
+
+namespace {
+
+using mendel::fuzz::die;
+using mendel::fuzz::die_exception;
+
+constexpr const char* kHarness = "matrix_fasta_fuzz";
+
+void fuzz_fasta(const std::string& text, mendel::seq::Alphabet alphabet) {
+  std::vector<mendel::seq::Sequence> records;
+  try {
+    std::istringstream in(text);
+    records = mendel::seq::read_fasta(in, alphabet);
+  } catch (const mendel::ParseError&) {
+    return;
+  } catch (const mendel::InvalidArgument&) {
+    return;
+  } catch (const std::exception& e) {
+    die_exception(kHarness, e);
+  }
+
+  std::ostringstream out;
+  std::vector<mendel::seq::Sequence> reread;
+  try {
+    mendel::seq::write_fasta(out, records, /*wrap=*/60);
+    std::istringstream in(out.str());
+    reread = mendel::seq::read_fasta(in, alphabet);
+  } catch (const std::exception& e) {
+    die_exception(kHarness, e);
+  }
+  if (reread.size() != records.size()) {
+    die(kHarness, "FASTA write → read changed the record count");
+  }
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto a = records[i].codes();
+    const auto b = reread[i].codes();
+    if (reread[i].name() != records[i].name() ||
+        !std::equal(a.begin(), a.end(), b.begin(), b.end())) {
+      die(kHarness, "FASTA write → read changed a record");
+    }
+  }
+}
+
+void fuzz_matrix(const std::string& text, mendel::seq::Alphabet alphabet) {
+  try {
+    std::istringstream in(text);
+    (void)mendel::score::parse_ncbi_matrix(in, "fuzz", alphabet);
+  } catch (const mendel::ParseError&) {
+  } catch (const mendel::InvalidArgument&) {
+  } catch (const std::exception& e) {
+    die_exception(kHarness, e);
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  const std::string text(reinterpret_cast<const char*>(data + 1), size - 1);
+  const auto alphabet = (data[0] & 1) != 0 ? mendel::seq::Alphabet::kDna
+                                           : mendel::seq::Alphabet::kProtein;
+  if ((data[0] & 2) != 0) {
+    fuzz_matrix(text, alphabet);
+  } else {
+    fuzz_fasta(text, alphabet);
+  }
+  return 0;
+}

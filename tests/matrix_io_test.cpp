@@ -93,6 +93,55 @@ TEST(MatrixIo, EmptyFileRejected) {
   EXPECT_THROW(parse_ncbi_matrix(in, "X", Alphabet::kDna), InvalidArgument);
 }
 
+// Adversarial-input regressions (mirrors the matrix_fasta fuzz harness
+// contract): malformed text must raise a structured mendel error —
+// ParseError or InvalidArgument — never crash or throw anything else.
+
+TEST(MatrixIo, TruncatedFilePrefixesNeverCrash) {
+  // Every byte-prefix of a valid matrix file either parses or raises a
+  // structured error; nothing in between.
+  const std::string full(kDnaMatrixText);
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    std::istringstream in(full.substr(0, cut));
+    try {
+      (void)parse_ncbi_matrix(in, "TRUNC", Alphabet::kDna);
+    } catch (const ParseError&) {
+    } catch (const InvalidArgument&) {
+    }  // anything else propagates and fails the test
+  }
+}
+
+TEST(MatrixIo, TruncatedMidRowRejected) {
+  // File ends mid-row: the T row stops after two of four scores.
+  std::istringstream in("   A  C  G  T\nA 1 0 0 0\nC 0 1 0 0\nG 0 0 1 0\nT 0 0");
+  EXPECT_THROW(parse_ncbi_matrix(in, "X", Alphabet::kDna), ParseError);
+}
+
+TEST(MatrixIo, OverlongRowRejected) {
+  // A data row with thousands of extra scores must fail cleanly, not
+  // accumulate unbounded state.
+  std::string text = "   A  C  G  T\nA";
+  for (int i = 0; i < 10000; ++i) text += " 1";
+  text += "\n";
+  std::istringstream in(text);
+  EXPECT_THROW(parse_ncbi_matrix(in, "X", Alphabet::kDna), ParseError);
+}
+
+TEST(MatrixIo, OutOfAlphabetRowLetterRejected) {
+  // 'J' is not a DNA residue; '?' is not a residue in any alphabet
+  // (rare amino acids like 'O' fold to X, so they are NOT rejected).
+  std::istringstream dna("   A  C  G  T\nJ 1 1 1 1\n");
+  EXPECT_THROW(parse_ncbi_matrix(dna, "X", Alphabet::kDna), ParseError);
+  std::istringstream protein("   A  R  N\n? 1 1 1\n");
+  EXPECT_THROW(parse_ncbi_matrix(protein, "X", Alphabet::kProtein),
+               ParseError);
+}
+
+TEST(MatrixIo, NonNumericScoreRejected) {
+  std::istringstream in("   A  C  G  T\nA 1 banana 0 0\n");
+  EXPECT_THROW(parse_ncbi_matrix(in, "X", Alphabet::kDna), ParseError);
+}
+
 TEST(MatrixIo, MissingFileThrowsIoError) {
   EXPECT_THROW(load_matrix_file("/nonexistent/matrix.txt", "X",
                                 Alphabet::kDna),

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/error.h"
 #include "src/mendel/client.h"
 #include "src/obs/json.h"
 #include "src/obs/metrics.h"
@@ -80,6 +81,47 @@ TEST(Metrics, JsonExportRoundTrips) {
   EXPECT_EQ(histogram->find("count")->number(), 1.0);
   EXPECT_EQ(histogram->find("sum_ns")->number(), 900.0);
   ASSERT_EQ(histogram->find("bins")->array().size(), 1u);
+}
+
+// ---------- adversarial JSON input ----------
+// The parser reads external text (metrics exports round-tripped through
+// files, schema documents); malformed input must raise ParseError, never
+// crash or accept garbage. These pin the hardening the json_fuzz harness
+// enforces over arbitrary bytes.
+
+TEST(Json, DeeplyNestedDocumentIsRejectedNotStackOverflow) {
+  const std::string deep(100000, '[');
+  EXPECT_THROW(obs::Json::parse(deep), ParseError);
+  // A balanced but too-deep document fails the same way.
+  std::string balanced(1000, '[');
+  balanced += std::string(1000, ']');
+  EXPECT_THROW(obs::Json::parse(balanced), ParseError);
+  // Realistic nesting stays well inside the limit.
+  EXPECT_NO_THROW(obs::Json::parse("[[[[[[[[[[1]]]]]]]]]]"));
+}
+
+TEST(Json, TruncatedUnicodeEscapeIsRejected) {
+  EXPECT_THROW(obs::Json::parse(R"("\u00)"), ParseError);
+  EXPECT_THROW(obs::Json::parse(R"("\u")"), ParseError);
+  EXPECT_THROW(obs::Json::parse(R"("\uZZZZ")"), ParseError);
+  EXPECT_EQ(obs::Json::parse(R"("A")").str(), "A");
+}
+
+TEST(Json, NonFiniteNumbersAreRejected) {
+  EXPECT_THROW(obs::Json::parse("1e999"), ParseError);
+  EXPECT_THROW(obs::Json::parse("-1e999"), ParseError);
+  EXPECT_THROW(obs::Json::parse("inf"), ParseError);
+  EXPECT_THROW(obs::Json::parse("nan"), ParseError);
+  EXPECT_DOUBLE_EQ(obs::Json::parse("1.7976931348623157e308").number(),
+                   1.7976931348623157e308);
+}
+
+TEST(Json, MalformedDocumentsRaiseStructuredErrors) {
+  for (const char* bad :
+       {"", "{", "[1,", "\"abc", "{\"a\":}", "truex", "01x", "[1 2]",
+        "{\"a\" 1}", "\xff\xfe"}) {
+    EXPECT_THROW(obs::Json::parse(bad), ParseError) << bad;
+  }
 }
 
 TEST(Metrics, PrometheusExportNamesAndTypes) {

@@ -232,5 +232,54 @@ TEST(Fasta, MissingFileThrows) {
                IoError);
 }
 
+// Adversarial-input regressions (mirrors the matrix_fasta fuzz harness
+// contract): malformed text must raise ParseError — never crash, never
+// throw anything unstructured.
+
+TEST(Fasta, TruncatedFilePrefixesNeverCrash) {
+  // Every byte-prefix of a valid two-record file either parses or raises
+  // ParseError; nothing in between. Covers header-only, mid-name, and
+  // mid-residue-line truncations in one sweep.
+  const std::string full = ">alpha first\nMKVLAWHH\nRRKE\n>beta\nGGGG\n";
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    std::istringstream in(full.substr(0, cut));
+    try {
+      (void)read_fasta(in, Alphabet::kProtein);
+    } catch (const ParseError&) {
+    }  // anything else propagates and fails the test
+  }
+}
+
+TEST(Fasta, OverlongResidueLineParses) {
+  // A single multi-megabyte line is legal FASTA; the parser must not
+  // impose a hidden line-length cap or degrade quadratically.
+  const std::size_t n = 2 << 20;
+  std::istringstream in(">long\n" + std::string(n, 'A') + "\n");
+  const auto records = read_fasta(in, Alphabet::kDna);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].size(), n);
+}
+
+TEST(Fasta, OverlongLineWithBadResidueStillReportsLine) {
+  // Out-of-alphabet byte buried deep in an overlong line: still a
+  // ParseError carrying the right line number.
+  std::istringstream in(">x\nGGGG\n" + std::string(100000, 'A') + "!\n");
+  try {
+    read_fasta(in, Alphabet::kDna);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Fasta, OutOfAlphabetResidueRejectedPerAlphabet) {
+  // Protein-only letters are invalid in DNA mode; digits are invalid in
+  // both.
+  std::istringstream dna(">d\nACGE\n");
+  EXPECT_THROW(read_fasta(dna, Alphabet::kDna), ParseError);
+  std::istringstream protein(">p\nMKV1\n");
+  EXPECT_THROW(read_fasta(protein, Alphabet::kProtein), ParseError);
+}
+
 }  // namespace
 }  // namespace mendel::seq

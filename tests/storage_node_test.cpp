@@ -265,10 +265,47 @@ TEST(StorageNode, FullQueryThroughHandCraftedMessages) {
   EXPECT_TRUE(found);
 }
 
-TEST(StorageNode, UnknownMessageTypeThrows) {
+TEST(StorageNode, UnknownMessageTypeIsCountedAndDropped) {
+  // A bad frame (any peer can send any type value) must not tear the node
+  // down: the bad-frame guard counts it and the node keeps serving.
   MiniCluster mini;
   mini.send(0, 0xdead, 0, {});
-  EXPECT_THROW(mini.transport.run_until_idle(), ProtocolError);
+  EXPECT_NO_THROW(mini.transport.run_until_idle());
+  EXPECT_EQ(mini.nodes[0]->counters().decode_errors, 1u);
+  EXPECT_NE(mini.nodes[0]->last_decode_error().find("unknown message type"),
+            std::string::npos);
+}
+
+TEST(StorageNode, TruncatedPayloadIsCountedAndDropped) {
+  MiniCluster mini;
+  mini.index_everything();
+  // A store-sequence frame cut short mid-payload must surface as a counted
+  // decode error, not a crash or a partial store.
+  StoreSequencePayload payload;
+  payload.sequence = 77;
+  payload.name = "trunc";
+  payload.codes = {0, 1, 2, 3};
+  auto bytes = encode_payload(payload);
+  bytes.resize(bytes.size() / 2);
+  const std::size_t before = mini.nodes[0]->sequence_count();
+  mini.send(0, kStoreSequence, 0, bytes);
+  EXPECT_NO_THROW(mini.transport.run_until_idle());
+  EXPECT_EQ(mini.nodes[0]->counters().decode_errors, 1u);
+  EXPECT_EQ(mini.nodes[0]->sequence_count(), before);
+}
+
+TEST(StorageNode, OutOfAlphabetCodesAreRejected) {
+  MiniCluster mini;
+  // Residue codes past the alphabet would index distance LUTs out of
+  // bounds downstream; the ingress validation must reject the frame.
+  StoreSequencePayload payload;
+  payload.sequence = 78;
+  payload.name = "hostile";
+  payload.codes = {0, 1, 250};
+  mini.send(0, kStoreSequence, 0, encode_payload(payload));
+  EXPECT_NO_THROW(mini.transport.run_until_idle());
+  EXPECT_EQ(mini.nodes[0]->counters().decode_errors, 1u);
+  EXPECT_EQ(mini.nodes[0]->sequence_count(), 0u);
 }
 
 TEST(StorageNode, StaleResponsesAreIgnored) {

@@ -4,9 +4,15 @@
 //
 // The schema pins the export layout the CI smoke step depends on: the three
 // top-level sections, the per-histogram field set, and the metric names a
-// Client-produced snapshot must always contain. Exit 0 = valid; any
-// violation prints a diagnostic and exits 1, so a layout drift in
-// MetricsSnapshot::to_json fails CI instead of silently breaking dashboards.
+// Client-produced snapshot must always contain. The check is BIDIRECTIONAL:
+// every required_* name must be present in the export, and every exported
+// name must be declared in the schema (required_* or optional_* — the
+// optional lists hold runtime-dependent entries like the threaded
+// transport's net.handler_errors). Registering a new instrument in code
+// without adding it to the schema is a lint failure, so the schema stays a
+// complete inventory instead of drifting into a lower bound. Exit 0 =
+// valid; any violation prints a diagnostic and exits 1.
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -120,6 +126,40 @@ int main(int argc, char** argv) {
       if (histograms.find(name) == nullptr) {
         return fail("required histogram '" + name + "' absent");
       }
+    }
+
+    // Reverse direction: every exported name must be inventoried. An
+    // unknown name means someone registered a new instrument without
+    // declaring it — add it to required_* (always exported) or optional_*
+    // (runtime-dependent) in tools/metrics_schema.json.
+    const auto check_inventory = [&schema](const Json& section,
+                                           const char* kind,
+                                           const char* required_key,
+                                           const char* optional_key) {
+      const auto required = string_list(schema, required_key);
+      const auto optional = string_list(schema, optional_key);
+      for (const auto& [name, value] : section.object()) {
+        const bool known =
+            std::find(required.begin(), required.end(), name) !=
+                required.end() ||
+            std::find(optional.begin(), optional.end(), name) !=
+                optional.end();
+        if (!known) {
+          return std::string(kind) + " '" + name +
+                 "' is not declared in the schema; add it to " +
+                 required_key + " or " + optional_key;
+        }
+      }
+      return std::string();
+    };
+    for (const auto& problem :
+         {check_inventory(counters, "counter", "required_counters",
+                          "optional_counters"),
+          check_inventory(gauges, "gauge", "required_gauges",
+                          "optional_gauges"),
+          check_inventory(histograms, "histogram", "required_histograms",
+                          "optional_histograms")}) {
+      if (!problem.empty()) return fail(problem);
     }
   } catch (const mendel::Error& e) {
     return fail(e.what());
