@@ -10,6 +10,7 @@
 #include "src/common/stopwatch.h"
 #include "src/common/table.h"
 #include "src/mendel/client.h"
+#include "src/net/socket_transport.h"
 #include "src/scoring/matrix_io.h"
 #include "src/sequence/fasta.h"
 #include "src/workload/generator.h"
@@ -26,8 +27,34 @@ seq::Alphabet alphabet_from(const Flags& flags) {
                         name + "'");
 }
 
+core::TransportMode transport_from(const Flags& flags) {
+  const std::string name = flags.str("transport", "sim");
+  if (name == "sim") return core::TransportMode::kSim;
+  if (name == "threaded") return core::TransportMode::kThreaded;
+  if (name == "socket") return core::TransportMode::kSocket;
+  throw InvalidArgument(
+      "--transport must be 'sim', 'threaded', or 'socket', got '" + name +
+      "'");
+}
+
+// Transport selection shared by every command that builds a Client.
+// --endpoints (or MENDEL_ENDPOINTS, read at Client construction) names the
+// daemon listen addresses in node-id order for --transport=socket.
+void apply_runtime_flags(const Flags& flags, core::ClientOptions& options) {
+  options.runtime.transport_mode = transport_from(flags);
+  const std::string endpoints = flags.str("endpoints", "");
+  if (!endpoints.empty()) {
+    options.runtime.socket.endpoints = net::parse_endpoint_list(endpoints);
+  }
+  options.runtime.socket.heartbeat_interval = flags.real(
+      "heartbeat-interval", options.runtime.socket.heartbeat_interval);
+  options.runtime.socket.heartbeat_timeout = flags.real(
+      "heartbeat-timeout", options.runtime.socket.heartbeat_timeout);
+}
+
 core::ClientOptions client_options_from(const Flags& flags) {
   core::ClientOptions options;
+  apply_runtime_flags(flags, options);
   options.topology.num_groups =
       static_cast<std::uint32_t>(flags.integer("groups", 10));
   options.topology.nodes_per_group =
@@ -179,9 +206,10 @@ int run_query(const Flags& flags, std::ostream& out) {
   const std::string metrics_path = flags.str("metrics-json", "");
   // Name of the query whose distributed trace to dump after its result.
   const std::string trace_query = flags.str("trace", "");
+  core::ClientOptions client_options;
+  apply_runtime_flags(flags, client_options);
   flags.reject_unconsumed();
 
-  core::ClientOptions client_options;
   client_options.runtime.enable_tracing = !trace_query.empty();
   core::Client client(client_options);
   client.load_index(index_path);
@@ -246,6 +274,51 @@ int run_query(const Flags& flags, std::ostream& out) {
     } else {
       out << "no query named '" << trace_query << "' in " << queries_path
           << "; nothing traced\n";
+    }
+  }
+  if (!metrics_path.empty()) {
+    write_metrics_json(client, metrics_path);
+    out << "metrics written to " << metrics_path << "\n";
+  }
+  return 0;
+}
+
+// ------------------------------------------------------------------ search
+
+// One-shot index + query without touching disk persistence — the only CLI
+// path that works on every transport, including --transport=socket where
+// the shards live in mendel-node daemons and save/load are unavailable.
+int run_search(const Flags& flags, std::ostream& out) {
+  const std::string db_path = flags.str_required("db");
+  const std::string queries_path = flags.str_required("queries");
+  const std::string metrics_path = flags.str("metrics-json", "");
+  const auto alphabet = alphabet_from(flags);
+  const auto options = client_options_from(flags);
+  const auto params = query_params_from(flags);
+  flags.reject_unconsumed();
+
+  const auto store = load_store(db_path, alphabet);
+  core::Client client(options);
+  Stopwatch watch;
+  const auto report = client.index(store);
+  out << "indexed " << report.sequences << " sequences into "
+      << report.blocks << " blocks over "
+      << client.topology().total_nodes() << " nodes in "
+      << TextTable::num(watch.seconds(), 2) << "s\n";
+
+  const auto queries = seq::read_fasta_file(queries_path, alphabet);
+  require(!queries.empty(), "query FASTA holds no sequences");
+  for (const auto& query : queries) {
+    const auto ticket = client.submit(query, params);
+    const auto outcome = client.wait(ticket);
+    out << "Query: " << query.name() << " (" << query.size()
+        << " residues) — " << outcome.hits.size() << " hits\n";
+    for (const auto& hit : outcome.hits) {
+      out << "  " << hit.subject_name << "  bits "
+          << TextTable::num(hit.bit_score, 1) << "  E " << hit.evalue
+          << "  identity "
+          << TextTable::percent(hit.alignment.percent_identity(), 1)
+          << "\n";
     }
   }
   if (!metrics_path.empty()) {
@@ -375,6 +448,14 @@ void print_help(std::ostream& out) {
          "           [--identity F] [--c-score F] [--matrix NAME]\n"
          "           [--trigger F] [--band N] [--evalue F]\n"
          "           [--branch-epsilon F] [--max-hits N] [--min-anchor-span N]\n"
+         "  search   --db DB.fasta --queries Q.fasta one-shot index + query\n"
+         "           (no index file); works on every transport, including\n"
+         "           [--transport sim|threaded|socket] with\n"
+         "           [--endpoints HOST:PORT,... or unix:PATH,...]\n"
+         "           [--heartbeat-interval S] [--heartbeat-timeout S]\n"
+         "           (socket mode needs running mendel-node daemons; see\n"
+         "           docs/architecture.md \"Deployment\"); takes the index\n"
+         "           and query flags above\n"
          "  add      --index INDEX.mnd --db MORE.fasta [--out NEW.mnd]\n"
          "           incrementally index additional sequences\n"
          "  grow     --index INDEX.mnd --group N [--count N] [--out NEW.mnd]\n"
@@ -399,6 +480,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     if (command == "generate") return run_generate(flags, out);
     if (command == "index") return run_index(flags, out);
     if (command == "query") return run_query(flags, out);
+    if (command == "search") return run_search(flags, out);
     if (command == "add") return run_add(flags, out);
     if (command == "grow") return run_grow(flags, out);
     if (command == "balance") return run_balance(flags, out);

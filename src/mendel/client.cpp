@@ -42,14 +42,18 @@ Client::Client(ClientOptions options)
       client_spans_(options_.runtime.trace_buffer_capacity) {
   options_.runtime.arena_resident_budget =
       arena_budget_from_env(options_.runtime.arena_resident_budget);
-  if (options_.runtime.transport_mode == TransportMode::kSim) {
-    sim_ = std::make_unique<net::SimTransport>(options_.cost);
-    sim_->set_schedule_seed(options_.runtime.schedule_seed);
-    transport_ = sim_.get();
-  } else {
-    threaded_ = std::make_unique<net::ThreadTransport>();
-    transport_ = threaded_.get();
-  }
+  options_.runtime.socket.endpoints =
+      net::endpoints_from_env(std::move(options_.runtime.socket.endpoints));
+  net::TransportConfig transport_config;
+  transport_config.mode = options_.runtime.transport_mode;
+  transport_config.cost = options_.cost;
+  transport_config.schedule_seed = options_.runtime.schedule_seed;
+  transport_config.socket = options_.runtime.socket;
+  transport_owner_ = net::make_transport(transport_config);
+  transport_ = transport_owner_.get();
+  sim_ = dynamic_cast<net::SimTransport*>(transport_);
+  threaded_ = dynamic_cast<net::ThreadTransport*>(transport_);
+  socket_ = dynamic_cast<net::SocketTransport*>(transport_);
   if (options_.runtime.search_threads > 0) {
     search_pool_ =
         std::make_unique<ThreadPool>(options_.runtime.search_threads);
@@ -62,6 +66,14 @@ Client::Client(ClientOptions options)
   }
   client_actor_ = std::make_unique<net::FunctionActor>(
       [this](const net::Message& message, net::Context& ctx) {
+        if (message.type == kBarrierAck) {
+          std::lock_guard lock(barrier_mu_);
+          if (message.request_id == barrier_id_ &&
+              barrier_outstanding_ > 0 && --barrier_outstanding_ == 0) {
+            barrier_cv_.notify_all();
+          }
+          return;
+        }
         if (message.type == kTraceReport) {
           auto report = decode_payload<TraceReportPayload>(message.payload);
           std::lock_guard lock(trace_mu_);
@@ -100,8 +112,10 @@ Client::Client(ClientOptions options)
 
 Client::~Client() {
   // The threaded workers reference the storage nodes; stop them before the
-  // nodes_ vector is destroyed.
+  // nodes_ vector is destroyed. The socket dispatch threads reference the
+  // client actor, so they too stop before members go away.
   if (threaded_ && started_) threaded_->drain_and_stop();
+  if (socket_) socket_->stop();
 }
 
 void Client::spawn_nodes(seq::Alphabet alphabet) {
@@ -109,6 +123,31 @@ void Client::spawn_nodes(seq::Alphabet alphabet) {
   // distance_ is allocated by the caller (index/load_index) BEFORE the
   // prefix tree captures its address; it must never be reallocated here.
   require(distance_ != nullptr, "spawn_nodes: distance matrix not set");
+
+  if (socket_) {
+    // The nodes live in mendel-node daemons: start the transport (binds
+    // nothing locally, dials every endpoint), broadcast the cluster
+    // description, and barrier so indexing only starts against
+    // fully-constructed remote nodes.
+    require(options_.runtime.socket.endpoints.size() >=
+                topology_->total_nodes(),
+            "spawn_nodes: socket mode needs an endpoint per node "
+            "(RuntimeOptions::socket.endpoints or MENDEL_ENDPOINTS)");
+    socket_->start();
+    started_ = true;
+    const auto payload = encode_payload(make_node_init());
+    for (net::NodeId id = 0; id < topology_->total_nodes(); ++id) {
+      net::Message message;
+      message.from = net::kClientNode;
+      message.to = id;
+      message.type = kNodeInit;
+      message.request_id = 0;
+      message.payload = payload;
+      transport_->send(std::move(message));
+    }
+    settle();
+    return;
+  }
 
   StorageNodeConfig node_config;
   node_config.topology = topology_.get();
@@ -139,8 +178,51 @@ void Client::spawn_nodes(seq::Alphabet alphabet) {
 
 double Client::settle() {
   if (sim_) return sim_->run_until_idle();
-  threaded_->wait_idle();
+  if (threaded_) {
+    threaded_->wait_idle();
+    return 0.0;
+  }
+  settle_socket();
   return 0.0;
+}
+
+void Client::settle_socket() {
+  std::vector<net::NodeId> targets;
+  for (net::NodeId id = 0; id < topology_->total_nodes(); ++id) {
+    if (!transport_down(id)) targets.push_back(id);
+  }
+  if (targets.empty()) return;
+  const std::uint64_t barrier_id =
+      next_query_id_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(barrier_mu_);
+    barrier_id_ = barrier_id;
+    barrier_outstanding_ = targets.size();
+  }
+  for (net::NodeId id : targets) {
+    net::Message message;
+    message.from = net::kClientNode;
+    message.to = id;
+    message.type = kBarrier;
+    message.request_id = barrier_id;
+    transport_->send(std::move(message));
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(
+              options_.runtime.socket.settle_timeout));
+  std::unique_lock lock(barrier_mu_);
+  while (barrier_outstanding_ > 0) {
+    if (barrier_cv_.wait_until(lock, deadline) ==
+        std::cv_status::timeout) {
+      // A node died (or dropped our barrier) mid-settle; give up rather
+      // than hang — the caller's own fault handling owns the follow-up.
+      barrier_outstanding_ = 0;
+      break;
+    }
+  }
+  barrier_id_ = 0;
 }
 
 double Client::now_seconds() const {
@@ -151,7 +233,66 @@ double Client::now_seconds() const {
 }
 
 bool Client::transport_down(net::NodeId id) const {
-  return sim_ ? sim_->node_down(id) : threaded_->node_down(id);
+  return fault_injector().node_down(id);
+}
+
+net::FaultInjector& Client::fault_injector() const {
+  net::FaultInjector* faults = transport_->fault_injector();
+  require(faults != nullptr,
+          "Client::fault_injector: transport has no fault injector");
+  return *faults;
+}
+
+void Client::propagate_residues() {
+  if (socket_) {
+    // Remote nodes learn the E-value denominator by message.
+    SetResiduesPayload payload;
+    payload.residues = database_residues_;
+    const auto bytes = encode_payload(payload);
+    for (net::NodeId id = 0; id < topology_->total_nodes(); ++id) {
+      if (transport_down(id)) continue;
+      net::Message message;
+      message.from = net::kClientNode;
+      message.to = id;
+      message.type = kSetResidues;
+      message.request_id = 0;
+      message.payload = bytes;
+      transport_->send(std::move(message));
+    }
+    settle();
+    return;
+  }
+  for (auto& node : nodes_) {
+    node->set_database_residues(database_residues_);
+  }
+}
+
+NodeInitPayload Client::make_node_init() const {
+  NodeInitPayload init;
+  // One index epoch per Client (socket mode forbids load_index), so the
+  // generation is a constant: re-sending it to a daemon that never died is
+  // an ignored no-op, while a restarted daemon (generation 0) rebuilds.
+  init.generation = 1;
+  init.alphabet = static_cast<std::uint8_t>(alphabet_);
+  init.num_groups = options_.topology.num_groups;
+  init.nodes_per_group = options_.topology.nodes_per_group;
+  init.ring_virtual_nodes = options_.topology.ring_virtual_nodes;
+  init.replication = options_.topology.replication;
+  init.sequence_replication = options_.topology.sequence_replication;
+  const std::uint32_t dense =
+      options_.topology.num_groups * options_.topology.nodes_per_group;
+  for (net::NodeId id = dense; id < topology_->total_nodes(); ++id) {
+    init.extra_node_groups.push_back(topology_->address(id).group);
+  }
+  init.bucket_capacity = options_.bucket_capacity;
+  init.database_residues = database_residues_;
+  for (net::NodeId id = 0; id < topology_->total_nodes(); ++id) {
+    if (transport_down(id)) init.down_nodes.push_back(id);
+  }
+  CodecWriter tree;
+  prefix_tree_->encode(tree);
+  init.prefix_tree = tree.take();
+  return init;
 }
 
 IndexReport Client::index(const seq::SequenceStore& store) {
@@ -175,9 +316,7 @@ IndexReport Client::index(const seq::SequenceStore& store) {
   settle();
 
   database_residues_ = store.total_residues();
-  for (auto& node : nodes_) {
-    node->set_database_residues(database_residues_);
-  }
+  propagate_residues();
   next_sequence_id_ = static_cast<seq::SequenceId>(store.size());
   indexed_ = true;
   publish_load_gauges();
@@ -198,9 +337,7 @@ seq::SequenceId Client::add_sequences(const seq::SequenceStore& more) {
 
   next_sequence_id_ += static_cast<seq::SequenceId>(more.size());
   database_residues_ += more.total_residues();
-  for (auto& node : nodes_) {
-    node->set_database_residues(database_residues_);
-  }
+  propagate_residues();
   publish_load_gauges();
   return base;
 }
@@ -359,7 +496,9 @@ QueryOutcome Client::finish_outcome(const QueryTicket& ticket,
 }
 
 void Client::publish_load_gauges() {
-  if (!options_.runtime.enable_metrics) return;
+  // Socket mode hosts no local nodes, so there is no placement to report
+  // (nodes_ is empty; the daemons see their own shards only).
+  if (!options_.runtime.enable_metrics || nodes_.empty()) return;
   const auto counts = block_counts();
   cluster::publish_load(cluster::analyze_load(counts), registry_);
 }
@@ -424,9 +563,45 @@ QueryOutcome Client::wait_threaded(const QueryTicket& ticket) {
   return finish_outcome(ticket, std::move(reply));
 }
 
+QueryOutcome Client::wait_socket(const QueryTicket& ticket) {
+  // No cluster-wide idle signal exists across processes, so the stall
+  // detector is a deadline: a reply missing past query_timeout means the
+  // dataflow lost a message (node death, dropped frame) and will not
+  // complete. finish_outcome then cancels cluster-side pending state.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(
+              options_.runtime.socket.query_timeout));
+  std::optional<Reply> reply;
+  {
+    std::unique_lock lock(reply_mu_);
+    for (;;) {
+      auto it = replies_.find(ticket.id);
+      if (it != replies_.end()) {
+        reply = std::move(it->second);
+        replies_.erase(it);
+        break;
+      }
+      if (reply_cv_.wait_until(lock, deadline) ==
+          std::cv_status::timeout) {
+        // One final re-check: the reply may have raced the timeout.
+        it = replies_.find(ticket.id);
+        if (it != replies_.end()) {
+          reply = std::move(it->second);
+          replies_.erase(it);
+        }
+        break;
+      }
+    }
+  }
+  return finish_outcome(ticket, std::move(reply));
+}
+
 QueryOutcome Client::wait(const QueryTicket& ticket) {
   if (sim_) return wait_sim(ticket);
-  return wait_threaded(ticket);
+  if (threaded_) return wait_threaded(ticket);
+  return wait_socket(ticket);
 }
 
 QueryOutcome Client::query(const seq::Sequence& query, QueryParams params) {
@@ -476,7 +651,7 @@ obs::MetricsSnapshot Client::metrics() const {
   add_counter("net.bytes", traffic.bytes);
   if (sim_ != nullptr) {
     add_counter("net.dropped_messages", sim_->dropped_messages());
-  } else {
+  } else if (threaded_ != nullptr) {
     add_counter("net.dropped_messages", threaded_->dropped_messages());
     add_counter("net.handler_errors", threaded_->handler_errors().size());
     // Node-side rejected frames already flow through the registry's
@@ -488,6 +663,16 @@ obs::MetricsSnapshot Client::metrics() const {
         counter.value += threaded_->decode_errors();
       }
     }
+  } else {
+    // Socket mode: these cover only this coordinator process — each
+    // daemon's transport keeps its own (the nodes are remote, so the
+    // registry holds no node.*/net.decode_errors entries to fold into).
+    add_counter("net.dropped_messages", socket_->dropped_messages());
+    add_counter("net.handler_errors", socket_->handler_errors().size());
+    add_counter("net.decode_errors", socket_->decode_errors());
+    add_counter("net.frame_errors", socket_->frame_errors());
+    add_counter("net.reconnects", socket_->reconnects());
+    add_counter("net.heartbeats_missed", socket_->heartbeats_missed());
   }
 
   std::uint64_t buffered = client_spans_.size();
@@ -608,6 +793,12 @@ net::ThreadTransport& Client::thread_transport() {
   return *threaded_;
 }
 
+net::SocketTransport& Client::socket_transport() {
+  require(socket_ != nullptr,
+          "Client::socket_transport: not in TransportMode::kSocket");
+  return *socket_;
+}
+
 StorageNode& Client::node(net::NodeId id) {
   require(id < nodes_.size(), "Client::node: id out of range");
   return *nodes_[id];
@@ -623,18 +814,58 @@ const vpt::VpPrefixTree& Client::prefix_tree() const {
   return *prefix_tree_;
 }
 
+void Client::broadcast_membership(net::NodeId changed, bool down) {
+  SetNodeDownPayload payload;
+  payload.node = changed;
+  payload.down = down;
+  const auto bytes = encode_payload(payload);
+  for (net::NodeId id = 0; id < topology_->total_nodes(); ++id) {
+    // On heal the changed node hears it too: a daemon that stayed alive
+    // ignores the same-generation re-init, so this message is what clears
+    // its own membership view. On fail its traffic is dropped anyway.
+    if ((down && id == changed) || transport_down(id)) continue;
+    net::Message message;
+    message.from = net::kClientNode;
+    message.to = id;
+    message.type = kSetNodeDown;
+    message.request_id = 0;
+    message.payload = bytes;
+    transport_->send(std::move(message));
+  }
+}
+
 void Client::fail_node(net::NodeId id) {
-  require(id < nodes_.size(), "Client::fail_node: id out of range");
-  if (sim_) sim_->fail_node(id);
-  else threaded_->fail_node(id);
+  require(topology_ != nullptr && id < topology_->total_nodes(),
+          "Client::fail_node: id out of range");
+  fault_injector().fail_node(id);
   for (auto& node : nodes_) node->set_down(id, true);
+  if (socket_) {
+    // Remote daemons update their membership view by message; settle so
+    // the exclusion is in force before the caller's next query.
+    broadcast_membership(id, /*down=*/true);
+    settle();
+  }
 }
 
 void Client::heal_node(net::NodeId id) {
-  require(id < nodes_.size(), "Client::heal_node: id out of range");
-  if (sim_) sim_->heal_node(id);
-  else threaded_->heal_node(id);
+  require(topology_ != nullptr && id < topology_->total_nodes(),
+          "Client::heal_node: id out of range");
+  fault_injector().heal_node(id);
   for (auto& node : nodes_) node->set_down(id, false);
+  if (socket_ && indexed_) {
+    // Re-initialize the healed node at the original generation: a daemon
+    // that stayed alive through the (injected) outage ignores it and
+    // keeps its shard; a restarted daemon rebuilds empty and rejoins.
+    // FIFO per connection orders the init before everything below.
+    net::Message init;
+    init.from = net::kClientNode;
+    init.to = id;
+    init.type = kNodeInit;
+    init.request_id = 0;
+    init.payload = encode_payload(make_node_init());
+    transport_->send(std::move(init));
+    broadcast_membership(id, /*down=*/false);
+  }
 
   // Scrub the healed node: deliver every cancel that was deferred while
   // its traffic was being dropped, so no aborted query's pending state
@@ -656,13 +887,16 @@ void Client::heal_node(net::NodeId id) {
     cancel.request_id = query_id;
     transport_->send(std::move(cancel));
   }
-  if (!flush.empty()) settle();
+  if (!flush.empty() || socket_) settle();
 }
 
 // --- persistence ------------------------------------------------------------
 
 void Client::save_index(const std::string& path) const {
   require(indexed_, "Client::save_index before index()");
+  require(socket_ == nullptr,
+          "Client::save_index: not available in TransportMode::kSocket "
+          "(the shards live in the daemon processes)");
   CodecWriter writer;
   writer.str("mendel-index-v3");
   writer.u8(static_cast<std::uint8_t>(alphabet_));
@@ -708,6 +942,9 @@ void Client::save_index(const std::string& path) const {
 
 void Client::load_index(const std::string& path) {
   require(!indexed_, "Client::load_index: already indexed");
+  require(socket_ == nullptr,
+          "Client::load_index: not available in TransportMode::kSocket "
+          "(daemons build their shards from the indexing stream)");
   std::ifstream in(path, std::ios::binary);
   if (!in) throw IoError("load_index: cannot open " + path);
   std::vector<std::uint8_t> bytes(

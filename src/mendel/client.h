@@ -12,7 +12,8 @@
 //   auto outcome = client.query(query);        // similarity search
 //   for (const auto& hit : outcome.hits) ...;  // ranked alignments
 //
-// Two runtimes back the same cluster code:
+// Three runtimes back the same cluster code (selected through
+// net::TransportFactory):
 //   * TransportMode::kSim (default) — the deterministic discrete-event
 //     simulator with virtual time; the runtime the benchmark figures are
 //     measured on. Single-threaded: submit/wait/query must all be called
@@ -21,6 +22,14 @@
 //     and wait() are thread-safe, so many application threads can drive
 //     overlapping queries (the concurrent query pipeline); intra-node
 //     subquery searches additionally fan out over `search_threads`.
+//   * TransportMode::kSocket — real sockets between processes. The Client
+//     hosts no StorageNodes; mendel-node daemons (tools/mendel_node) serve
+//     them at the endpoints in RuntimeOptions::socket, and the Client
+//     drives their lifecycle with the kNodeInit/kBarrier control messages.
+//     Queries time out (RuntimeOptions::socket.query_timeout) instead of
+//     using cluster-idle stall detection, and node liveness comes from
+//     heartbeats mapped onto the same node_down/cancel/heal machinery the
+//     in-process runtimes use for injected faults.
 //
 // Concurrent admission: submit() injects a query and returns a ticket;
 // wait() blocks for that query's result. query() is submit+wait, and
@@ -50,17 +59,16 @@
 #include "src/mendel/indexer.h"
 #include "src/mendel/params.h"
 #include "src/mendel/storage_node.h"
-#include "src/net/sim_transport.h"
-#include "src/net/thread_transport.h"
+#include "src/net/transport_factory.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
 namespace mendel::core {
 
-enum class TransportMode {
-  kSim,       // deterministic discrete-event simulator (virtual time)
-  kThreaded,  // one OS thread per node (wall time, real concurrency)
-};
+// The mode enum now lives with the factory in src/net (the net layer owns
+// transport selection); the alias keeps every existing core::TransportMode
+// spelling working.
+using TransportMode = net::TransportMode;
 
 // Runtime knobs, grouped apart from the index-shape options: everything
 // here may differ between two deployments of the same index (transport,
@@ -114,6 +122,11 @@ struct RuntimeOptions {
   // 0 (default) keeps the historical FIFO-tie-break schedule. See
   // net::SimTransport::set_schedule_seed.
   std::uint64_t schedule_seed = 0;
+  // Socket deployment (TransportMode::kSocket only): the cluster endpoint
+  // table and timeouts. The MENDEL_ENDPOINTS environment variable
+  // (comma-separated endpoint list) overrides `socket.endpoints` at Client
+  // construction, mirroring the daemon side.
+  net::SocketOptions socket;
 };
 
 struct ClientOptions {
@@ -225,10 +238,18 @@ class Client {
   // includes these totals as node.* counters next to everything else. Kept
   // so existing callers build.
   NodeCounters total_counters() const;
+  // Deprecated concrete-transport accessors, kept as shims over the
+  // factory-owned transport (construction itself now goes through
+  // net::make_transport). Prefer fault_injector() for the capability most
+  // callers wanted these for.
   // The simulator instance (TransportMode::kSim only).
   net::SimTransport& transport();
   // The threaded instance (TransportMode::kThreaded only).
   net::ThreadTransport& thread_transport();
+  // The socket instance (TransportMode::kSocket only).
+  net::SocketTransport& socket_transport();
+  // The transport's fault-injection capability (all modes).
+  net::FaultInjector& fault_injector() const;
   StorageNode& node(net::NodeId id);
   const StorageNode& node(net::NodeId id) const;
   std::size_t node_count() const { return nodes_.size(); }
@@ -264,8 +285,21 @@ class Client {
 
   void spawn_nodes(seq::Alphabet alphabet);
   // Runs the cluster to quiescence: run_until_idle (sim) / wait_idle
-  // (threaded). Returns the virtual horizon (sim) or 0 (threaded).
+  // (threaded) / barrier broadcast with acks (socket). Returns the virtual
+  // horizon (sim) or 0.
   double settle();
+  // Socket-mode settle: kBarrier to every alive node, wait for the acks
+  // up to socket.settle_timeout (a node dying mid-settle must not hang the
+  // coordinator forever).
+  void settle_socket() MENDEL_EXCLUDES(barrier_mu_);
+  // The kNodeInit payload describing the current cluster (socket mode).
+  NodeInitPayload make_node_init() const;
+  // Pushes database_residues_ to every node: direct call in-process,
+  // kSetResidues broadcast + settle over sockets.
+  void propagate_residues();
+  // Socket mode: kSetNodeDown{changed,down} to every alive node but
+  // `changed` itself (the caller settles).
+  void broadcast_membership(net::NodeId changed, bool down);
   // Injection/arrival clock: virtual external time (sim), wall time
   // (threaded).
   double now_seconds() const;
@@ -277,6 +311,10 @@ class Client {
       MENDEL_EXCLUDES(reply_mu_);
   QueryOutcome wait_sim(const QueryTicket& ticket);
   QueryOutcome wait_threaded(const QueryTicket& ticket);
+  // Socket mode: no cluster-wide idle exists across processes, so a reply
+  // missing past socket.query_timeout is declared a stall (then cancelled
+  // like the other runtimes' stalls).
+  QueryOutcome wait_socket(const QueryTicket& ticket);
   QueryOutcome finish_outcome(const QueryTicket& ticket,
                               std::optional<Reply> reply);
   // Records a client-side span (node = net::kClientNode) and returns its id
@@ -292,9 +330,14 @@ class Client {
   std::unique_ptr<cluster::Topology> topology_;
   std::unique_ptr<score::DistanceMatrix> distance_;
   std::unique_ptr<vpt::VpPrefixTree> prefix_tree_;
-  // Exactly one of the two transports exists; transport_ points at it.
-  std::unique_ptr<net::SimTransport> sim_;
-  std::unique_ptr<net::ThreadTransport> threaded_;
+  // The factory-owned transport; exactly one of the typed observer
+  // pointers below is non-null (they exist for the runtime-specific calls
+  // — run_until_idle, wait_idle, start/stop — the Transport interface
+  // deliberately doesn't carry).
+  std::unique_ptr<net::Transport> transport_owner_;
+  net::SimTransport* sim_ = nullptr;
+  net::ThreadTransport* threaded_ = nullptr;
+  net::SocketTransport* socket_ = nullptr;
   net::Transport* transport_ = nullptr;
   std::unique_ptr<ThreadPool> search_pool_;
   std::vector<std::unique_ptr<StorageNode>> nodes_;
@@ -318,6 +361,13 @@ class Client {
   std::mutex cancel_mu_;
   std::map<net::NodeId, std::vector<std::uint64_t>> deferred_cancels_
       MENDEL_GUARDED_BY(cancel_mu_);
+
+  // Socket-mode settle barrier: the client actor decrements
+  // barrier_outstanding_ as kBarrierAck frames land.
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  std::uint64_t barrier_id_ MENDEL_GUARDED_BY(barrier_mu_) = 0;
+  std::size_t barrier_outstanding_ MENDEL_GUARDED_BY(barrier_mu_) = 0;
 
   // --- observability state ------------------------------------------------
   obs::MetricsRegistry registry_;

@@ -280,6 +280,61 @@ TraceReportPayload TraceReportPayload::decode(CodecReader& r) {
   return p;
 }
 
+void NodeInitPayload::encode(CodecWriter& w) const {
+  w.u64(generation);
+  w.u8(alphabet);
+  w.u32(num_groups);
+  w.u32(nodes_per_group);
+  w.u64(ring_virtual_nodes);
+  w.u32(replication);
+  w.u32(sequence_replication);
+  w.vec(extra_node_groups,
+        [](CodecWriter& ww, std::uint32_t g) { ww.u32(g); });
+  w.u64(bucket_capacity);
+  w.u64(database_residues);
+  w.vec(down_nodes, [](CodecWriter& ww, std::uint32_t n) { ww.u32(n); });
+  w.bytes(prefix_tree);
+}
+
+NodeInitPayload NodeInitPayload::decode(CodecReader& r) {
+  NodeInitPayload p;
+  p.generation = r.u64();
+  p.alphabet = r.u8();
+  p.num_groups = r.u32();
+  p.nodes_per_group = r.u32();
+  p.ring_virtual_nodes = r.u64();
+  p.replication = r.u32();
+  p.sequence_replication = r.u32();
+  p.extra_node_groups =
+      r.vec<std::uint32_t>([](CodecReader& rr) { return rr.u32(); });
+  p.bucket_capacity = r.u64();
+  p.database_residues = r.u64();
+  p.down_nodes =
+      r.vec<std::uint32_t>([](CodecReader& rr) { return rr.u32(); });
+  p.prefix_tree = r.bytes();
+  return p;
+}
+
+void SetNodeDownPayload::encode(CodecWriter& w) const {
+  w.u32(node);
+  w.boolean(down);
+}
+
+SetNodeDownPayload SetNodeDownPayload::decode(CodecReader& r) {
+  SetNodeDownPayload p;
+  p.node = r.u32();
+  p.down = r.boolean();
+  return p;
+}
+
+void SetResiduesPayload::encode(CodecWriter& w) const { w.u64(residues); }
+
+SetResiduesPayload SetResiduesPayload::decode(CodecReader& r) {
+  SetResiduesPayload p;
+  p.residues = r.u64();
+  return p;
+}
+
 void validate_codes(std::span<const seq::Code> codes, std::size_t cardinality,
                     const char* what) {
   for (std::size_t i = 0; i < codes.size(); ++i) {

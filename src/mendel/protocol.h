@@ -60,6 +60,29 @@ enum MessageType : std::uint32_t {
   // from its SpanBuffer and replies kTraceReport.
   kCollectTrace = 40,
   kTraceReport = 41,
+  // Cluster control (socket deployment): in TransportMode::kSocket the
+  // coordinator process hosts no StorageNodes, so state that the in-process
+  // runtimes install through direct method calls travels as messages to the
+  // mendel-node daemons instead.
+  //   kNodeInit     — (re)build the hosted nodes: topology shape, alphabet,
+  //                   routing prefix tree, membership. Carries a generation;
+  //                   a host already at that generation ignores the message
+  //                   (so re-initializing a healed-but-alive daemon keeps
+  //                   its data, while a restarted one rebuilds).
+  //   kSetNodeDown  — membership change (StorageNode::set_down).
+  //   kSetResidues  — database residue total after (incremental) indexing
+  //                   (StorageNode::set_database_residues).
+  //   kBarrier      — flush marker: the receiver replies kBarrierAck to the
+  //                   sender. Acked over the same FIFO connection the
+  //                   sender's earlier messages used, so collecting every
+  //                   alive node's ack proves those messages were handled —
+  //                   the socket runtime's stand-in for run_until_idle /
+  //                   wait_idle. Both carry empty payloads.
+  kNodeInit = 50,
+  kSetNodeDown = 51,
+  kSetResidues = 52,
+  kBarrier = 53,
+  kBarrierAck = 54,
 };
 
 // --- Indexing ---------------------------------------------------------
@@ -261,6 +284,50 @@ struct TraceReportPayload {
 
   void encode(CodecWriter& w) const;
   static TraceReportPayload decode(CodecReader& r);
+};
+
+// --- Cluster control (socket deployment) --------------------------------
+
+// Everything a mendel-node daemon needs to construct its StorageNodes:
+// the exact inputs Client::spawn_nodes feeds StorageNodeConfig, shipped as
+// bytes. `prefix_tree` holds vpt::VpPrefixTree::encode output (the same
+// byte-stable encoding index snapshots use).
+struct NodeInitPayload {
+  std::uint64_t generation = 0;
+  std::uint8_t alphabet = 1;
+  // cluster::TopologyConfig, field by field.
+  std::uint32_t num_groups = 0;
+  std::uint32_t nodes_per_group = 0;
+  std::uint64_t ring_virtual_nodes = 0;
+  std::uint32_t replication = 1;
+  std::uint32_t sequence_replication = 1;
+  // Groups of nodes added beyond the dense initial layout (add_node), in
+  // id order — mirrors the index-snapshot encoding of grown topologies.
+  std::vector<std::uint32_t> extra_node_groups;
+  std::uint64_t bucket_capacity = 32;
+  std::uint64_t database_residues = 0;
+  // Node ids currently marked down, so a daemon (re)joining mid-outage
+  // starts with the cluster's membership view instead of an empty one.
+  std::vector<std::uint32_t> down_nodes;
+  std::vector<std::uint8_t> prefix_tree;
+
+  void encode(CodecWriter& w) const;
+  static NodeInitPayload decode(CodecReader& r);
+};
+
+struct SetNodeDownPayload {
+  std::uint32_t node = 0;
+  bool down = false;
+
+  void encode(CodecWriter& w) const;
+  static SetNodeDownPayload decode(CodecReader& r);
+};
+
+struct SetResiduesPayload {
+  std::uint64_t residues = 0;
+
+  void encode(CodecWriter& w) const;
+  static SetResiduesPayload decode(CodecReader& r);
 };
 
 // Helper: serialize any payload struct into message bytes.

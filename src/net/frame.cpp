@@ -1,0 +1,144 @@
+#include "src/net/frame.h"
+
+#include <algorithm>
+#include <string>
+
+#include "src/common/error.h"
+
+namespace mendel::net {
+
+namespace {
+
+void encode_body(CodecWriter& w, const Frame& frame) {
+  w.u8(static_cast<std::uint8_t>(frame.kind));
+  switch (frame.kind) {
+    case FrameKind::kMessage:
+      w.u32(frame.message.from);
+      w.u32(frame.message.to);
+      w.u32(frame.message.type);
+      w.u64(frame.message.request_id);
+      w.raw(frame.message.payload);
+      return;
+    case FrameKind::kHello:
+      w.u32(static_cast<std::uint32_t>(frame.hello.size()));
+      for (NodeId id : frame.hello) w.u32(id);
+      return;
+    case FrameKind::kPing:
+    case FrameKind::kPong:
+      w.u64(frame.nonce);
+      return;
+  }
+  throw InvalidArgument("encode_frame: unknown frame kind " +
+                        std::to_string(static_cast<unsigned>(frame.kind)));
+}
+
+Frame decode_body(std::span<const std::uint8_t> body) {
+  CodecReader r(body);
+  Frame frame;
+  const std::uint8_t kind = r.u8();
+  switch (kind) {
+    case static_cast<std::uint8_t>(FrameKind::kMessage):
+      frame.kind = FrameKind::kMessage;
+      frame.message.from = r.u32();
+      frame.message.to = r.u32();
+      frame.message.type = r.u32();
+      frame.message.request_id = r.u64();
+      {
+        const auto payload = r.raw(r.remaining());
+        frame.message.payload.assign(payload.begin(), payload.end());
+      }
+      break;
+    case static_cast<std::uint8_t>(FrameKind::kHello): {
+      frame.kind = FrameKind::kHello;
+      const std::uint32_t count = r.u32();
+      if (count > r.remaining() / sizeof(std::uint32_t)) {
+        throw DecodeError("frame: hello id count " + std::to_string(count) +
+                          " exceeds body");
+      }
+      frame.hello.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) frame.hello.push_back(r.u32());
+      break;
+    }
+    case static_cast<std::uint8_t>(FrameKind::kPing):
+    case static_cast<std::uint8_t>(FrameKind::kPong):
+      frame.kind = static_cast<FrameKind>(kind);
+      frame.nonce = r.u64();
+      break;
+    default:
+      throw DecodeError("frame: unknown kind " + std::to_string(kind));
+  }
+  // Strict framing: the body must be consumed exactly (kMessage consumes
+  // the remainder by construction; the fixed-shape kinds must not carry
+  // trailing bytes).
+  if (!r.done()) {
+    throw DecodeError("frame: " + std::to_string(r.remaining()) +
+                      " trailing bytes after body");
+  }
+  return frame;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_frame(const Frame& frame) {
+  CodecWriter body;
+  encode_body(body, frame);
+  CodecWriter out;
+  out.u32(static_cast<std::uint32_t>(body.size()));
+  out.raw(body.data());
+  return out.take();
+}
+
+std::vector<std::uint8_t> encode_message_frame(const Message& message) {
+  Frame frame;
+  frame.kind = FrameKind::kMessage;
+  frame.message = message;
+  return encode_frame(frame);
+}
+
+std::vector<std::uint8_t> encode_hello_frame(const std::vector<NodeId>& ids) {
+  Frame frame;
+  frame.kind = FrameKind::kHello;
+  frame.hello = ids;
+  return encode_frame(frame);
+}
+
+std::vector<std::uint8_t> encode_ping_frame(FrameKind kind,
+                                            std::uint64_t nonce) {
+  Frame frame;
+  frame.kind = kind;
+  frame.nonce = nonce;
+  return encode_frame(frame);
+}
+
+void FrameParser::feed(std::span<const std::uint8_t> bytes) {
+  // Reclaim the decoded prefix before appending so the buffer stays
+  // proportional to the undecoded tail, not to connection lifetime.
+  if (consumed_ > 0) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+bool FrameParser::next(Frame& out) {
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < 4) return false;
+  const std::uint8_t* p = buffer_.data() + consumed_;
+  const std::uint32_t length = static_cast<std::uint32_t>(p[0]) |
+                               (static_cast<std::uint32_t>(p[1]) << 8) |
+                               (static_cast<std::uint32_t>(p[2]) << 16) |
+                               (static_cast<std::uint32_t>(p[3]) << 24);
+  // Reject hostile lengths before buffering toward them: a forged prefix
+  // must not commit this process to a multi-gigabyte allocation.
+  if (length > max_frame_bytes_) {
+    throw DecodeError("frame: length " + std::to_string(length) +
+                      " exceeds limit " + std::to_string(max_frame_bytes_));
+  }
+  if (available - 4 < length) return false;
+  out = decode_body({p + 4, length});
+  consumed_ += 4 + static_cast<std::size_t>(length);
+  return true;
+}
+
+}  // namespace mendel::net

@@ -1,0 +1,91 @@
+// Socket frame layer: length-prefixed frames over a byte stream.
+//
+// SocketTransport ships Message envelopes between processes over TCP or
+// Unix-domain stream sockets. A stream has no message boundaries, so every
+// frame is prefixed with its body length:
+//
+//   u32 body_length (little-endian)
+//   u8  kind                          ─┐
+//   kind-specific body …               ├─ body (body_length bytes)
+//                                     ─┘
+// Frame kinds:
+//   kMessage — one Message envelope: u32 from, u32 to, u32 type,
+//              u64 request_id, remaining bytes = payload (the payload is
+//              the application codec's output, already byte-stable).
+//   kHello   — connection preamble announcing the dialing process's local
+//              actor ids (u32 count, count × u32), so the accepting side
+//              can route replies to those ids over this connection.
+//   kPing / kPong — liveness probes (u64 nonce, echoed back). Answered at
+//              the frame layer, never delivered to actors.
+//
+// Decoding is strict, mirroring the application codecs: a body that does
+// not consume its length exactly, an unknown kind, or a length above
+// `max_frame_bytes` raises DecodeError — the single exception type decode
+// surfaces may produce on arbitrary bytes. FrameParser is incremental:
+// feed() accepts arbitrary read() chunks (split or coalesced frames) and
+// emits each complete frame exactly once.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/net/message.h"
+
+namespace mendel::net {
+
+enum class FrameKind : std::uint8_t {
+  kMessage = 0,
+  kHello = 1,
+  kPing = 2,
+  kPong = 3,
+};
+
+struct Frame {
+  FrameKind kind = FrameKind::kMessage;
+  Message message;            // kMessage
+  std::vector<NodeId> hello;  // kHello
+  std::uint64_t nonce = 0;    // kPing / kPong
+};
+
+// Upper bound on a frame body. Far above any legitimate Mendel payload
+// (block batches are the largest and stay in the low megabytes); its job
+// is to reject hostile or corrupt length prefixes before they turn into
+// multi-gigabyte allocations.
+inline constexpr std::size_t kMaxFrameBytes = 64u << 20;
+
+std::vector<std::uint8_t> encode_frame(const Frame& frame);
+// Convenience encoders for the common kinds.
+std::vector<std::uint8_t> encode_message_frame(const Message& message);
+std::vector<std::uint8_t> encode_hello_frame(const std::vector<NodeId>& ids);
+std::vector<std::uint8_t> encode_ping_frame(FrameKind kind,
+                                            std::uint64_t nonce);
+
+// Incremental decoder for one stream direction.
+class FrameParser {
+ public:
+  explicit FrameParser(std::size_t max_frame_bytes = kMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  // Appends a read chunk. Call next() until it returns false to drain the
+  // completed frames.
+  void feed(std::span<const std::uint8_t> bytes);
+
+  // Decodes the next complete frame into `out`; returns false when no
+  // complete frame is buffered yet. Throws DecodeError on a malformed
+  // frame (oversized length prefix, unknown kind, body over- or
+  // under-consumed); the connection must then be dropped — after a framing
+  // error the stream position is untrustworthy.
+  bool next(Frame& out);
+
+  // Bytes buffered but not yet consumed by next(). Nonzero at EOF means
+  // the peer died mid-frame (a truncated frame).
+  std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::size_t max_frame_bytes_;
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;  // prefix of buffer_ already decoded
+};
+
+}  // namespace mendel::net

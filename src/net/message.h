@@ -7,13 +7,16 @@
 // Transport implementations deliver typed, serialized envelopes between
 // them.
 //
-// Two transports exist:
+// Three transports exist (construct via transport_factory.h):
 //   * SimTransport (sim_transport.h)     — deterministic discrete-event
 //     engine with virtual time; the primary runtime and the one the
 //     benchmark figures are measured on.
 //   * ThreadTransport (thread_transport.h) — one OS thread per node with
 //     blocking mailboxes; exercises the same actor code under real
 //     concurrency in the integration tests.
+//   * SocketTransport (socket_transport.h) — real length-prefixed frames
+//     over TCP or Unix-domain sockets; the multi-process deployment
+//     runtime behind the mendel-node daemon.
 #pragma once
 
 #include <cstdint>
@@ -22,10 +25,9 @@
 #include <vector>
 
 #include "src/common/codec.h"
+#include "src/net/fault.h"
 
 namespace mendel::net {
-
-using NodeId = std::uint32_t;
 
 // Reserved id for client endpoints (a client is just an actor that lives
 // outside the storage keyspace).
@@ -123,6 +125,11 @@ class Transport {
   virtual void send(Message message) = 0;
 
   virtual NetworkStats stats() const = 0;
+
+  // Fault-injection capability (src/net/fault.h). All Mendel transports
+  // implement it and return `this`; the default keeps the Transport
+  // interface implementable without one (callers must check for null).
+  virtual FaultInjector* fault_injector() { return nullptr; }
 
   // --- per-query traffic attribution ------------------------------------
   // Opt-in exact accounting: after begin_query_stats(id), every message

@@ -49,7 +49,7 @@ struct CostModel {
   }
 };
 
-class SimTransport final : public Transport {
+class SimTransport final : public Transport, public FaultInjector {
  public:
   explicit SimTransport(CostModel cost = {}) : cost_(cost) {}
 
@@ -102,18 +102,17 @@ class SimTransport final : public Transport {
   void set_schedule_seed(std::uint64_t seed) { schedule_seed_ = seed; }
   std::uint64_t schedule_seed() const { return schedule_seed_; }
 
-  // Marks a node as failed: messages to it are silently dropped (used by
-  // the fault-tolerance tests). Delivery to a failed node counts in
-  // dropped_messages().
-  void fail_node(NodeId id);
-  void heal_node(NodeId id);
-  bool node_down(NodeId id) const;
-  // Partial failure: drop only deliveries of one message type to the node,
-  // which stays healthy otherwise (and is NOT node_down()). Lets tests
+  // Fault injection (net::FaultInjector): a failed node's deliveries are
+  // silently dropped and counted in dropped_messages(); drop_type_to drops
+  // only one message type, leaving the node otherwise healthy. Lets tests
   // fail a node mid-dataflow — e.g. a sequence home that stops serving
-  // ranged fetches after its searches succeeded. heal_node() clears it.
-  void drop_type_to(NodeId id, std::uint32_t type);
-  std::uint64_t dropped_messages() const { return dropped_; }
+  // ranged fetches after its searches succeeded.
+  FaultInjector* fault_injector() override { return this; }
+  void fail_node(NodeId id) override;
+  void heal_node(NodeId id) override;
+  bool node_down(NodeId id) const override;
+  void drop_type_to(NodeId id, std::uint32_t type) override;
+  std::uint64_t dropped_messages() const override { return dropped_; }
 
  private:
   struct Event {

@@ -27,7 +27,7 @@
 
 namespace mendel::net {
 
-class ThreadTransport final : public Transport {
+class ThreadTransport final : public Transport, public FaultInjector {
  public:
   ThreadTransport() = default;
   ~ThreadTransport() override;
@@ -72,18 +72,17 @@ class ThreadTransport final : public Transport {
   void begin_query_stats(std::uint64_t query_id) override;
   NetworkStats take_query_stats(std::uint64_t query_id) override;
 
-  // --- fault injection (mirrors SimTransport) ---------------------------
-  // A failed node's inbound messages are dropped at send() time.
-  void fail_node(NodeId id);
-  void heal_node(NodeId id);
-  bool node_down(NodeId id) const;
-  // Partial failure: drop only inbound messages of one type, leaving the
-  // node otherwise healthy (it keeps answering everything else and is NOT
-  // node_down()). Lets tests fail a node mid-dataflow — e.g. a sequence
-  // home that stops serving ranged fetches after its searches succeeded.
-  // heal_node() clears it.
-  void drop_type_to(NodeId id, std::uint32_t type);
-  std::uint64_t dropped_messages() const {
+  // --- fault injection (net::FaultInjector) -----------------------------
+  // A failed node's inbound messages are dropped at send() time;
+  // drop_type_to drops only one message type, leaving the node otherwise
+  // healthy (it keeps answering everything else and is NOT node_down()).
+  // heal_node() clears both.
+  FaultInjector* fault_injector() override { return this; }
+  void fail_node(NodeId id) override;
+  void heal_node(NodeId id) override;
+  bool node_down(NodeId id) const override;
+  void drop_type_to(NodeId id, std::uint32_t type) override;
+  std::uint64_t dropped_messages() const override {
     return dropped_.load(std::memory_order_relaxed);
   }
   // Frames whose handler raised DecodeError (malformed bytes an actor did

@@ -51,7 +51,7 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
                                       std::size_t size) {
   if (size == 0) return 0;
   const std::span<const std::uint8_t> payload(data + 1, size - 1);
-  switch (data[0] % 11) {
+  switch (data[0] % 14) {
     case 0: fuzz_one<mendel::core::StoreSequencePayload>(payload); break;
     case 1: fuzz_one<mendel::core::InsertBlocksPayload>(payload); break;
     case 2: fuzz_one<mendel::core::QueryRequestPayload>(payload); break;
@@ -63,6 +63,9 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
     case 8: fuzz_one<mendel::core::FetchRangeResultPayload>(payload); break;
     case 9: fuzz_one<mendel::core::QueryResultPayload>(payload); break;
     case 10: fuzz_one<mendel::core::TraceReportPayload>(payload); break;
+    case 11: fuzz_one<mendel::core::NodeInitPayload>(payload); break;
+    case 12: fuzz_one<mendel::core::SetNodeDownPayload>(payload); break;
+    case 13: fuzz_one<mendel::core::SetResiduesPayload>(payload); break;
   }
   return 0;
 }

@@ -11,8 +11,10 @@
 
 #include "src/mendel/client.h"
 #include "src/mendel/indexer.h"
+#include "src/mendel/node_host.h"
 #include "src/mendel/protocol.h"
 #include "src/mendel/storage_node.h"
+#include "src/net/socket_transport.h"
 #include "src/net/thread_transport.h"
 #include "src/workload/generator.h"
 
@@ -255,6 +257,97 @@ TEST(TransportParity, DnaBatchMatchesAcrossTransports) {
     expect_same_hits(sim_outcomes[i], threaded_outcomes[i]);
   }
   EXPECT_EQ(threaded_client.thread_transport().handler_errors().size(), 0u);
+}
+
+// In-process socket cluster: "daemon" transports hosting the storage
+// nodes over Unix-domain sockets, wired exactly as mendel-node processes
+// would be (separate SocketTransport + NodeHost per daemon, the client
+// reaching them only through real sockets and the kNodeInit protocol).
+struct SocketCluster {
+  std::vector<std::string> endpoints;
+  std::vector<std::unique_ptr<core::NodeHost>> hosts;
+  std::vector<std::unique_ptr<net::SocketTransport>> transports;
+
+  SocketCluster(const std::string& tag, std::size_t total_nodes,
+                std::size_t daemons) {
+    for (std::size_t id = 0; id < total_nodes; ++id) {
+      endpoints.push_back("unix:" + testing::TempDir() + "mendel_parity_" +
+                          std::to_string(::getpid()) + "_" + tag + "_" +
+                          std::to_string(id) + ".sock");
+    }
+    for (std::size_t daemon = 0; daemon < daemons; ++daemon) {
+      net::SocketOptions options;
+      options.endpoints = endpoints;
+      transports.push_back(
+          std::make_unique<net::SocketTransport>(options));
+      core::NodeHostOptions host_options;
+      for (std::size_t id = daemon; id < total_nodes; id += daemons) {
+        host_options.node_ids.push_back(static_cast<net::NodeId>(id));
+      }
+      hosts.push_back(std::make_unique<core::NodeHost>(
+          transports.back().get(), std::move(host_options)));
+    }
+    // Daemons start concurrently (like real processes): each start()
+    // blocks until its dials land, and the peers only listen once their
+    // own start() runs.
+    std::vector<std::thread> starters;
+    for (auto& transport : transports) {
+      starters.emplace_back([&transport] { transport->start(); });
+    }
+    for (auto& starter : starters) starter.join();
+  }
+  ~SocketCluster() {
+    for (auto& transport : transports) transport->stop();
+  }
+};
+
+void run_socket_parity(seq::Alphabet alphabet, const std::string& tag) {
+  auto dbspec = spec();
+  dbspec.alphabet = alphabet;
+  const auto store = workload::generate_database(dbspec);
+  const auto queries = parity_queries(store);
+  core::QueryParams params;
+  if (alphabet == seq::Alphabet::kDna) {
+    params.matrix = "DNA";
+    params.identity = 0.6;
+    params.c_score = 0.4;
+    params.gapped_trigger = 1.0;
+  }
+
+  core::Client sim_client(parity_options(core::TransportMode::kSim));
+  sim_client.index(store);
+  const auto sim_outcomes = sim_client.query_batch(queries, params);
+
+  SocketCluster cluster(tag, 6, 3);
+  auto options = parity_options(core::TransportMode::kSocket);
+  options.runtime.socket.endpoints = cluster.endpoints;
+  core::Client socket_client(options);
+  socket_client.index(store);
+  const auto socket_outcomes = socket_client.query_batch(queries, params);
+
+  ASSERT_EQ(sim_outcomes.size(), socket_outcomes.size());
+  for (std::size_t i = 0; i < sim_outcomes.size(); ++i) {
+    EXPECT_TRUE(sim_outcomes[i].completed);
+    EXPECT_TRUE(socket_outcomes[i].completed);
+    ASSERT_FALSE(sim_outcomes[i].hits.empty()) << "query " << i;
+    expect_same_hits(sim_outcomes[i], socket_outcomes[i]);
+  }
+  EXPECT_EQ(socket_client.socket_transport().handler_errors().size(), 0u);
+  for (const auto& transport : cluster.transports) {
+    EXPECT_EQ(transport->handler_errors().size(), 0u);
+    EXPECT_EQ(transport->decode_errors(), 0u);
+  }
+}
+
+// The tentpole guarantee: real sockets are just another transport — the
+// ranked hits a multi-daemon socket cluster produces must be exactly the
+// deterministic simulator's, for both alphabets.
+TEST(TransportParity, SocketClusterMatchesSimProtein) {
+  run_socket_parity(seq::Alphabet::kProtein, "prot");
+}
+
+TEST(TransportParity, SocketClusterMatchesSimDna) {
+  run_socket_parity(seq::Alphabet::kDna, "dna");
 }
 
 // Arena residency is a memory policy, not a results policy: a clamped
